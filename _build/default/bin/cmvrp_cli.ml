@@ -1,0 +1,298 @@
+(* Command-line interface to the CMVRP library.
+
+   Subcommands:
+     workload  — generate an arrival sequence and print it (one "x y" pair
+                 per line, arrival order)
+     solve     — offline analysis of a workload: bounds, plan, Algorithm 1
+     simulate  — run the distributed online strategy and report the audit
+
+   Workloads come either from a generator family (--kind and its
+   parameters) or from a file of "x y" lines (--input). *)
+
+open Cmdliner
+
+(* --- workload specification shared by the subcommands --- *)
+
+type spec = {
+  kind : string;
+  side : int;
+  len : int;
+  per_point : int;
+  total : int;
+  jobs : int;
+  box_side : int;
+  clusters : int;
+  spread : int;
+  sites : int;
+  exponent : float;
+  seed : int;
+  input : string option;
+}
+
+let spec_term =
+  let kind =
+    let doc =
+      "Workload family: square | line | point | uniform | clustered | zipf."
+    in
+    Arg.(value & opt string "uniform" & info [ "kind"; "k" ] ~doc)
+  in
+  let side = Arg.(value & opt int 4 & info [ "side" ] ~doc:"Square side (kind=square).") in
+  let len = Arg.(value & opt int 16 & info [ "len" ] ~doc:"Line length (kind=line).") in
+  let per_point =
+    Arg.(value & opt int 10 & info [ "per-point" ] ~doc:"Demand per point (square/line).")
+  in
+  let total =
+    Arg.(value & opt int 100 & info [ "total" ] ~doc:"Total demand (kind=point).")
+  in
+  let jobs =
+    Arg.(value & opt int 200 & info [ "jobs" ] ~doc:"Job count (uniform/zipf).")
+  in
+  let box_side =
+    Arg.(value & opt int 10 & info [ "box-side" ] ~doc:"Random-area side length.")
+  in
+  let clusters = Arg.(value & opt int 3 & info [ "clusters" ] ~doc:"Cluster count.") in
+  let spread = Arg.(value & opt int 2 & info [ "spread" ] ~doc:"Cluster spread.") in
+  let sites = Arg.(value & opt int 10 & info [ "sites" ] ~doc:"Zipf site count.") in
+  let exponent =
+    Arg.(value & opt float 1.3 & info [ "exponent" ] ~doc:"Zipf exponent.")
+  in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Generator seed.") in
+  let input =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input"; "i" ] ~doc:"Read jobs from a file of \"x y\" lines instead.")
+  in
+  let make kind side len per_point total jobs box_side clusters spread sites
+      exponent seed input =
+    {
+      kind;
+      side;
+      len;
+      per_point;
+      total;
+      jobs;
+      box_side;
+      clusters;
+      spread;
+      sites;
+      exponent;
+      seed;
+      input;
+    }
+  in
+  Term.(
+    const make $ kind $ side $ len $ per_point $ total $ jobs $ box_side
+    $ clusters $ spread $ sites $ exponent $ seed $ input)
+
+let load_jobs_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> Workload_io.of_channel ~name:(Printf.sprintf "file(%s)" path) ic)
+
+let realize spec =
+  match spec.input with
+  | Some path -> load_jobs_file path
+  | None -> begin
+      let rng = Rng.create spec.seed in
+      let box =
+        Box.make ~lo:[| 0; 0 |] ~hi:[| spec.box_side - 1; spec.box_side - 1 |]
+      in
+      match spec.kind with
+      | "square" -> Workload.square ~side:spec.side ~per_point:spec.per_point ()
+      | "line" -> Workload.line ~len:spec.len ~per_point:spec.per_point
+      | "point" -> Workload.point ~total:spec.total ()
+      | "uniform" -> Workload.uniform ~rng ~box ~jobs:spec.jobs
+      | "clustered" ->
+          Workload.clustered ~rng ~box ~clusters:spec.clusters
+            ~jobs_per_cluster:(spec.jobs / max 1 spec.clusters)
+            ~spread:spec.spread
+      | "zipf" ->
+          Workload.zipf_sites ~rng ~box ~sites:spec.sites ~jobs:spec.jobs
+            ~exponent:spec.exponent
+      | other -> failwith (Printf.sprintf "unknown workload kind %S" other)
+    end
+
+(* --- workload subcommand --- *)
+
+let workload_cmd =
+  let heat =
+    Arg.(
+      value & flag
+      & info [ "heatmap" ] ~doc:"Print an ASCII demand heatmap instead of jobs.")
+  in
+  let run spec heat =
+    let w = realize spec in
+    if heat then print_string (Workload_io.heatmap w)
+    else Workload_io.to_channel stdout w
+  in
+  let doc = "Generate an arrival sequence and print it." in
+  Cmd.v (Cmd.info "workload" ~doc) Term.(const run $ spec_term $ heat)
+
+(* --- solve subcommand --- *)
+
+let solve_cmd =
+  let run spec =
+    let w = realize spec in
+    let dm = Workload.demand w in
+    Printf.printf "workload        : %s\n" w.Workload.name;
+    Printf.printf "jobs / sites    : %d / %d\n" (Demand_map.total dm)
+      (Demand_map.support_size dm);
+    if Demand_map.total dm = 0 then print_endline "empty demand; Woff = 0"
+    else begin
+      let star = Oracle.omega_star dm in
+      let omega_c, side = Omega.cube_fixpoint_with_side dm in
+      Printf.printf "omega* (LP 2.8) : %.4f   <- lower bound on Woff\n" star;
+      (match Oracle.witness dm with
+      | Some (points, w) when List.length points <= 12 ->
+          Printf.printf "tight set T     : { %s } with omega_T = %.4f\n"
+            (String.concat ", " (List.map Point.to_string points))
+            w
+      | Some (points, w) ->
+          Printf.printf "tight set T     : %d sites, omega_T = %.4f\n"
+            (List.length points) w
+      | None -> ());
+      Printf.printf "omega_c / side  : %.4f / %d\n" omega_c side;
+      let plan = Planner.plan dm in
+      (match Planner.validate plan dm with
+      | Ok () -> ()
+      | Error m -> failwith ("internal: plan invalid: " ^ m));
+      Printf.printf "planner Woff    : %d   <- constructive upper bound\n"
+        (Planner.max_energy plan);
+      Printf.printf "theorem cap     : %.2f = (2*3^l + l) * omega_c + 2\n"
+        (Planner.theorem_bound ~dim:2 omega_c +. 2.0);
+      (* Algorithm 1 needs a power-of-two window anchored at the origin. *)
+      match Demand_map.bounding_box dm with
+      | None -> ()
+      | Some bbox ->
+          let extent =
+            max
+              (abs bbox.Box.lo.(0) + abs bbox.Box.hi.(0) + 1)
+              (abs bbox.Box.lo.(1) + abs bbox.Box.hi.(1) + 1)
+          in
+          let n = ref 1 in
+          while !n < extent do
+            n := 2 * !n
+          done;
+          if bbox.Box.lo.(0) >= 0 && bbox.Box.lo.(1) >= 0 then begin
+            let r = Alg1.run ~dim:2 ~n:!n dm in
+            Printf.printf "Algorithm 1     : %.2f (grid n=%d, %d cell ops)\n"
+              r.Alg1.value !n r.Alg1.cell_ops
+          end
+    end
+  in
+  let doc = "Offline analysis: bounds, constructive plan, Algorithm 1." in
+  Cmd.v (Cmd.info "solve" ~doc) Term.(const run $ spec_term)
+
+(* --- simulate subcommand --- *)
+
+let simulate_cmd =
+  let capacity =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "capacity"; "W" ]
+          ~doc:"Per-vehicle energy (defaults to the Lemma 3.3.1 capacity).")
+  in
+  let cube_side =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cube-side" ] ~doc:"Partition cube side (defaults to ceil(omega_c)).")
+  in
+  let kills =
+    Arg.(
+      value
+      & opt (list (pair ~sep:':' int int)) []
+      & info [ "kill" ]
+          ~doc:"Failure injection: comma-separated job:vehicle pairs (scenario 3).")
+  in
+  let silent =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "silent" ]
+          ~doc:"Vehicle ids that never announce exhaustion (scenario 2).")
+  in
+  let find_min =
+    Arg.(
+      value & flag
+      & info [ "find-min" ]
+          ~doc:"Binary-search the smallest workable capacity instead of one run.")
+  in
+  let trace =
+    Arg.(
+      value & flag
+      & info [ "trace" ] ~doc:"Print every protocol event (retirements, \
+                               diffusing computations, replacements).")
+  in
+  let run spec capacity cube_side kills silent find_min trace =
+    let w = realize spec in
+    let recommended = Online.recommended ~seed:spec.seed w in
+    let cfg =
+      {
+        recommended with
+        Online.capacity = Option.value ~default:recommended.Online.capacity capacity;
+        side = Option.value ~default:recommended.Online.side cube_side;
+        faults = { Online.silent_initiators = silent; deaths = kills; longevity = [] };
+      }
+    in
+    if find_min then begin
+      let m = Online.min_feasible_capacity ~seed:spec.seed ~side:cfg.Online.side w in
+      Printf.printf "smallest workable capacity (side %d): %.3f\n" cfg.Online.side m;
+      Printf.printf "LP lower bound omega*: %.3f\n"
+        (Oracle.omega_star (Workload.demand w))
+    end
+    else begin
+      let observer =
+        if not trace then None
+        else
+          Some
+            (function
+            | Online.Job_served _ -> ()
+            | Online.Vehicle_retired { vehicle; pair } ->
+                Printf.printf "  [retired]     vehicle %d (pair %d)\n" vehicle pair
+            | Online.Vehicle_died { vehicle } ->
+                Printf.printf "  [died]        vehicle %d\n" vehicle
+            | Online.Computation_started { initiator; pair } ->
+                Printf.printf "  [diffusing]   initiator %d searching for pair %d\n"
+                  initiator pair
+            | Online.Candidate_found { initiator; pair } ->
+                Printf.printf "  [candidate]   found for pair %d (initiator %d)\n"
+                  pair initiator
+            | Online.Replacement { vehicle; pair; dest } ->
+                Printf.printf "  [replacement] vehicle %d takes pair %d at %s\n"
+                  vehicle pair (Point.to_string dest)
+            | Online.Search_starved { pair } ->
+                Printf.printf "  [starved]     no idle vehicle for pair %d\n" pair)
+      in
+      let o = Online.run ?observer cfg w in
+      Printf.printf "workload      : %s\n" w.Workload.name;
+      Printf.printf "capacity/side : %.2f / %d\n" cfg.Online.capacity cfg.Online.side;
+      Printf.printf "served        : %d/%d\n" o.Online.served
+        (Array.length w.Workload.jobs);
+      Printf.printf "peak energy   : %.2f\n" o.Online.max_energy_used;
+      Printf.printf "replacements  : %d (%d diffusing computations, %d messages)\n"
+        o.Online.replacements o.Online.computations o.Online.messages;
+      List.iter
+        (fun f ->
+          Printf.printf "FAILED job %d at %s: %s\n" f.Online.job
+            (Point.to_string f.Online.position)
+            f.Online.reason)
+        o.Online.failures;
+      if Online.succeeded o then print_endline "outcome       : SUCCESS"
+      else print_endline "outcome       : FAILURE"
+    end
+  in
+  let doc = "Run the Chapter 3 distributed online strategy." in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ spec_term $ capacity $ cube_side $ kills $ silent $ find_min
+      $ trace)
+
+let () =
+  let doc = "CMVRP: capacitated multivehicle routing on the grid (Gao 2008)" in
+  let info = Cmd.info "cmvrp" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ workload_cmd; solve_cmd; simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/earthquake_point.ml: Demand_map Greedy_online List Omega Online Oracle Planner Printf Workload

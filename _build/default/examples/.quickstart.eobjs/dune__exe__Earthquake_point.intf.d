@@ -1,0 +1,1 @@
+examples/earthquake_point.mli:

@@ -1,0 +1,1 @@
+examples/energy_market.ml: Demand_map List Planner Printf Transfer

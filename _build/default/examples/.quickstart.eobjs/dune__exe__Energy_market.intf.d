@@ -1,0 +1,1 @@
+examples/energy_market.mli:

@@ -1,0 +1,1 @@
+examples/highway_line.ml: List Omega Online Planner Printf Workload

@@ -1,0 +1,1 @@
+examples/highway_line.mli:

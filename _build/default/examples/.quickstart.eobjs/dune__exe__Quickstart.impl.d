@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Box Demand_map Omega Online Oracle Planner Printf Rng Workload

@@ -1,0 +1,1 @@
+examples/smart_dust.ml: Array Box Demand_map Online Oracle Printf Rng Workload

@@ -1,0 +1,50 @@
+(* Earthquake response (Example 2.1.3 / Figure 2.1(c)): all demand erupts
+   at a single point — "a reasonable model when using the mobile vehicles
+   to detect the earthquake" (§2.1.3).
+
+   The paper's closed form: W3 solves W(2W+1)^2 = d, so the required
+   per-vehicle energy grows only like the cube root of the event
+   magnitude: vehicles pour in from a W-ball around the epicenter
+   (Figure 2.3).
+
+   Run with: dune exec examples/earthquake_point.exe *)
+
+let () =
+  print_endline "magnitude d  ->  W3 (paper)  |  lattice omega  |  planner W | cube-root law d^(1/3)/W3";
+  List.iter
+    (fun d ->
+      let w3 = Omega.example_point_w3 ~d in
+      let omega = Omega.of_points [ [| 0; 0 |] ] ~total:d in
+      let dm = Demand_map.of_alist 2 [ ([| 0; 0 |], d) ] in
+      let plan = Planner.plan dm in
+      (match Planner.validate plan dm with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      Printf.printf "  %9d  ->  %9.2f  |  %9.2f    |  %7d   | %.3f\n" d w3 omega
+        (Planner.max_energy plan)
+        ((float_of_int d ** (1.0 /. 3.0)) /. w3))
+    [ 100; 1_000; 10_000; 100_000; 1_000_000 ];
+
+  (* An aftershock sequence served online: the epicenter pair burns
+     through vehicle after vehicle; diffusing computations keep pulling
+     fresh ones in from the surrounding cube. *)
+  let workload = Workload.point ~total:2_000 () in
+  let cfg = Online.recommended workload in
+  let o = Online.run cfg workload in
+  Printf.printf
+    "online aftershocks: %d jobs, %d vehicle replacements, %.0f messages per \
+     replacement, capacity %.1f\n"
+    o.Online.served o.Online.replacements
+    (float_of_int o.Online.messages /. float_of_int (max 1 o.Online.replacements))
+    cfg.Online.capacity;
+  assert (Online.succeeded o);
+
+  (* Against the omniscient greedy baseline. *)
+  let ours = Online.min_feasible_capacity ~side:cfg.Online.side workload in
+  let greedy = Greedy_online.min_feasible_capacity ~pad:cfg.Online.side workload in
+  Printf.printf
+    "minimal workable capacity: paper's strategy %.2f vs omniscient greedy \
+     %.2f (lower bound omega* = %.2f)\n"
+    ours greedy
+    (Oracle.omega_star (Workload.demand workload));
+  print_endline "earthquake_point: OK"

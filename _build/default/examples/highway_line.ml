@@ -1,0 +1,45 @@
+(* Highway traffic monitoring (Example 2.1.2 / Figure 2.1(b)): demand d at
+   every point of a line, zero elsewhere — "a reasonable and practical
+   model when using the mobile vehicles to detect the traffic flow on the
+   highway" (§2.1.2).
+
+   The paper's closed form: W2 solves W(2W+1) = d, and capacity 2·W2
+   suffices via the Figure 2.2 strategy (every vehicle within distance W2
+   of the line walks straight to it).  We reproduce the scaling and then
+   check the general machinery agrees.
+
+   Run with: dune exec examples/highway_line.exe *)
+
+let () =
+  print_endline "traffic density d  ->  W2 (paper)  |  lattice omega_T  |  planner W";
+  List.iter
+    (fun d ->
+      let w2 = Omega.example_line_w2 ~d in
+      let len = 64 in
+      let points = List.init len (fun i -> [| i; 0 |]) in
+      let omega = Omega.of_points points ~total:(len * d) in
+      let dm = Workload.demand (Workload.line ~len ~per_point:d) in
+      let plan = Planner.plan dm in
+      (match Planner.validate plan dm with
+      | Ok () -> ()
+      | Error m -> failwith m);
+      Printf.printf "  d = %5d       ->  %8.2f    |  %8.2f        |  %6d\n" d w2
+        omega
+        (Planner.max_energy plan))
+    [ 5; 20; 80; 320; 1280 ];
+
+  (* W2 ~ sqrt(d/2): doubling d scales W2 by ~sqrt 2. *)
+  let r = Omega.example_line_w2 ~d:2000 /. Omega.example_line_w2 ~d:1000 in
+  Printf.printf "W2(2d)/W2(d) = %.4f (sqrt 2 = %.4f)\n" r (sqrt 2.0);
+
+  (* And the online fleet handles a rush hour with only constant
+     overhead. *)
+  let workload = Workload.line ~len:24 ~per_point:30 in
+  let cfg = Online.recommended workload in
+  let o = Online.run cfg workload in
+  Printf.printf
+    "online rush hour: %d jobs served with per-vehicle capacity %.1f (%d \
+     replacements)\n"
+    o.Online.served cfg.Online.capacity o.Online.replacements;
+  assert (Online.succeeded o);
+  print_endline "highway_line: OK"

@@ -1,0 +1,52 @@
+(* Quickstart: the CMVRP public API in one page.
+
+   Build a demand profile, bound the minimal per-vehicle energy Woff from
+   both sides (Theorem 1.4.1), construct and validate an explicit offline
+   plan, then run the distributed online strategy (Theorem 1.4.2) on the
+   same jobs.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A workload: 150 jobs clustered around two hot spots on a 10x10 area. *)
+  let rng = Rng.create 42 in
+  let box = Box.make ~lo:[| 0; 0 |] ~hi:[| 9; 9 |] in
+  let workload =
+    Workload.clustered ~rng ~box ~clusters:2 ~jobs_per_cluster:75 ~spread:2
+  in
+  let demand = Workload.demand workload in
+  Printf.printf "workload: %s, %d jobs over %d sites\n" workload.Workload.name
+    (Demand_map.total demand)
+    (Demand_map.support_size demand);
+
+  (* Lower bound: the exact value of the paper's program (2.8). *)
+  let omega_star = Oracle.omega_star demand in
+  Printf.printf "omega* (LP lower bound on Woff)     = %.3f\n" omega_star;
+
+  (* The computable cube characterization (Corollary 2.2.7). *)
+  let omega_c, side = Omega.cube_fixpoint_with_side demand in
+  Printf.printf "omega_c (cube fixpoint), cube side  = %.3f, %d\n" omega_c side;
+
+  (* Upper bound: an explicit constructive plan (Lemma 2.2.5). *)
+  let plan = Planner.plan demand in
+  (match Planner.validate plan demand with
+  | Ok () -> ()
+  | Error msg -> failwith ("plan failed validation: " ^ msg));
+  Printf.printf "offline plan: max per-vehicle energy = %d (theorem cap %.1f)\n"
+    (Planner.max_energy plan)
+    (Planner.theorem_bound ~dim:2 omega_c +. 2.0);
+
+  (* The distributed online strategy at the Lemma 3.3.1 capacity. *)
+  let cfg = Online.recommended workload in
+  let outcome = Online.run cfg workload in
+  Printf.printf
+    "online run: served %d/%d jobs, %d replacements via %d diffusing \
+     computations, %d messages\n"
+    outcome.Online.served
+    (Array.length workload.Workload.jobs)
+    outcome.Online.replacements outcome.Online.computations
+    outcome.Online.messages;
+  Printf.printf "online peak energy use = %.2f of capacity %.2f\n"
+    outcome.Online.max_energy_used cfg.Online.capacity;
+  assert (Online.succeeded outcome);
+  print_endline "quickstart: OK"

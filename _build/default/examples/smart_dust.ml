@@ -1,0 +1,74 @@
+(* Smart Dust (§1.2 of the thesis): a field of tiny mobile sensors
+   monitors a building site.  Detection events arrive in bursts; sensors
+   burn battery both to move and to process events.  Some sensors fail
+   outright mid-mission — the network must shift and cover, which is
+   exactly the robustness story the thesis tells about Pister's
+   "Smart Dust with Legs".
+
+   Run with: dune exec examples/smart_dust.exe *)
+
+let () =
+  let rng = Rng.create 2008 in
+  let site = Box.make ~lo:[| 0; 0 |] ~hi:[| 11; 11 |] in
+  (* Three simultaneous phenomena: a slow ambient drizzle of readings, a
+     vibration hot spot, and a skewed set of popular corridors. *)
+  let workload =
+    Workload.mixture ~rng ~name:"smart-dust-site"
+      [
+        Workload.uniform ~rng ~box:site ~jobs:120;
+        Workload.translate (Workload.point ~total:150 ()) [| 3; 8 |];
+        Workload.zipf_sites ~rng ~box:site ~sites:8 ~jobs:130 ~exponent:1.5;
+      ]
+  in
+  let demand = Workload.demand workload in
+  Printf.printf "site: %d events over %d positions, hottest position %d\n"
+    (Demand_map.total demand)
+    (Demand_map.support_size demand)
+    (Demand_map.max_demand demand);
+
+  let base = Online.recommended workload in
+  Printf.printf "battery sizing: cube side %d, capacity %.1f per sensor\n"
+    base.Online.side base.Online.capacity;
+
+  (* Mission 1: healthy network. *)
+  let healthy = Online.run base workload in
+  Printf.printf "healthy network: served %d/%d, %d replacements, %d messages\n"
+    healthy.Online.served
+    (Array.length workload.Workload.jobs)
+    healthy.Online.replacements healthy.Online.messages;
+  assert (Online.succeeded healthy);
+
+  (* Mission 2: hardware trouble.  A handful of sensors die mid-mission
+     and a few more are too buggy to announce their own exhaustion
+     (§3.2.5 scenarios 2 and 3).  The monitoring ring must absorb both. *)
+  let troubled =
+    {
+      base with
+      Online.capacity = base.Online.capacity +. 10.0;
+      faults =
+        {
+          Online.silent_initiators = [ 1; 2; 3; 4; 5 ];
+          deaths = [ (50, 10); (120, 11); (200, 40) ];
+          longevity = [ (60, 0.7) ];
+        };
+    }
+  in
+  let o = Online.run troubled workload in
+  Printf.printf
+    "with 3 deaths + 5 silent sensors: served %d/%d, %d replacements, %d \
+     diffusing computations\n"
+    o.Online.served
+    (Array.length workload.Workload.jobs)
+    o.Online.replacements o.Online.computations;
+  assert (Online.succeeded o);
+
+  (* How tight is the battery budget?  Compare against the offline lower
+     bound: the fleet pays only a constant factor for being online and
+     decentralized (Theorem 1.4.2). *)
+  let omega_star = Oracle.omega_star demand in
+  Printf.printf
+    "offline LP lower bound omega* = %.2f; online battery = %.1f (factor \
+     %.1f)\n"
+    omega_star base.Online.capacity
+    (base.Online.capacity /. omega_star);
+  print_endline "smart_dust: OK"

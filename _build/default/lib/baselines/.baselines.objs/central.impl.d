@@ -1,0 +1,1 @@
+lib/baselines/central.ml: Demand_map Point

@@ -1,0 +1,1 @@
+lib/baselines/central.mli: Demand_map Point

@@ -1,0 +1,1 @@
+lib/baselines/cvrp.ml: Array Box Demand_map Float List Option Point Printf Tour

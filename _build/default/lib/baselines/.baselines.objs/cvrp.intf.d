@@ -1,0 +1,1 @@
+lib/baselines/cvrp.mli: Demand_map Point

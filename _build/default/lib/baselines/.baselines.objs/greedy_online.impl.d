@@ -1,0 +1,1 @@
+lib/baselines/greedy_online.ml: Array Box Float Point Workload

@@ -1,0 +1,1 @@
+lib/baselines/tour.ml: Array List Point

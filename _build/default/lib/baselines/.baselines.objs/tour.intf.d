@@ -1,0 +1,1 @@
+lib/baselines/tour.mli: Point

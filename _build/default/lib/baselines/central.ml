@@ -1,0 +1,38 @@
+let vehicles_needed dm ~depot ~capacity =
+  let exception Unreachable in
+  try
+    Some
+      (Demand_map.fold dm ~init:0 ~f:(fun acc x d ->
+           if d = 0 then acc
+           else begin
+             let reach = capacity - Point.l1_dist depot x in
+             if reach <= 0 then raise Unreachable
+             else acc + ((d + reach - 1) / reach)
+           end))
+  with Unreachable -> None
+
+let min_capacity dm ~depot ~fleet =
+  if fleet <= 0 then invalid_arg "Central.min_capacity: fleet must be positive";
+  if Demand_map.total dm = 0 then Some 0
+  else begin
+    let fits w =
+      match vehicles_needed dm ~depot ~capacity:w with
+      | None -> false
+      | Some k -> k <= fleet
+    in
+    (* Upper bound: one trip serving everything farthest-first. *)
+    let max_dist =
+      Demand_map.fold dm ~init:0 ~f:(fun acc x d ->
+          if d > 0 then max acc (Point.l1_dist depot x) else acc)
+    in
+    let hi = max_dist + Demand_map.total dm in
+    if not (fits hi) then None
+    else begin
+      let lo = ref 0 and hi = ref hi in
+      while !hi - !lo > 1 do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        if fits mid then hi := mid else lo := mid
+      done;
+      Some !hi
+    end
+  end

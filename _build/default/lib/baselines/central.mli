@@ -1,0 +1,19 @@
+(** Central-depot dispatch under the thesis's energy objective.
+
+    Most VRP literature stations the whole fleet at one depot (§1.1); the
+    thesis's point is that geographically disperse depots need far less
+    per-vehicle energy when the service area is wide.  This model makes
+    the comparison crisp: [fleet] vehicles sit at the depot, each makes at
+    most one outbound trip to a single site and serves some of its demand
+    there (no return leg), so a vehicle serving [k] units at distance [δ]
+    needs [W >= δ + k].  {!min_capacity} is the smallest uniform [W] that
+    lets the fleet cover everything. *)
+
+val vehicles_needed : Demand_map.t -> depot:Point.t -> capacity:int -> int option
+(** Vehicles required at capacity [W]: [Σ_x ⌈d(x)/(W - δ(x))⌉], or [None]
+    when some positive-demand site is out of reach ([W <= δ(x)]). *)
+
+val min_capacity : Demand_map.t -> depot:Point.t -> fleet:int -> int option
+(** Smallest integer [W] such that {!vehicles_needed} fits in [fleet];
+    [None] if even one vehicle per demand unit cannot cover (fleet too
+    small). *)

@@ -1,0 +1,68 @@
+type outcome = {
+  served : int;
+  failed : int;
+  max_energy_used : float;
+  moves : int;
+}
+
+let succeeded o = o.failed = 0
+
+let run ?(pad = 0) ~capacity workload =
+  let jobs = workload.Workload.jobs in
+  if Array.length jobs = 0 then
+    { served = 0; failed = 0; max_energy_used = 0.0; moves = 0 }
+  else begin
+    let dim = workload.Workload.dim in
+    let lo = Array.copy jobs.(0) and hi = Array.copy jobs.(0) in
+    Array.iter
+      (fun p ->
+        for i = 0 to dim - 1 do
+          if p.(i) < lo.(i) then lo.(i) <- p.(i);
+          if p.(i) > hi.(i) then hi.(i) <- p.(i)
+        done)
+      jobs;
+    let window = Box.dilate (Box.make ~lo ~hi) pad in
+    let n = Box.volume window in
+    let pos = Array.init n (fun i -> Box.point_of_index window i) in
+    let energy = Array.make n capacity in
+    let served = ref 0 and failed = ref 0 and moves = ref 0 in
+    Array.iter
+      (fun x ->
+        (* Nearest vehicle that can still walk there and serve. *)
+        let best = ref (-1) and best_d = ref max_int in
+        for v = 0 to n - 1 do
+          let d = Point.l1_dist pos.(v) x in
+          if d < !best_d && energy.(v) >= float_of_int (d + 1) then begin
+            best := v;
+            best_d := d
+          end
+        done;
+        if !best < 0 then incr failed
+        else begin
+          let v = !best in
+          energy.(v) <- energy.(v) -. float_of_int (!best_d + 1);
+          moves := !moves + !best_d;
+          pos.(v) <- x;
+          incr served
+        end)
+      jobs;
+    let peak =
+      Array.fold_left (fun acc e -> Float.max acc (capacity -. e)) 0.0 energy
+    in
+    { served = !served; failed = !failed; max_energy_used = peak; moves = !moves }
+  end
+
+let min_feasible_capacity ?(tol = 0.25) ?pad workload =
+  let ok w = succeeded (run ?pad ~capacity:w workload) in
+  let rec grow hi attempts =
+    if attempts = 0 then hi else if ok hi then hi else grow (2.0 *. hi) (attempts - 1)
+  in
+  let hi = grow 2.0 40 in
+  let rec bisect lo hi =
+    if hi -. lo <= tol then hi
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      if ok mid then bisect lo mid else bisect mid hi
+    end
+  in
+  bisect 0.0 hi

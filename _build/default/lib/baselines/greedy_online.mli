@@ -1,0 +1,27 @@
+(** A centralized online baseline: every vertex hosts a vehicle (as in
+    CMVRP), and each arriving job is served by the nearest vehicle that
+    still has enough energy to walk there and serve — chosen with global
+    knowledge, no communication protocol, no pairing, no replacement.
+
+    This is the natural "omniscient greedy" to hold against the paper's
+    decentralized strategy (experiment E7/E8): it spends no relocation
+    energy in advance but lets vehicles drift and strand, so its minimal
+    workable capacity is not obviously better. *)
+
+type outcome = {
+  served : int;
+  failed : int;
+  max_energy_used : float;
+  moves : int;  (** total distance walked *)
+}
+
+val run : ?pad:int -> capacity:float -> Workload.t -> outcome
+(** Vehicles at every vertex of the jobs' bounding box dilated by [pad]
+    (default 0).  Pass the online strategy's cube side as [pad] to give
+    greedy at least the CMVRP fleet. *)
+
+val succeeded : outcome -> bool
+
+val min_feasible_capacity : ?tol:float -> ?pad:int -> Workload.t -> float
+(** Smallest capacity (within [tol], default 0.25) at which greedy serves
+    every job. *)

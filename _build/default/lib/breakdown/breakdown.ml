@@ -1,0 +1,164 @@
+type longevity = Point.t -> float
+
+let clamp01 p = Float.max 0.0 (Float.min 1.0 p)
+
+(* Feasibility of the longevity-scaled transport at capacity ω: supplier i
+   may emit p_i·ω units within radius ⌊p_i·ω⌋. *)
+let feasible_at ~scale ~search_radius ~longevity dm omega =
+  let support = Array.of_list (Demand_map.support dm) in
+  let max_radius = min search_radius (int_of_float (Float.min omega 1e9)) in
+  let suppliers =
+    Ball.dilate_set (Array.to_list support) ~radius:max_radius
+    |> Point.Set.elements |> Array.of_list
+  in
+  let inst =
+    Transport.create ~n_suppliers:(Array.length suppliers)
+      ~n_demands:(Array.length support)
+  in
+  Array.iteri
+    (fun j p -> Transport.set_demand inst j (Demand_map.value dm p * scale))
+    support;
+  let caps = Array.make (Array.length suppliers) 0 in
+  Array.iteri
+    (fun i s ->
+      let p = clamp01 (longevity s) in
+      let reach = int_of_float (Float.floor (p *. omega)) in
+      caps.(i) <- int_of_float (Float.floor (p *. omega *. float_of_int scale));
+      if caps.(i) > 0 then
+        Array.iteri
+          (fun j x ->
+            if Point.l1_dist s x <= reach then
+              Transport.add_link inst ~supplier:i ~demand:j)
+          support)
+    suppliers;
+  Transport.max_served inst ~supply:(fun i -> caps.(i))
+  = Demand_map.total dm * scale
+
+let lp_lower_bound ?(scale = 1000) ?(precision = 1e-3) ?(search_radius = 512)
+    ~longevity dm =
+  if Demand_map.total dm = 0 then 0.0
+  else begin
+    let feasible = feasible_at ~scale ~search_radius ~longevity dm in
+    (* Doubling search for a feasible capacity.  Suppliers are only sought
+       within [search_radius] of the support, so capacities beyond that
+       radius cannot enlist anyone new: if the transport is still
+       infeasible there, report it unbounded (e.g. all-dead instances). *)
+    let cap = 2.0 *. float_of_int search_radius in
+    let rec grow hi =
+      if hi > cap then None else if feasible hi then Some hi else grow (2.0 *. hi)
+    in
+    match grow 1.0 with
+    | None -> infinity
+    | Some hi ->
+        let rec bisect lo hi =
+          if hi -. lo <= precision then hi
+          else begin
+            let mid = 0.5 *. (lo +. hi) in
+            if feasible mid then bisect lo mid else bisect mid hi
+          end
+        in
+        bisect 0.0 hi
+  end
+
+let omega_subsets ~longevity dm =
+  let support = Array.of_list (Demand_map.support dm) in
+  let n = Array.length support in
+  if n > 14 then invalid_arg "Breakdown.omega_subsets: support too large";
+  if n = 0 then 0.0
+  else begin
+    (* For one subset T, ω_T solves ω · Σ_{i : ‖i-T‖ <= p_i·ω} p_i = D(T);
+       the left side is non-decreasing in ω, so bisection applies. *)
+    let omega_of points total =
+      let lhs omega =
+        let reach = min 512 (int_of_float (Float.min omega 1e9)) in
+        let region = Ball.dilate_set points ~radius:reach in
+        let sum =
+          Point.Set.fold
+            (fun s acc ->
+              let p = clamp01 (longevity s) in
+              let d =
+                List.fold_left (fun m x -> min m (Point.l1_dist s x)) max_int points
+              in
+              if float_of_int d <= p *. omega then acc +. p else acc)
+            region 0.0
+        in
+        omega *. sum
+      in
+      let target = float_of_int total in
+      let rec grow hi attempts =
+        if attempts = 0 then None
+        else if lhs hi >= target then Some hi
+        else grow (2.0 *. hi) (attempts - 1)
+      in
+      match grow 1.0 16 with
+      | None -> infinity
+      | Some hi ->
+          let rec bisect lo hi =
+            if hi -. lo <= 1e-6 then hi
+            else begin
+              let mid = 0.5 *. (lo +. hi) in
+              if lhs mid >= target then bisect lo mid else bisect mid hi
+            end
+          in
+          bisect 0.0 hi
+    in
+    let best = ref 0.0 in
+    for mask = 1 to (1 lsl n) - 1 do
+      let points = ref [] and total = ref 0 in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then begin
+          points := support.(i) :: !points;
+          total := !total + Demand_map.value dm support.(i)
+        end
+      done;
+      let w = omega_of !points !total in
+      if w > !best then best := w
+    done;
+    !best
+  end
+
+module Figure41 = struct
+  type t = { r1 : int; r2 : int }
+
+  let make ~r1 ~r2 =
+    if r1 < 1 then invalid_arg "Figure41.make: r1 must be >= 1";
+    if r2 <= (4 * r1 * r1) + r1 then
+      invalid_arg
+        "Figure41.make: need r2 > 4*r1^2 + r1 so outside vehicles stay out of play";
+    { r1; r2 }
+
+  let point_i t = [| -t.r1; 0 |]
+  let point_j t = [| t.r1; 0 |]
+  let center = [| 0; 0 |]
+
+  let demand t =
+    Demand_map.of_alist 2 [ (point_i t, t.r1); (point_j t, t.r1) ]
+
+  let longevity t p =
+    if Point.equal p center then 1.0
+    else if Point.l1_dist p center <= t.r1 + t.r2 then 0.0
+    else 1.0
+
+  let lp_bound t = 2.0 *. float_of_int t.r1
+
+  let shuttle_requirement t =
+    let r1 = t.r1 in
+    (* walk to the first demand, serve 2·r1 unit jobs, and cross the
+       2·r1 gap between the demand points 2·r1 - 1 times *)
+    r1 + (2 * r1) + (((2 * r1) - 1) * 2 * r1)
+
+  let jobs t =
+    Array.init (2 * t.r1) (fun k -> if k mod 2 = 0 then point_i t else point_j t)
+
+  let simulate_shuttle t ~capacity =
+    let energy = ref capacity and pos = ref center in
+    let ok = ref true in
+    Array.iter
+      (fun x ->
+        let cost = float_of_int (Point.l1_dist !pos x + 1) in
+        energy := !energy -. cost;
+        pos := x;
+        if !energy < 0.0 then ok := false)
+      (jobs t);
+    !ok
+end

@@ -1,0 +1,1 @@
+lib/core/alg1.ml: Array Box Demand_map Float

@@ -1,0 +1,1 @@
+lib/core/alg1.mli: Demand_map

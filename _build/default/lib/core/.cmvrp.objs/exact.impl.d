@@ -1,0 +1,1 @@
+lib/core/exact.ml: Array Ball Box Demand_map Float List Point

@@ -1,0 +1,1 @@
+lib/core/fig21.ml: Box Demand_map Float List Omega Option Point Printf

@@ -1,0 +1,1 @@
+lib/core/fig21.mli: Demand_map Point

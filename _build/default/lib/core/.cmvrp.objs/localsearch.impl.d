@@ -1,0 +1,1 @@
+lib/core/localsearch.ml: Array Box Demand_map Hashtbl List Option Planner Point Printf

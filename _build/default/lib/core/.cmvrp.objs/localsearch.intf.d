@@ -1,0 +1,1 @@
+lib/core/localsearch.mli: Box Demand_map Planner Point

@@ -1,0 +1,1 @@
+lib/core/omega.ml: Array Ball Box Demand_map Float

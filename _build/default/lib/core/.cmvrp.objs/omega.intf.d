@@ -1,0 +1,1 @@
+lib/core/omega.mli: Demand_map Point

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: Array Ball Demand_map Float List Omega Point Transport

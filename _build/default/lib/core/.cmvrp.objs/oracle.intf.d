@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Demand_map Point

@@ -1,0 +1,1 @@
+lib/core/planner.ml: Array Box Demand_map Float List Omega Option Point Printf Queue Result

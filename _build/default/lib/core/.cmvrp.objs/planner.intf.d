@@ -1,0 +1,1 @@
+lib/core/planner.mli: Box Demand_map Point

@@ -1,0 +1,28 @@
+(** Algorithm 1 of the paper (§2.3): a linear-time
+    [2·(2·3^l + l)]-approximation of [Woff] on the [n^l] grid, [n] a power
+    of two.
+
+    The algorithm repeatedly coarsens the demand array by factor 2 per
+    axis; at scale [w] it checks whether some anchored [w]-block carries
+    more demand than [w·(3w)^l] (the budget a [w]-cube can receive from its
+    radius-[w] neighborhood).  The first scale at which every block fits
+    yields the estimate [(2·3^l + l)·w], with the special cases of
+    Properties 2.3.1–2.3.3 handled up front. *)
+
+type result = {
+  value : float;  (** the capacity estimate [West], [Woff <= West] *)
+  cube_side : int option;
+      (** the accepted scale [w] when the main loop returned; [None] for
+          the special-case exits *)
+  cell_ops : int;
+      (** number of demand-cell operations performed — the witness for the
+          linear-time claim (experiment E6) *)
+}
+
+val run : dim:int -> n:int -> Demand_map.t -> result
+(** [run ~dim ~n dm] executes Algorithm 1 on the grid [{0..n-1}^dim].
+    Requires [n] a power of two and the support of [dm] inside the grid.
+    Raises [Invalid_argument] otherwise. *)
+
+val approximation_factor : int -> float
+(** [2·(2·3^l + l)] — the proven worst-case ratio for dimension [l]. *)

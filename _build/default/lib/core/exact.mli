@@ -1,0 +1,30 @@
+(** Exactly-solvable special cases of [Woff].
+
+    For demand concentrated at a single site, every vehicle's optimal
+    behaviour is forced — walk straight to the site and serve — so the
+    minimal capacity has a closed characterization: [W] is feasible iff
+    the fleet's deliverable energy [Σ_{r <= W} shell(r)·(W - r)] covers
+    the demand, where [shell(r)] counts lattice points at L1 distance
+    exactly [r].  This gives the exact [Woff] for Example 2.1.3, pinning
+    the true constant between the paper's lower bound [W3] and its upper
+    bound [3·W3], and calibrating how tight the general-purpose planner
+    and local search really are. *)
+
+val point_capacity : dim:int -> demand:int -> float
+(** Exact [Woff] for [demand] units at one vertex of [Z^dim].  0 for zero
+    demand. *)
+
+val point_deliverable : dim:int -> w:float -> float
+(** Energy the fleet can deliver to one site at capacity [w]:
+    [Σ_{r <= w} shell(r)·(w - r)].  Strictly increasing in [w]; the
+    inverse of {!point_capacity}. *)
+
+val tiny_woff : ?max_units:int -> Demand_map.t -> window:Box.t -> int option
+(** Exact integer [Woff] for a tiny instance by branch-and-bound over all
+    assignments of demand units to the window's vehicles, with optimal
+    (exhaustively ordered) per-vehicle routes.  The window must contain
+    the support; vehicles outside it are assumed unused (choose it at
+    least [⌈ω*⌉] around the support to make that sound).  [None] when the
+    instance exceeds [max_units] demand units (default 6) or the window
+    has more than 16 vehicles — beyond that the search space is too large
+    to call "exact" in a test suite. *)

@@ -1,0 +1,76 @@
+type move = { from_ : Point.t; to_ : Point.t; serve : int }
+
+type strategy = { moves : move list; capacity_used : int }
+
+let line_demand ~len ~d =
+  Demand_map.of_alist 2 (List.init len (fun i -> ([| i; 0 |], d)))
+
+let point_demand ~d = Demand_map.of_alist 2 [ ([| 0; 0 |], d) ]
+
+let energy_of m = Point.l1_dist m.from_ m.to_ + m.serve
+
+let finish moves =
+  let capacity_used = List.fold_left (fun acc m -> max acc (energy_of m)) 0 moves in
+  { moves; capacity_used }
+
+let split_units total workers =
+  (* Fair split of [total] units among [workers] vehicles: the first
+     [total mod workers] get one extra. *)
+  let base = total / workers and extra = total mod workers in
+  List.init workers (fun i -> base + if i < extra then 1 else 0)
+
+let line ~len ~d =
+  if len <= 0 || d < 0 then invalid_arg "Fig21.line: bad parameters";
+  if d = 0 then { moves = []; capacity_used = 0 }
+  else begin
+    let r = int_of_float (Float.ceil (Omega.example_line_w2 ~d)) in
+    let column x =
+      (* The 2r+1 vehicles of column x walk to (x, 0) and split d. *)
+      let helpers = List.init ((2 * r) + 1) (fun k -> [| x; k - r |]) in
+      List.map2
+        (fun home serve -> { from_ = home; to_ = [| x; 0 |]; serve })
+        helpers
+        (split_units d ((2 * r) + 1))
+      |> List.filter (fun m -> m.serve > 0 || Point.equal m.from_ m.to_)
+    in
+    finish (List.concat_map column (List.init len (fun i -> i)))
+  end
+
+let point ~d =
+  if d < 0 then invalid_arg "Fig21.point: negative demand";
+  if d = 0 then { moves = []; capacity_used = 0 }
+  else begin
+    let r = int_of_float (Float.ceil (Omega.example_point_w3 ~d)) in
+    let square = Box.make ~lo:[| -r; -r |] ~hi:[| r; r |] in
+    let helpers = Box.points square in
+    let moves =
+      List.map2
+        (fun home serve -> { from_ = home; to_ = [| 0; 0 |]; serve })
+        helpers
+        (split_units d (List.length helpers))
+      |> List.filter (fun m -> m.serve > 0)
+    in
+    finish moves
+  end
+
+let validate strategy dm =
+  let seen = Point.Tbl.create 64 in
+  let served = Point.Tbl.create 16 in
+  let problem = ref None in
+  List.iter
+    (fun m ->
+      if Point.Tbl.mem seen m.from_ && !problem = None then
+        problem := Some (Printf.sprintf "vehicle %s used twice" (Point.to_string m.from_));
+      Point.Tbl.replace seen m.from_ ();
+      if m.serve < 0 && !problem = None then problem := Some "negative service";
+      if energy_of m > strategy.capacity_used && !problem = None then
+        problem := Some "a move exceeds the reported capacity";
+      Point.Tbl.replace served m.to_
+        (m.serve + Option.value ~default:0 (Point.Tbl.find_opt served m.to_)))
+    strategy.moves;
+  Demand_map.iter dm (fun p want ->
+      let got = Option.value ~default:0 (Point.Tbl.find_opt served p) in
+      if got <> want && !problem = None then
+        problem :=
+          Some (Printf.sprintf "site %s served %d of %d" (Point.to_string p) got want));
+  match !problem with None -> Ok () | Some msg -> Error msg

@@ -1,0 +1,261 @@
+type load = { site : Point.t; units : int }
+
+type solution = {
+  window : Box.t;
+  assignments : (int * load list) list;
+}
+
+(* --- open-path TSP from a fixed depot: nearest-neighbor + path 2-opt --- *)
+
+let route_length ~home sites =
+  match sites with
+  | [] -> 0
+  | _ ->
+      (* Nearest-neighbor order. *)
+      let remaining = ref sites in
+      let order = ref [] in
+      let current = ref home in
+      while !remaining <> [] do
+        let best, rest =
+          List.fold_left
+            (fun (best, rest) p ->
+              match best with
+              | None -> (Some p, rest)
+              | Some b ->
+                  if Point.l1_dist !current p < Point.l1_dist !current b then
+                    (Some p, b :: rest)
+                  else (Some b, p :: rest))
+            (None, []) !remaining
+        in
+        (match best with
+        | None -> ()
+        | Some b ->
+            order := b :: !order;
+            current := b;
+            remaining := rest)
+      done;
+      let arr = Array.of_list (home :: List.rev !order) in
+      let n = Array.length arr in
+      (* Path 2-opt with the depot pinned at index 0: reversing
+         arr[i..j] (1 <= i <= j <= n-1) replaces edges (i-1,i) and
+         (j,j+1); the second edge vanishes when j is the free end. *)
+      let dist i j = Point.l1_dist arr.(i) arr.(j) in
+      let improved = ref true in
+      let rounds = ref 0 in
+      while !improved && !rounds < 30 do
+        improved := false;
+        incr rounds;
+        for i = 1 to n - 2 do
+          for j = i + 1 to n - 1 do
+            let before = dist (i - 1) i + if j < n - 1 then dist j (j + 1) else 0 in
+            let after = dist (i - 1) j + if j < n - 1 then dist i (j + 1) else 0 in
+            if after < before then begin
+              let a = ref i and b = ref j in
+              while !a < !b do
+                let tmp = arr.(!a) in
+                arr.(!a) <- arr.(!b);
+                arr.(!b) <- tmp;
+                incr a;
+                decr b
+              done;
+              improved := true
+            end
+          done
+        done
+      done;
+      let total = ref 0 in
+      for i = 0 to n - 2 do
+        total := !total + dist i (i + 1)
+      done;
+      !total
+
+let vehicle_energy ~window vehicle loads =
+  let home = Box.point_of_index window vehicle in
+  let sites = List.map (fun l -> l.site) loads in
+  let units = List.fold_left (fun acc l -> acc + l.units) 0 loads in
+  route_length ~home sites + units
+
+let peak_energy sol =
+  List.fold_left
+    (fun acc (v, loads) -> max acc (vehicle_energy ~window:sol.window v loads))
+    0 sol.assignments
+
+let of_plan (plan : Planner.t) =
+  let loads = Hashtbl.create 64 in
+  let push vehicle load =
+    if load.units > 0 then
+      Hashtbl.replace loads vehicle
+        (load :: Option.value ~default:[] (Hashtbl.find_opt loads vehicle))
+  in
+  List.iter
+    (fun (a : Planner.assignment) ->
+      let vehicle = Box.index plan.Planner.window a.Planner.home in
+      push vehicle { site = a.Planner.home; units = a.Planner.serve_at_home };
+      match a.Planner.target with
+      | None -> ()
+      | Some (site, units) -> push vehicle { site; units })
+    plan.Planner.assignments;
+  {
+    window = plan.Planner.window;
+    assignments = Hashtbl.fold (fun v ls acc -> (v, ls) :: acc) loads [];
+  }
+
+let validate sol dm =
+  if not (Box.mem sol.window (Box.point_of_index sol.window 0)) then
+    Error "corrupt window"
+  else begin
+    let served = Point.Tbl.create 64 in
+    let ok = ref (Ok ()) in
+    List.iter
+      (fun (v, loads) ->
+        if v < 0 || v >= Box.volume sol.window then
+          ok := Error (Printf.sprintf "vehicle %d outside the window" v);
+        List.iter
+          (fun l ->
+            if l.units < 0 then ok := Error "negative load";
+            Point.Tbl.replace served l.site
+              (l.units + Option.value ~default:0 (Point.Tbl.find_opt served l.site)))
+          loads)
+      sol.assignments;
+    Demand_map.iter dm (fun p d ->
+        let got = Option.value ~default:0 (Point.Tbl.find_opt served p) in
+        if got <> d && !ok = Ok () then
+          ok := Error (Printf.sprintf "site %s served %d of %d" (Point.to_string p) got d));
+    Point.Tbl.iter
+      (fun p got ->
+        if got <> Demand_map.value dm p && !ok = Ok () then
+          ok :=
+            Error
+              (Printf.sprintf "site %s over-served (%d vs %d)" (Point.to_string p)
+                 got (Demand_map.value dm p)))
+      served;
+    !ok
+  end
+
+(* Mutable working state for the descent. *)
+type state = {
+  window : Box.t;
+  loads : (Point.t, int) Hashtbl.t array; (* per vehicle: site -> units *)
+  energy : int array;
+}
+
+let state_of_solution (sol : solution) =
+  let n = Box.volume sol.window in
+  let loads = Array.init n (fun _ -> Hashtbl.create 4) in
+  List.iter
+    (fun (v, ls) ->
+      List.iter
+        (fun l ->
+          if l.units > 0 then
+            Hashtbl.replace loads.(v) l.site
+              (l.units + Option.value ~default:0 (Hashtbl.find_opt loads.(v) l.site)))
+        ls)
+    sol.assignments;
+  let energy = Array.make n 0 in
+  let recompute st v =
+    let ls =
+      Hashtbl.fold (fun site units acc -> { site; units } :: acc) st.(v) []
+    in
+    vehicle_energy ~window:sol.window v ls
+  in
+  let st = { window = sol.window; loads; energy } in
+  for v = 0 to n - 1 do
+    energy.(v) <- recompute loads v
+  done;
+  st
+
+let recompute_energy st v =
+  let ls = Hashtbl.fold (fun site units acc -> { site; units } :: acc) st.loads.(v) [] in
+  st.energy.(v) <- vehicle_energy ~window:st.window v ls
+
+let solution_of_state st =
+  let assignments = ref [] in
+  Array.iteri
+    (fun v tbl ->
+      let ls = Hashtbl.fold (fun site units acc -> { site; units } :: acc) tbl [] in
+      if ls <> [] then assignments := (v, ls) :: !assignments)
+    st.loads;
+  { window = st.window; assignments = !assignments }
+
+let apply_move st ~src ~dst ~site ~amount =
+  let take tbl =
+    let current = Option.value ~default:0 (Hashtbl.find_opt tbl site) in
+    if current - amount <= 0 then Hashtbl.remove tbl site
+    else Hashtbl.replace tbl site (current - amount)
+  in
+  take st.loads.(src);
+  Hashtbl.replace st.loads.(dst)
+    site
+    (amount + Option.value ~default:0 (Hashtbl.find_opt st.loads.(dst) site));
+  recompute_energy st src;
+  recompute_energy st dst
+
+let improve ?(rounds = 400) ?(seed = 0) sol dm =
+  (* [dm] and [seed] are part of the interface for future randomized
+     variants; the current descent is deterministic and fully determined
+     by the seed solution. *)
+  ignore dm;
+  ignore seed;
+  let st = state_of_solution sol in
+  let n = Array.length st.energy in
+  let continue = ref true in
+  let budget = ref rounds in
+  while !continue && !budget > 0 do
+    decr budget;
+    (* Worst vehicle and the runner-up peak without it. *)
+    let worst = ref 0 in
+    for v = 1 to n - 1 do
+      if st.energy.(v) > st.energy.(!worst) then worst := v
+    done;
+    let src = !worst in
+    let peak = st.energy.(src) in
+    let others_peak = ref 0 in
+    for v = 0 to n - 1 do
+      if v <> src && st.energy.(v) > !others_peak then others_peak := st.energy.(v)
+    done;
+    if peak = 0 then continue := false
+    else begin
+      (* Enumerate chunk moves off the worst vehicle; keep the best
+         strictly-improving one. *)
+      let best : (Point.t * int * int * int) option ref = ref None in
+      (* (site, amount, dst, resulting peak) *)
+      Hashtbl.iter
+        (fun site units ->
+          let chunks =
+            List.sort_uniq compare [ units; (units + 1) / 2; 1 ]
+            |> List.filter (fun c -> c > 0)
+          in
+          for dst = 0 to n - 1 do
+            if dst <> src then
+              List.iter
+                (fun amount ->
+                  (* Cheap pre-filter: the destination must stand a chance
+                     of staying under the current peak. *)
+                  let dist_dst =
+                    Point.l1_dist (Box.point_of_index st.window dst) site
+                  in
+                  if st.energy.(dst) + amount + dist_dst < peak then begin
+                    apply_move st ~src ~dst ~site ~amount;
+                    let new_peak =
+                      max !others_peak (max st.energy.(src) st.energy.(dst))
+                    in
+                    (if new_peak < peak then
+                       match !best with
+                       | Some (_, _, _, p) when p <= new_peak -> ()
+                       | _ -> best := Some (site, amount, dst, new_peak));
+                    (* Undo. *)
+                    apply_move st ~src:dst ~dst:src ~site ~amount
+                  end)
+                chunks
+          done)
+        st.loads.(src);
+      match !best with
+      | None -> continue := false
+      | Some (site, amount, dst, _) -> apply_move st ~src ~dst ~site ~amount
+    end
+  done;
+  solution_of_state st
+
+let solve ?rounds ?seed dm =
+  let plan = Planner.plan dm in
+  improve ?rounds ?seed (of_plan plan) dm

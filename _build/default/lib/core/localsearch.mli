@@ -1,0 +1,49 @@
+(** Local-search improvement of the offline solution.
+
+    The constructive plan of {!Planner} realizes the Theorem 1.4.1 upper
+    bound but is deliberately crude (one relocation per vehicle, cube
+    confinement).  This module searches the full solution space — every
+    vehicle may serve several sites along a route — to pull the measured
+    [Woff] upper bound closer to the LP lower bound [ω*].
+
+    A solution assigns every unit of demand to some vehicle; a vehicle's
+    energy is the length of a travelling-salesman path from its depot
+    through the sites it serves (nearest-neighbor order with 2-opt
+    improvement) plus the units it serves.  The search descends on the
+    peak per-vehicle energy by moving demand chunks away from the current
+    worst vehicle; {!solve} seeds it with the {!Planner} solution so the
+    proven bound always holds. *)
+
+type load = { site : Point.t; units : int }
+
+type solution = {
+  window : Box.t;  (** vehicle fleet: one per window vertex *)
+  assignments : (int * load list) list;
+      (** vehicle (window index) to the loads it serves; vehicles absent
+          from the list serve nothing *)
+}
+
+val vehicle_energy : window:Box.t -> int -> load list -> int
+(** TSP-path travel (nearest-neighbor + 2-opt from the depot) plus the
+    units served. *)
+
+val peak_energy : solution -> int
+(** Max vehicle energy — the measured [Woff] upper bound. *)
+
+val of_plan : Planner.t -> solution
+(** Converts the constructive plan into the search representation
+    (same window, same service). *)
+
+val validate : solution -> Demand_map.t -> (unit, string) result
+(** Every unit of demand served exactly once. *)
+
+val improve : ?rounds:int -> ?seed:int -> solution -> Demand_map.t -> solution
+(** Descent: repeatedly shifts chunks of the worst vehicle's load to
+    cheaper vehicles (splitting units when helpful), accepting only strict
+    peak improvements; stops after [rounds] (default 400) stalled
+    proposals.  The result always validates and never has a higher peak
+    than the input. *)
+
+val solve : ?rounds:int -> ?seed:int -> Demand_map.t -> solution
+(** {!Planner.plan} followed by {!improve}: a Woff upper bound at most the
+    constructive one. *)

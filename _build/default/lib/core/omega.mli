@@ -1,0 +1,69 @@
+(** The characteristic quantity [ω_T] of the paper (equation 1.1) and its
+    maximizations.
+
+    For a finite [T ⊆ Z^l] with total demand [D(T) = Σ_{x∈T} d(x)], the
+    paper defines [ω_T] as the solution of [ω_T · |N_{ω_T}(T)| = D(T)].
+    Lattice distances are integers, so [|N_ω(T)|] is a step function of
+    [⌊ω⌋] and the equation can jump over [D(T)]; we therefore use
+
+      [ω_T = inf (ω : ω · |N_{⌊ω⌋}(T)| >= D(T))],
+
+    which coincides with the paper's value whenever the equation has an
+    exact solution and is within the same constant factor everywhere
+    (DESIGN.md §2).
+
+    Theorem 1.4.1: [Woff = Θ(max_T ω_T)].  Corollary 2.2.6 restricts the
+    maximization to cubes at constant-factor cost; that restriction is what
+    makes the quantity computable, and {!max_over_cubes} implements it. *)
+
+val solve : neighborhood_size:(int -> int) -> total:int -> float
+(** [solve ~neighborhood_size ~total] returns
+    [inf (ω : ω · neighborhood_size ⌊ω⌋ >= total)] for a non-decreasing,
+    strictly positive [neighborhood_size].  0 when [total = 0]. *)
+
+val of_points : Point.t list -> total:int -> float
+(** [ω_T] for an explicit finite set [T] (closed form when [T] fills a
+    box, BFS dilation otherwise) carrying total demand [total]. *)
+
+val of_cube : dim:int -> side:int -> total:int -> float
+(** [ω_T] for a [side]-cube of [Z^dim] via the closed-form
+    [|N_r(cube)|]. *)
+
+val max_cube_demand : Demand_map.t -> side:int -> int
+(** Largest total demand inside any axis-aligned [side]-cube (any anchor),
+    by sliding-window prefix sums.  Shared by the cube scans here and by
+    the Theorem 5.1.1 lower bound in the transfer library. *)
+
+val max_over_cubes : Demand_map.t -> float
+(** [max (ω_T : T an l-cube)] over all cube sides and anchor positions
+    meeting the demand support — the computable characterization of
+    Corollary 2.2.6.  Cost [O(sides · volume)] over the support's bounding
+    box. *)
+
+val max_over_subsets : Demand_map.t -> float
+(** Exhaustive [max_T ω_T] over all subsets of the support; exponential
+    test witness (raises [Invalid_argument] beyond 16 support points). *)
+
+val cube_fixpoint : Demand_map.t -> float
+(** The [ωc] of Corollary 2.2.7:
+    [min (ω : ω·(3⌈ω⌉)^l >= max demand in any ⌈ω⌉-cube)], computed by
+    scanning integer cube sides.  Satisfies [ωc <= max_over_cubes] and
+    [Woff <= (2·3^l + l)·ωc]. *)
+
+val cube_fixpoint_with_side : Demand_map.t -> float * int
+(** [ωc] together with the integer cube side [s = ⌈ωc⌉] achieving it (so
+    [s - 1 <= ωc <= s] and every side-[s] cube carries at most
+    [ωc·(3s)^l] demand).  The side is what the offline planner and the
+    online strategy partition by.  [(0.0, 1)] for empty demand. *)
+
+(** Closed-form capacities of the worked examples of §2.1 (Figure 2.1);
+    each solves its cubic by bisection to [1e-9] relative accuracy. *)
+
+val example_square_w1 : a:int -> d:int -> float
+(** [W1] with [W1·(2·W1 + a)^2 = d·a^2] — Example 2.1.1. *)
+
+val example_line_w2 : d:int -> float
+(** [W2] with [W2·(2·W2 + 1) = d] — Example 2.1.2. *)
+
+val example_point_w3 : d:int -> float
+(** [W3] with [W3·(2·W3 + 1)^2 = d] — Example 2.1.3. *)

@@ -1,0 +1,96 @@
+let default_scale = 720720 (* lcm(1..14): exact for small dual denominators *)
+
+let build_instance dm ~radius =
+  let support = Array.of_list (Demand_map.support dm) in
+  let suppliers =
+    Ball.dilate_set (Array.to_list support) ~radius |> Point.Set.elements
+    |> Array.of_list
+  in
+  let inst =
+    Transport.create ~n_suppliers:(Array.length suppliers)
+      ~n_demands:(Array.length support)
+  in
+  Array.iteri (fun j p -> Transport.set_demand inst j (Demand_map.value dm p)) support;
+  Array.iteri
+    (fun i s ->
+      Array.iteri
+        (fun j p ->
+          if Point.l1_dist s p <= radius then Transport.add_link inst ~supplier:i ~demand:j)
+        support)
+    suppliers;
+  inst
+
+let lp_value ?(scale = default_scale) ~radius dm =
+  if radius < 0 then invalid_arg "Oracle.lp_value: negative radius";
+  if Demand_map.total dm = 0 then 0.0
+  else begin
+    let inst = build_instance dm ~radius in
+    match Transport.min_uniform_supply inst ~scale with
+    | Some v -> v
+    | None ->
+        (* Impossible: every demand site is its own supplier at radius >= 0. *)
+        assert false
+  end
+
+let omega_star ?(scale = default_scale) dm =
+  if Demand_map.total dm = 0 then 0.0
+  else begin
+    (* ω lives in some bracket [m, m+1); there the admissible radius is m
+       and the minimal capacity is lp_value m, so the bracket's optimum is
+       max(m, lp_value m) when that stays below m+1. *)
+    let rec scan m =
+      let v = lp_value ~scale ~radius:m dm in
+      let candidate = Float.max (float_of_int m) v in
+      if candidate < float_of_int (m + 1) then candidate else scan (m + 1)
+    in
+    scan 0
+  end
+
+let lower_bound_woff = omega_star
+
+let witness ?(scale = default_scale) dm =
+  if Demand_map.total dm = 0 then None
+  else begin
+    let star = omega_star ~scale dm in
+    let m = int_of_float (Float.floor star) in
+    (* If ω* sits strictly inside the bracket [m, m+1), the binding
+       constraint is the radius-m transport; if ω* = m exactly, it is the
+       bracket floor and the violator lives at radius m-1 and supply just
+       below m (the previous bracket is infeasible throughout). *)
+    let radius, supply_just_below =
+      if star > float_of_int m +. 1e-9 || m = 0 then (m, star)
+      else (m - 1, float_of_int m)
+    in
+    let inst = build_instance dm ~radius in
+    let u = max 0 (int_of_float (Float.ceil (supply_just_below *. float_of_int scale)) - 1) in
+    (* Scale demands to match the scaled supplies. *)
+    let scaled = Transport.create
+        ~n_suppliers:(Transport.n_suppliers inst)
+        ~n_demands:(Transport.n_demands inst)
+    in
+    for j = 0 to Transport.n_demands inst - 1 do
+      Transport.set_demand scaled j (Transport.demand inst j * scale)
+    done;
+    (* Replay the same links. *)
+    let support = Array.of_list (Demand_map.support dm) in
+    let suppliers =
+      Ball.dilate_set (Array.to_list support) ~radius |> Point.Set.elements
+      |> Array.of_list
+    in
+    Array.iteri
+      (fun i s ->
+        Array.iteri
+          (fun j p ->
+            if Point.l1_dist s p <= radius then
+              Transport.add_link scaled ~supplier:i ~demand:j)
+          support)
+      suppliers;
+    match Transport.infeasibility_witness scaled ~supply:(fun _ -> u) with
+    | None -> None (* resolution too coarse to exhibit infeasibility *)
+    | Some demand_indices ->
+        let points = List.map (fun j -> support.(j)) demand_indices in
+        let total =
+          List.fold_left (fun acc p -> acc + Demand_map.value dm p) 0 points
+        in
+        Some (points, Omega.of_points points ~total)
+  end

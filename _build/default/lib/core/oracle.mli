@@ -1,0 +1,36 @@
+(** Exact solver for the paper's transportation programs (2.1) and (2.8).
+
+    Program (2.1) fixes a transport radius [r] and asks for the minimal
+    uniform vehicle capacity [ω] such that flows [f_ij] with [‖i−j‖ <= r]
+    cover all demands; Lemma 2.2.2 identifies its value with
+    [max_T Σ_{x∈T} d(x) / |N_r(T)|].  Program (2.8) couples the radius to
+    the capacity ([r = ω]) and its value is [ω* = max_T ω_T]
+    (Lemma 2.2.3), the paper's lower bound on [Woff] (Corollary 2.2.4).
+
+    Instead of a numeric LP solver (unavailable offline) we use the exact
+    combinatorial equivalent: for fixed radius, feasibility at capacity [ω]
+    is a bipartite max-flow check, and the minimal capacity is found by
+    binary search on a [1/scale] grid ({!Transport.min_uniform_supply}).
+    Suppliers are the grid vertices within distance [r] of the demand
+    support — the only vehicles that can participate. *)
+
+val lp_value : ?scale:int -> radius:int -> Demand_map.t -> float
+(** Value of program (2.1) at the given integer radius, resolved to
+    [1/scale] (default [720720 = lcm(1..14)], exact whenever the optimal
+    dual denominator [|N_r(T)|] divides it).  0 for empty demand. *)
+
+val omega_star : ?scale:int -> Demand_map.t -> float
+(** Value of program (2.8): the minimal [ω] such that the radius-[⌊ω⌋]
+    transport is feasible at capacity [ω] — the paper's
+    [ω* = max_T ω_T].  Scans integer radius brackets exactly as
+    {!Omega.solve} does. *)
+
+val lower_bound_woff : ?scale:int -> Demand_map.t -> float
+(** Synonym of {!omega_star}: Corollary 2.2.4, [Woff >= ω*]. *)
+
+val witness : ?scale:int -> Demand_map.t -> (Point.t list * float) option
+(** A tight set for program (2.8): demand positions [T] whose [ω_T]
+    matches {!omega_star} (up to the [1/scale] resolution), extracted
+    from a minimum cut of the just-infeasible transport.  [None] for
+    empty demand.  This is the certificate the duality proof of
+    Lemma 2.2.3 promises. *)

@@ -1,0 +1,1 @@
+lib/demand/demand_map.ml: Array Box Format List Point

@@ -1,0 +1,1 @@
+lib/demand/demand_map.mli: Box Format Point

@@ -1,0 +1,1 @@
+lib/demand/workload.ml: Array Box Demand_map List Point Printf Rng

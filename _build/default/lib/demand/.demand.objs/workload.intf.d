@@ -1,0 +1,1 @@
+lib/demand/workload.mli: Box Demand_map Point Rng

@@ -1,0 +1,1 @@
+lib/demand/workload_io.ml: Array Buffer Demand_map List Printf Render String Workload

@@ -1,0 +1,1 @@
+lib/demand/workload_io.mli: Workload

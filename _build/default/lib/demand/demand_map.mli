@@ -1,0 +1,44 @@
+(** Finite-support demand functions [d : Z^l -> N].
+
+    In the paper every job is a unit request, so [d(x)] is the number of
+    jobs arriving at [x] (§1.3).  A demand map stores the finite support
+    explicitly; all positions outside have demand 0. *)
+
+type t
+
+val empty : int -> t
+(** [empty l] is the zero demand on [Z^l]. *)
+
+val dim : t -> int
+
+val add : t -> Point.t -> int -> t
+(** [add t x k] increases [d(x)] by [k >= 0]. *)
+
+val of_alist : int -> (Point.t * int) list -> t
+(** Builds a map from (position, demand) pairs, summing duplicates. *)
+
+val of_jobs : int -> Point.t list -> t
+(** Aggregates an arrival sequence of unit jobs (the [d(x) = Σ I(x,x_i)]
+    of §1.3). *)
+
+val value : t -> Point.t -> int
+
+val support : t -> Point.t list
+(** Positions with strictly positive demand, in lexicographic order. *)
+
+val support_size : t -> int
+
+val total : t -> int
+(** [Σ_x d(x)]. *)
+
+val max_demand : t -> int
+(** The paper's [D]; 0 for empty demand. *)
+
+val bounding_box : t -> Box.t option
+(** Smallest box containing the support; [None] when empty. *)
+
+val fold : t -> init:'a -> f:('a -> Point.t -> int -> 'a) -> 'a
+
+val iter : t -> (Point.t -> int -> unit) -> unit
+
+val pp : Format.formatter -> t -> unit

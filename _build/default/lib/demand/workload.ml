@@ -1,0 +1,126 @@
+type t = { name : string; dim : int; jobs : Point.t array }
+
+let demand t = Demand_map.of_jobs t.dim (Array.to_list t.jobs)
+
+let repeat_each per_point points =
+  List.concat_map
+    (fun p -> List.init per_point (fun _ -> p))
+    points
+
+let square ?(dim = 2) ~side ~per_point () =
+  if side <= 0 || per_point < 0 then invalid_arg "Workload.square: bad parameters";
+  let box = Box.cube_at_origin ~dim ~side in
+  let jobs = repeat_each per_point (Box.points box) in
+  {
+    name = Printf.sprintf "square(side=%d,d=%d,l=%d)" side per_point dim;
+    dim;
+    jobs = Array.of_list jobs;
+  }
+
+let line ~len ~per_point =
+  if len <= 0 || per_point < 0 then invalid_arg "Workload.line: bad parameters";
+  let points = List.init len (fun i -> [| i; 0 |]) in
+  {
+    name = Printf.sprintf "line(len=%d,d=%d)" len per_point;
+    dim = 2;
+    jobs = Array.of_list (repeat_each per_point points);
+  }
+
+let point ?(dim = 2) ~total () =
+  if total < 0 then invalid_arg "Workload.point: negative total";
+  {
+    name = Printf.sprintf "point(d=%d,l=%d)" total dim;
+    dim;
+    jobs = Array.init total (fun _ -> Point.origin dim);
+  }
+
+let random_point rng box =
+  Array.init (Box.dim box)
+    (fun i -> Rng.int_in rng box.Box.lo.(i) box.Box.hi.(i))
+
+let uniform ~rng ~box ~jobs =
+  if jobs < 0 then invalid_arg "Workload.uniform: negative job count";
+  {
+    name = Printf.sprintf "uniform(jobs=%d,vol=%d)" jobs (Box.volume box);
+    dim = Box.dim box;
+    jobs = Array.init jobs (fun _ -> random_point rng box);
+  }
+
+let clustered ~rng ~box ~clusters ~jobs_per_cluster ~spread =
+  if clusters <= 0 || jobs_per_cluster < 0 || spread < 0 then
+    invalid_arg "Workload.clustered: bad parameters";
+  let centers = Array.init clusters (fun _ -> random_point rng box) in
+  let job_of_center c =
+    let p =
+      Array.init (Box.dim box) (fun i -> c.(i) + Rng.int_in rng (-spread) spread)
+    in
+    Box.clamp box p
+  in
+  let jobs =
+    Array.init (clusters * jobs_per_cluster) (fun k ->
+        job_of_center centers.(k mod clusters))
+  in
+  {
+    name =
+      Printf.sprintf "clustered(c=%d,per=%d,spread=%d)" clusters jobs_per_cluster
+        spread;
+    dim = Box.dim box;
+    jobs;
+  }
+
+let zipf_sites ~rng ~box ~sites ~jobs ~exponent =
+  if sites <= 0 || jobs < 0 then invalid_arg "Workload.zipf_sites: bad parameters";
+  let positions = Array.init sites (fun _ -> random_point rng box) in
+  let jobs =
+    Array.init jobs (fun _ ->
+        let rank = Rng.zipf rng ~n:sites ~s:exponent in
+        positions.(rank - 1))
+  in
+  {
+    name = Printf.sprintf "zipf(sites=%d,s=%.2f)" sites exponent;
+    dim = Box.dim box;
+    jobs;
+  }
+
+let mixture ~rng ~name parts =
+  match parts with
+  | [] -> invalid_arg "Workload.mixture: empty list"
+  | first :: rest ->
+      List.iter
+        (fun w ->
+          if w.dim <> first.dim then
+            invalid_arg "Workload.mixture: dimension mismatch")
+        rest;
+      let all = Array.concat (List.map (fun w -> w.jobs) parts) in
+      Rng.shuffle rng all;
+      { name; dim = first.dim; jobs = all }
+
+let shuffled ~rng t =
+  let jobs = Array.copy t.jobs in
+  Rng.shuffle rng jobs;
+  { t with jobs }
+
+let translate t offset =
+  { t with jobs = Array.map (fun p -> Point.add p offset) t.jobs }
+
+let moving_hotspot ~rng ~start ~steps ~jobs_per_step =
+  if steps <= 0 || jobs_per_step < 0 then
+    invalid_arg "Workload.moving_hotspot: bad parameters";
+  let dim = Point.dim start in
+  let jobs = ref [] in
+  let pos = ref (Array.copy start) in
+  for _ = 1 to steps do
+    for _ = 1 to jobs_per_step do
+      jobs := Array.copy !pos :: !jobs
+    done;
+    (* Random lattice step: the hotspot drifts. *)
+    let axis = Rng.int rng dim in
+    let next = Array.copy !pos in
+    next.(axis) <- next.(axis) + (if Rng.bool rng then 1 else -1);
+    pos := next
+  done;
+  {
+    name = Printf.sprintf "moving(steps=%d,per=%d)" steps jobs_per_step;
+    dim;
+    jobs = Array.of_list (List.rev !jobs);
+  }

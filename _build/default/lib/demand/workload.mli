@@ -1,0 +1,63 @@
+(** Workload generators.
+
+    The first three constructors are the worked examples of §2.1 of the
+    paper (Figure 2.1): uniform demand on a square, on a line, and at a
+    single point.  The randomized families provide the varied inputs used
+    by experiments E4–E8; all randomness comes from an explicit {!Rng.t}.
+
+    A workload is both an arrival sequence (for the online case) and, by
+    aggregation, a demand map (for the offline case).  Arrival order
+    matters only online; generators produce a deterministic order given the
+    generator's own sequencing plus an optional shuffle. *)
+
+type t = {
+  name : string;
+  dim : int;
+  jobs : Point.t array;  (** arrival order; each job is one unit of demand *)
+}
+
+val demand : t -> Demand_map.t
+(** Aggregated demand function of the workload. *)
+
+val square : ?dim:int -> side:int -> per_point:int -> unit -> t
+(** Example 2.1.1 / Fig 2.1(a): demand [per_point] at every vertex of a
+    [side x side] square anchored at the origin ([dim] defaults to 2). *)
+
+val line : len:int -> per_point:int -> t
+(** Example 2.1.2 / Fig 2.1(b): demand [per_point] at [len] collinear
+    points of [Z^2]. *)
+
+val point : ?dim:int -> total:int -> unit -> t
+(** Example 2.1.3 / Fig 2.1(c): demand [total] concentrated at the origin
+    of [Z^dim] (default 2). *)
+
+val uniform : rng:Rng.t -> box:Box.t -> jobs:int -> t
+(** [jobs] unit jobs at independently uniform positions of [box]. *)
+
+val clustered :
+  rng:Rng.t -> box:Box.t -> clusters:int -> jobs_per_cluster:int -> spread:int -> t
+(** Hot-spot workload: cluster centers uniform in [box], each job at a
+    center displaced by a uniform offset in [\[-spread, spread\]^l]
+    (clamped to [box]).  Models the localized-event scenarios (earthquake,
+    intrusion) that motivate the thesis. *)
+
+val zipf_sites : rng:Rng.t -> box:Box.t -> sites:int -> jobs:int -> exponent:float -> t
+(** [sites] random positions with Zipf([exponent]) popularity; [jobs] jobs
+    drawn by popularity.  Heavy-tailed spatial skew. *)
+
+val mixture : rng:Rng.t -> name:string -> t list -> t
+(** Interleaves the given workloads' jobs in a random order (dimensions
+    must agree). *)
+
+val shuffled : rng:Rng.t -> t -> t
+(** Same demand, uniformly random arrival order. *)
+
+val translate : t -> Point.t -> t
+(** Shifts every job by the given offset. *)
+
+val moving_hotspot :
+  rng:Rng.t -> start:Point.t -> steps:int -> jobs_per_step:int -> t
+(** An adversarially drifting hotspot: [jobs_per_step] jobs fire at the
+    current position, then the position takes one random lattice step.
+    Exercises the online strategy's replacement machinery across cube
+    boundaries — the hardest arrival pattern for pair-based coverage. *)

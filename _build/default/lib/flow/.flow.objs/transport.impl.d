@@ -1,0 +1,1 @@
+lib/flow/transport.ml: Array List Maxflow

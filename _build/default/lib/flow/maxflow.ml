@@ -1,0 +1,148 @@
+(* Dinic's algorithm with an edge-array representation: edge 2k and its
+   residual twin 2k+1 are stored adjacently, so the reverse of edge [e] is
+   [e lxor 1]. *)
+
+type t = {
+  n : int;
+  mutable dst : int array; (* destination per directed edge *)
+  mutable cap : int array; (* remaining capacity per directed edge *)
+  mutable head : int list array; (* edge ids leaving each vertex, reversed *)
+  mutable m : int; (* number of directed edges (including twins) *)
+  mutable level : int array;
+  mutable iter : int list array;
+  mutable initial_cap : int array; (* original capacity of even edges *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Maxflow.create: negative size";
+  {
+    n;
+    dst = Array.make 16 0;
+    cap = Array.make 16 0;
+    head = Array.make (max n 1) [];
+    m = 0;
+    level = Array.make (max n 1) (-1);
+    iter = Array.make (max n 1) [];
+    initial_cap = Array.make 8 0;
+  }
+
+let n_vertices t = t.n
+
+let ensure_edge_room t =
+  if t.m + 2 > Array.length t.dst then begin
+    let grow a fill =
+      let bigger = Array.make (2 * Array.length a) fill in
+      Array.blit a 0 bigger 0 (Array.length a);
+      bigger
+    in
+    t.dst <- grow t.dst 0;
+    t.cap <- grow t.cap 0
+  end;
+  if (t.m / 2) + 1 > Array.length t.initial_cap then begin
+    let bigger = Array.make (2 * Array.length t.initial_cap) 0 in
+    Array.blit t.initial_cap 0 bigger 0 (Array.length t.initial_cap);
+    t.initial_cap <- bigger
+  end
+
+let add_edge t ~src ~dst ~cap =
+  if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Maxflow.add_edge: vertex out of range";
+  ensure_edge_room t;
+  let id = t.m in
+  t.dst.(id) <- dst;
+  t.cap.(id) <- cap;
+  t.dst.(id + 1) <- src;
+  t.cap.(id + 1) <- 0;
+  t.head.(src) <- id :: t.head.(src);
+  t.head.(dst) <- (id + 1) :: t.head.(dst);
+  t.initial_cap.(id / 2) <- cap;
+  t.m <- t.m + 2;
+  id
+
+let build_levels t ~source ~sink =
+  Array.fill t.level 0 t.n (-1);
+  let queue = Queue.create () in
+  t.level.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun e ->
+        let w = t.dst.(e) in
+        if t.cap.(e) > 0 && t.level.(w) = -1 then begin
+          t.level.(w) <- t.level.(v) + 1;
+          Queue.add w queue
+        end)
+      t.head.(v)
+  done;
+  t.level.(sink) >= 0
+
+let rec augment t v ~sink pushed =
+  if v = sink then pushed
+  else begin
+    let rec try_edges () =
+      match t.iter.(v) with
+      | [] -> 0
+      | e :: rest -> (
+          let w = t.dst.(e) in
+          if t.cap.(e) > 0 && t.level.(w) = t.level.(v) + 1 then begin
+            let got = augment t w ~sink (min pushed t.cap.(e)) in
+            if got > 0 then begin
+              t.cap.(e) <- t.cap.(e) - got;
+              t.cap.(e lxor 1) <- t.cap.(e lxor 1) + got;
+              got
+            end
+            else begin
+              t.iter.(v) <- rest;
+              try_edges ()
+            end
+          end
+          else begin
+            t.iter.(v) <- rest;
+            try_edges ()
+          end)
+    in
+    try_edges ()
+  end
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  let total = ref 0 in
+  while build_levels t ~source ~sink do
+    for v = 0 to t.n - 1 do
+      t.iter.(v) <- t.head.(v)
+    done;
+    let rec push () =
+      let got = augment t source ~sink max_int in
+      if got > 0 then begin
+        total := !total + got;
+        push ()
+      end
+    in
+    push ()
+  done;
+  !total
+
+let flow_on t id =
+  if id < 0 || id >= t.m || id mod 2 <> 0 then
+    invalid_arg "Maxflow.flow_on: bad edge id";
+  t.initial_cap.(id / 2) - t.cap.(id)
+
+let min_cut_side t ~source =
+  let side = Array.make t.n false in
+  let queue = Queue.create () in
+  side.(source) <- true;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun e ->
+        let w = t.dst.(e) in
+        if t.cap.(e) > 0 && not side.(w) then begin
+          side.(w) <- true;
+          Queue.add w queue
+        end)
+      t.head.(v)
+  done;
+  side

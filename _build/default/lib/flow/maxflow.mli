@@ -1,0 +1,31 @@
+(** Dinic's maximum-flow algorithm on integer capacities.
+
+    This is the combinatorial engine behind the paper's linear program
+    (2.1): for a fixed supply [ω] and radius [r], feasibility of the
+    supply-demand transport is a bipartite max-flow question, and the exact
+    LP value is recovered by a search over [ω] (see {!Transport}). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty flow network on vertices [0 .. n-1]. *)
+
+val add_edge : t -> src:int -> dst:int -> cap:int -> int
+(** Adds a directed edge with the given capacity (and its residual twin of
+    capacity 0).  Returns an edge id usable with {!flow_on}.  Capacities
+    must be non-negative. *)
+
+val max_flow : t -> source:int -> sink:int -> int
+(** Runs Dinic to completion and returns the max-flow value.  The network
+    keeps its residual state: subsequent calls continue from the current
+    flow (useful for incremental capacity probing is NOT supported —
+    rebuild instead; this is only documented behaviour). *)
+
+val flow_on : t -> int -> int
+(** Flow currently routed through the edge with the given id. *)
+
+val n_vertices : t -> int
+
+val min_cut_side : t -> source:int -> bool array
+(** After [max_flow], the source side of a minimum cut (vertices reachable
+    in the residual network).  Certifies optimality in tests. *)

@@ -1,0 +1,161 @@
+type t = {
+  n_suppliers : int;
+  n_demands : int;
+  demands : int array;
+  mutable links : (int * int) list; (* (supplier, demand), reversed *)
+  mutable n_links : int;
+}
+
+let create ~n_suppliers ~n_demands =
+  if n_suppliers < 0 || n_demands < 0 then
+    invalid_arg "Transport.create: negative size";
+  { n_suppliers; n_demands; demands = Array.make n_demands 0; links = []; n_links = 0 }
+
+let n_suppliers t = t.n_suppliers
+let n_demands t = t.n_demands
+
+let set_demand t j d =
+  if d < 0 then invalid_arg "Transport.set_demand: negative demand";
+  t.demands.(j) <- d
+
+let demand t j = t.demands.(j)
+
+let add_link t ~supplier ~demand =
+  if supplier < 0 || supplier >= t.n_suppliers then
+    invalid_arg "Transport.add_link: supplier out of range";
+  if demand < 0 || demand >= t.n_demands then
+    invalid_arg "Transport.add_link: demand out of range";
+  t.links <- (supplier, demand) :: t.links;
+  t.n_links <- t.n_links + 1
+
+let total_demand t = Array.fold_left ( + ) 0 t.demands
+
+(* Network layout: 0 = source, 1 = sink, suppliers at 2..2+S-1, demands
+   after that. *)
+let supplier_vertex i = 2 + i
+let demand_vertex t j = 2 + t.n_suppliers + j
+
+let max_served_scaled t ~supply ~demand_scale =
+  let net = Maxflow.create (2 + t.n_suppliers + t.n_demands) in
+  for i = 0 to t.n_suppliers - 1 do
+    let cap = supply i in
+    if cap > 0 then
+      ignore (Maxflow.add_edge net ~src:0 ~dst:(supplier_vertex i) ~cap)
+  done;
+  let inf = ref 0 in
+  Array.iter (fun d -> inf := !inf + (d * demand_scale)) t.demands;
+  let inf = max 1 !inf in
+  List.iter
+    (fun (i, j) ->
+      ignore
+        (Maxflow.add_edge net ~src:(supplier_vertex i) ~dst:(demand_vertex t j)
+           ~cap:inf))
+    t.links;
+  for j = 0 to t.n_demands - 1 do
+    if t.demands.(j) > 0 then
+      ignore
+        (Maxflow.add_edge net ~src:(demand_vertex t j) ~dst:1
+           ~cap:(t.demands.(j) * demand_scale))
+  done;
+  Maxflow.max_flow net ~source:0 ~sink:1
+
+let max_served t ~supply = max_served_scaled t ~supply ~demand_scale:1
+
+let feasible t ~supply = max_served t ~supply = total_demand t
+
+let every_demand_linked t =
+  let linked = Array.make t.n_demands false in
+  List.iter (fun (_, j) -> linked.(j) <- true) t.links;
+  let rec loop j =
+    j = t.n_demands || ((t.demands.(j) = 0 || linked.(j)) && loop (j + 1))
+  in
+  loop 0
+
+let min_uniform_supply t ~scale =
+  if scale <= 0 then invalid_arg "Transport.min_uniform_supply: scale must be positive";
+  let total = total_demand t in
+  if total = 0 then Some 0.0
+  else if not (every_demand_linked t) then None
+  else begin
+    (* Scaled problem: demands d*scale, integer uniform capacity u; answer
+       u/scale.  Feasible at u = total*scale (one linked supplier can carry
+       everything). *)
+    let target = total * scale in
+    let feasible_at u =
+      max_served_scaled t ~supply:(fun _ -> u) ~demand_scale:scale = target
+    in
+    let lo = ref 0 and hi = ref (total * scale) in
+    (* Invariant: infeasible at lo (unless lo = 0 feasible), feasible at hi. *)
+    if feasible_at 0 then Some 0.0
+    else begin
+      while !hi - !lo > 1 do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        if feasible_at mid then hi := mid else lo := mid
+      done;
+      Some (float_of_int !hi /. float_of_int scale)
+    end
+  end
+
+let dual_value_exhaustive t =
+  if t.n_demands > 20 then
+    invalid_arg "Transport.dual_value_exhaustive: too many demand sites";
+  (* Neighborhood of a demand subset = set of suppliers linked to it. *)
+  let links_of_demand = Array.make t.n_demands [] in
+  List.iter
+    (fun (i, j) -> links_of_demand.(j) <- i :: links_of_demand.(j))
+    t.links;
+  let best = ref 0.0 in
+  let n_subsets = 1 lsl t.n_demands in
+  let suppliers_seen = Array.make t.n_suppliers (-1) in
+  for mask = 1 to n_subsets - 1 do
+    let d_total = ref 0 and n_neigh = ref 0 in
+    for j = 0 to t.n_demands - 1 do
+      if mask land (1 lsl j) <> 0 then begin
+        d_total := !d_total + t.demands.(j);
+        List.iter
+          (fun i ->
+            if suppliers_seen.(i) <> mask then begin
+              suppliers_seen.(i) <- mask;
+              incr n_neigh
+            end)
+          links_of_demand.(j)
+      end
+    done;
+    if !d_total > 0 then
+      if !n_neigh = 0 then best := infinity
+      else begin
+        let v = float_of_int !d_total /. float_of_int !n_neigh in
+        if v > !best then best := v
+      end
+  done;
+  !best
+
+let infeasibility_witness t ~supply =
+  let net = Maxflow.create (2 + t.n_suppliers + t.n_demands) in
+  for i = 0 to t.n_suppliers - 1 do
+    let cap = supply i in
+    if cap > 0 then ignore (Maxflow.add_edge net ~src:0 ~dst:(supplier_vertex i) ~cap)
+  done;
+  let inf = max 1 (total_demand t) in
+  List.iter
+    (fun (i, j) ->
+      ignore
+        (Maxflow.add_edge net ~src:(supplier_vertex i) ~dst:(demand_vertex t j) ~cap:inf))
+    t.links;
+  for j = 0 to t.n_demands - 1 do
+    if t.demands.(j) > 0 then
+      ignore (Maxflow.add_edge net ~src:(demand_vertex t j) ~dst:1 ~cap:t.demands.(j))
+  done;
+  let flow = Maxflow.max_flow net ~source:0 ~sink:1 in
+  if flow >= total_demand t then None
+  else begin
+    (* Infinite supplier->demand arcs force every neighbor of a sink-side
+       demand onto the sink side too, so the sink-side demands violate
+       Hall's condition for these supplies. *)
+    let side = Maxflow.min_cut_side net ~source:0 in
+    let out = ref [] in
+    for j = t.n_demands - 1 downto 0 do
+      if t.demands.(j) > 0 && not side.(demand_vertex t j) then out := j :: !out
+    done;
+    Some !out
+  end

@@ -1,0 +1,52 @@
+(** Bipartite supply–demand transport: the combinatorial form of the
+    paper's linear program (2.1).
+
+    An instance has [n_suppliers] supply sites, [n_demands] demand sites
+    with integer demands, and a set of admissible links (in the paper: the
+    pairs [(i,j)] with [‖i−j‖ ≤ r]).  Feasibility with per-supplier
+    capacity [ω] is a max-flow question; by LP duality the minimal uniform
+    real capacity equals [max_J Σ_{j∈J} d(j) / |N(J)|] over demand subsets
+    [J] (Lemma 2.2.2 of the paper).  [min_uniform_supply] computes it to
+    any requested resolution by binary search on a scaled integer flow. *)
+
+type t
+
+val create : n_suppliers:int -> n_demands:int -> t
+
+val n_suppliers : t -> int
+val n_demands : t -> int
+
+val set_demand : t -> int -> int -> unit
+(** [set_demand t j d] with [d >= 0]; demands default to 0. *)
+
+val demand : t -> int -> int
+
+val add_link : t -> supplier:int -> demand:int -> unit
+(** Declares that the supplier may serve the demand site.  Duplicate links
+    are harmless. *)
+
+val total_demand : t -> int
+
+val max_served : t -> supply:(int -> int) -> int
+(** Maximum total demand servable when supplier [i] can emit at most
+    [supply i] units. *)
+
+val feasible : t -> supply:(int -> int) -> bool
+(** [max_served = total_demand]. *)
+
+val min_uniform_supply : t -> scale:int -> float option
+(** Smallest [ω], a multiple of [1/scale], such that uniform per-supplier
+    capacity [ω] is feasible.  [None] when no finite capacity suffices
+    (some positive demand has no link).  Exact whenever the true optimum
+    [max_J D(J)/|N(J)|] has a denominator dividing [scale]. *)
+
+val dual_value_exhaustive : t -> float
+(** [max_J Σ_{j∈J} d(j) / |N(J)|] by enumerating all demand subsets.
+    Exponential — test witness for tiny instances only (raises
+    [Invalid_argument] beyond 20 demand sites). *)
+
+val infeasibility_witness : t -> supply:(int -> int) -> int list option
+(** When the instance is infeasible at the given supplies, returns a
+    Hall-type violating set of demand indices [J] with
+    [Σ_{j∈J} d(j) > Σ_{i∈N(J)} supply i], extracted from a minimum cut
+    (demand vertices on the sink side).  [None] when feasible. *)

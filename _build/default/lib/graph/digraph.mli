@@ -1,0 +1,27 @@
+(** Compact directed graphs over integer vertices [0 .. n-1].
+
+    Substrate shared by the flow solvers, the communication topology of the
+    online simulator, and the classical-baseline route builders.  Edges
+    carry an integer weight (interpreted as distance or capacity by the
+    client). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an empty graph on [n] vertices. *)
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+
+val add_edge : t -> src:int -> dst:int -> weight:int -> unit
+
+val add_undirected : t -> int -> int -> weight:int -> unit
+(** Adds both directions with the same weight. *)
+
+val succ : t -> int -> (int * int) list
+(** [(dst, weight)] pairs leaving a vertex, in insertion order. *)
+
+val iter_succ : t -> int -> (dst:int -> weight:int -> unit) -> unit
+
+val mem_edge : t -> src:int -> dst:int -> bool

@@ -1,0 +1,1 @@
+lib/graphcmvrp/gcmvrp.ml: Array Box Demand_map Digraph Float List Omega Paths Point Printf Rng Transport

@@ -1,0 +1,1 @@
+lib/graphcmvrp/gcmvrp.mli: Box Demand_map Digraph Point Rng

@@ -1,0 +1,1 @@
+lib/graphcmvrp/gonline.ml: Array Des Digraph Float Gcmvrp Hashtbl List Option Rng

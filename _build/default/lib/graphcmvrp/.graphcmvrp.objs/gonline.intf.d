@@ -1,0 +1,1 @@
+lib/graphcmvrp/gonline.mli: Gcmvrp

@@ -1,0 +1,292 @@
+type t = {
+  graph : Digraph.t;
+  demands : int array;
+  dist_cache : int array option array; (* per-source Dijkstra, lazy *)
+}
+
+let create graph ~demand =
+  let n = Digraph.n_vertices graph in
+  if Array.length demand <> n then
+    invalid_arg "Gcmvrp.create: demand size mismatch";
+  Array.iter
+    (fun d -> if d < 0 then invalid_arg "Gcmvrp.create: negative demand")
+    demand;
+  { graph; demands = Array.copy demand; dist_cache = Array.make n None }
+
+let n_vertices t = Digraph.n_vertices t.graph
+
+let demand t v = t.demands.(v)
+
+let total_demand t = Array.fold_left ( + ) 0 t.demands
+
+let dist_from t v =
+  match t.dist_cache.(v) with
+  | Some d -> d
+  | None ->
+      let d = Paths.dijkstra t.graph ~source:v in
+      t.dist_cache.(v) <- Some d;
+      d
+
+let distance t u v = (dist_from t u).(v)
+
+let support t =
+  let out = ref [] in
+  Array.iteri (fun v d -> if d > 0 then out := v :: !out) t.demands;
+  List.rev !out
+
+let neighborhood_size t subset ~radius =
+  if radius < 0 then 0
+  else begin
+    let n = n_vertices t in
+    let count = ref 0 in
+    for v = 0 to n - 1 do
+      let near =
+        List.exists
+          (fun u ->
+            let d = (dist_from t u).(v) in
+            d <> max_int && d <= radius)
+          subset
+      in
+      if near then incr count
+    done;
+    !count
+  end
+
+let omega_of_subset t subset =
+  match subset with
+  | [] -> invalid_arg "Gcmvrp.omega_of_subset: empty subset"
+  | _ ->
+      let total = List.fold_left (fun acc v -> acc + t.demands.(v)) 0 subset in
+      Omega.solve ~total ~neighborhood_size:(fun r ->
+          max 1 (neighborhood_size t subset ~radius:r))
+
+let max_over_subsets t =
+  let sup = Array.of_list (support t) in
+  let n = Array.length sup in
+  if n > 16 then invalid_arg "Gcmvrp.max_over_subsets: support too large";
+  if n = 0 then 0.0
+  else begin
+    let best = ref 0.0 in
+    for mask = 1 to (1 lsl n) - 1 do
+      let subset = ref [] in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) <> 0 then subset := sup.(i) :: !subset
+      done;
+      let w = omega_of_subset t !subset in
+      if w > !best then best := w
+    done;
+    !best
+  end
+
+(* --- exact generalized program (2.8), as in Oracle but with graph
+   distances --- *)
+
+let lp_value t ~scale ~radius =
+  let sup = Array.of_list (support t) in
+  let n = n_vertices t in
+  let inst = Transport.create ~n_suppliers:n ~n_demands:(Array.length sup) in
+  Array.iteri (fun j v -> Transport.set_demand inst j t.demands.(v)) sup;
+  for i = 0 to n - 1 do
+    let d = dist_from t i in
+    Array.iteri
+      (fun j v ->
+        if d.(v) <> max_int && d.(v) <= radius then
+          Transport.add_link inst ~supplier:i ~demand:j)
+      sup
+  done;
+  Transport.min_uniform_supply inst ~scale
+
+let omega_star ?(scale = 720720) t =
+  if total_demand t = 0 then 0.0
+  else begin
+    let rec scan m =
+      match lp_value t ~scale ~radius:m with
+      | None ->
+          (* Some demand vertex unreachable even from itself: impossible
+             since every vertex supplies itself at radius 0. *)
+          assert false
+      | Some v ->
+          let candidate = Float.max (float_of_int m) v in
+          if candidate < float_of_int (m + 1) then candidate else scan (m + 1)
+    in
+    scan 0
+  end
+
+(* --- constructive heuristic: greedy ball cover + budgeted service --- *)
+
+type plan = {
+  clusters : int list array;
+  assignments : (int * int * int) list;
+}
+
+let plan_greedy t =
+  let n = n_vertices t in
+  let star = omega_star t in
+  let radius = max 1 (int_of_float (Float.ceil star)) in
+  (* Greedy cover: repeatedly take the unclustered vertex with the largest
+     demand and claim every unclustered vertex within the radius. *)
+  let cluster_of = Array.make n (-1) in
+  let clusters = ref [] and n_clusters = ref 0 in
+  let rec cover () =
+    let center = ref (-1) in
+    for v = 0 to n - 1 do
+      if
+        cluster_of.(v) = -1
+        && t.demands.(v) > 0
+        && (!center = -1 || t.demands.(v) > t.demands.(!center))
+      then center := v
+    done;
+    if !center >= 0 then begin
+      let id = !n_clusters in
+      incr n_clusters;
+      let d = dist_from t !center in
+      let members = ref [] in
+      for v = 0 to n - 1 do
+        if cluster_of.(v) = -1 && d.(v) <> max_int && d.(v) <= radius then begin
+          cluster_of.(v) <- id;
+          members := v :: !members
+        end
+      done;
+      clusters := List.rev !members :: !clusters;
+      cover ()
+    end
+  in
+  cover ();
+  let clusters = Array.of_list (List.rev !clusters) in
+  (* Serve each cluster with its own vehicles, doubling the chunk budget
+     until the headcount fits. *)
+  let assignments = ref [] in
+  Array.iter
+    (fun members ->
+      let vehicles = Array.of_list members in
+      let sites = List.filter (fun v -> t.demands.(v) > 0) members in
+      let cluster_demand = List.fold_left (fun acc v -> acc + t.demands.(v)) 0 sites in
+      let rec attempt budget =
+        let chunks =
+          List.concat_map
+            (fun site ->
+              let d = t.demands.(site) in
+              let k = (d + budget - 1) / budget in
+              List.init k (fun i ->
+                  let units = min budget (d - (i * budget)) in
+                  (site, units)))
+            sites
+        in
+        if List.length chunks > Array.length vehicles then attempt (2 * budget)
+        else begin
+          (* Assign each chunk to the nearest unused cluster vehicle. *)
+          let used = Array.make (Array.length vehicles) false in
+          List.iter
+            (fun (site, units) ->
+              let d = dist_from t site in
+              let best = ref (-1) in
+              Array.iteri
+                (fun i v ->
+                  if (not used.(i)) && d.(v) <> max_int then
+                    match !best with
+                    | -1 -> best := i
+                    | b -> if d.(v) < d.(vehicles.(b)) then best := i)
+                vehicles;
+              match !best with
+              | -1 -> failwith "Gcmvrp.plan_greedy: cluster disconnected"
+              | i ->
+                  used.(i) <- true;
+                  assignments := (vehicles.(i), site, units) :: !assignments)
+            chunks
+        end
+      in
+      if cluster_demand > 0 then
+        attempt (max 1 ((cluster_demand + Array.length vehicles - 1)
+                        / Array.length vehicles)))
+    clusters;
+  { clusters; assignments = !assignments }
+
+let plan_max_energy t plan =
+  List.fold_left
+    (fun acc (vehicle, site, units) ->
+      let d = distance t vehicle site in
+      if d = max_int then max_int else max acc (d + units))
+    0 plan.assignments
+
+let validate_plan t plan =
+  let n = n_vertices t in
+  let served = Array.make n 0 in
+  let used = Array.make n false in
+  let problem = ref None in
+  List.iter
+    (fun (vehicle, site, units) ->
+      if units <= 0 && !problem = None then problem := Some "non-positive chunk";
+      if used.(vehicle) && !problem = None then
+        problem := Some (Printf.sprintf "vehicle %d used twice" vehicle);
+      used.(vehicle) <- true;
+      served.(site) <- served.(site) + units)
+    plan.assignments;
+  Array.iteri
+    (fun v d ->
+      if served.(v) <> d && !problem = None then
+        problem := Some (Printf.sprintf "vertex %d served %d of %d" v served.(v) d))
+    t.demands;
+  match !problem with None -> Ok () | Some msg -> Error msg
+
+(* --- bridges and generators --- *)
+
+let line_graph n =
+  if n <= 0 then invalid_arg "Gcmvrp.line_graph: need n > 0";
+  let g = Digraph.create n in
+  for i = 0 to n - 2 do
+    Digraph.add_undirected g i (i + 1) ~weight:1
+  done;
+  g
+
+let of_path dm =
+  if Demand_map.dim dm <> 1 then invalid_arg "Gcmvrp.of_path: need a 1-D demand";
+  match Demand_map.bounding_box dm with
+  | None -> create (line_graph 1) ~demand:[| 0 |]
+  | Some bbox ->
+      (* In 1-D, ω_T·(2ω_T+1) <= ... <= total demand, so ω* < sqrt(total):
+         padding by that much keeps every useful supplier in the window. *)
+      let pad = int_of_float (sqrt (float_of_int (Demand_map.total dm))) + 2 in
+      let lo = bbox.Box.lo.(0) - pad and hi = bbox.Box.hi.(0) + pad in
+      let n = hi - lo + 1 in
+      let demand = Array.make n 0 in
+      Demand_map.iter dm (fun p d -> demand.(p.(0) - lo) <- d);
+      create (line_graph n) ~demand
+
+let of_grid_2d dm ~pad =
+  if Demand_map.dim dm <> 2 then invalid_arg "Gcmvrp.of_grid_2d: need a 2-D demand";
+  match Demand_map.bounding_box dm with
+  | None -> create (line_graph 1) ~demand:[| 0 |]
+  | Some bbox ->
+      let window = Box.dilate bbox pad in
+      let n = Box.volume window in
+      let g = Digraph.create n in
+      Box.iter window (fun p ->
+          let v = Box.index window p in
+          List.iter
+            (fun q ->
+              if Box.mem window q then begin
+                let u = Box.index window q in
+                if u > v then Digraph.add_undirected g v u ~weight:1
+              end)
+            (Point.neighbors p));
+      let demand = Array.make n 0 in
+      Demand_map.iter dm (fun p d -> demand.(Box.index window p) <- d);
+      create g ~demand
+
+let random_geometric ~rng ~n ~box ~radius =
+  if n <= 0 then invalid_arg "Gcmvrp.random_geometric: need n > 0";
+  let points =
+    Array.init n (fun _ ->
+        Array.init (Box.dim box) (fun i ->
+            Rng.int_in rng box.Box.lo.(i) box.Box.hi.(i)))
+  in
+  let g = Digraph.create n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = Point.l1_dist points.(i) points.(j) in
+      if d > 0 && d <= radius then Digraph.add_undirected g i j ~weight:d
+    done
+  done;
+  (g, points)
+
+let graph_of t = t.graph

@@ -1,0 +1,87 @@
+(** CMVRP on general weighted graphs — the extension Chapter 6 of the
+    thesis lists as an open direction ("we have only discussed the case
+    where the underlying graph is a grid").
+
+    The model transfers verbatim: one vehicle of capacity [W] per vertex,
+    travel along an edge costs its weight, one unit of energy per job.
+    The LP machinery of Chapter 2 never used the grid structure — only
+    shortest-path distances — so program (2.8) and its value
+    [ω* = max_T ω_T] generalize directly, with [N_r(T)] the set of
+    vertices within weighted distance [r] of [T].  What does NOT
+    generalize is the cube partition behind the constructive upper bound;
+    we replace it with a greedy ball-cover heuristic and measure how far
+    it lands from [ω*] (experiment E14).  On unit-weight path and grid
+    graphs everything provably coincides with the Z^l implementation, and
+    the test suite checks exactly that. *)
+
+type t
+
+val create : Digraph.t -> demand:int array -> t
+(** The digraph is interpreted as undirected (add both arcs) with
+    non-negative integer weights; [demand.(v)] is vertex [v]'s demand.
+    Raises [Invalid_argument] on size mismatch or negative demand. *)
+
+val n_vertices : t -> int
+
+val demand : t -> int -> int
+
+val total_demand : t -> int
+
+val distance : t -> int -> int -> int
+(** Shortest-path distance ([max_int] when disconnected).  All-pairs
+    tables are computed lazily, one Dijkstra per source. *)
+
+val neighborhood_size : t -> int list -> radius:int -> int
+(** [|N_r(T)|]: vertices within weighted distance [radius] of the set. *)
+
+val omega_of_subset : t -> int list -> float
+(** The [ω_T] of equation (1.1) for a vertex subset, with weighted-graph
+    neighborhoods. *)
+
+val max_over_subsets : t -> float
+(** Exhaustive [max_T ω_T] over subsets of the demand support (test
+    witness; raises beyond 16 demand vertices). *)
+
+val omega_star : ?scale:int -> t -> float
+(** Exact value of the generalized program (2.8) by the same
+    bracket-scan + max-flow method as {!Oracle.omega_star}; the lower
+    bound on the graph [Woff]. *)
+
+(** A constructive upper bound: greedy ball cover + budgeted service. *)
+type plan = {
+  clusters : int list array;  (** cluster id -> member vertices *)
+  assignments : (int * int * int) list;
+      (** (vehicle, site, units): vehicle travels to the site and serves *)
+}
+
+val plan_greedy : t -> plan
+(** Covers the demand support by balls of radius [⌈ω*⌉] around greedily
+    chosen centers, then serves each cluster with its own vehicles in
+    budgeted chunks.  Always succeeds on a connected graph. *)
+
+val plan_max_energy : t -> plan -> int
+(** Peak per-vehicle energy of the plan (travel + units), the measured
+    graph-[Woff] upper bound. *)
+
+val validate_plan : t -> plan -> (unit, string) result
+(** Every unit served exactly once; every vehicle used at most once. *)
+
+val of_path : Demand_map.t -> t
+(** Bridge: a 1-D demand map as a unit-weight path graph (equivalence
+    testing against the grid implementation). *)
+
+val of_grid_2d : Demand_map.t -> pad:int -> t
+(** Bridge: a 2-D demand map as a unit-weight grid graph over its
+    bounding box dilated by [pad]. *)
+
+val line_graph : int -> Digraph.t
+(** Unit-weight path on [n] vertices. *)
+
+val random_geometric :
+  rng:Rng.t -> n:int -> box:Box.t -> radius:int -> Digraph.t * Point.t array
+(** [n] random points in [box]; vertices within L1 distance [radius] are
+    joined by an edge weighted with their distance.  Returns the graph
+    and the embedding (benchmark substrate for E14). *)
+
+val graph_of : t -> Digraph.t
+(** The underlying digraph (shared, do not mutate). *)

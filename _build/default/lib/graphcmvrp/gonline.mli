@@ -1,0 +1,48 @@
+(** The Chapter 3 online strategy transplanted to general weighted graphs
+    — the distributed half of the Chapter 6 open direction.
+
+    Everything that made the grid protocol work is topology-free except
+    the cube partition and the chessboard pairing.  Here:
+
+    - clusters come from the same greedy ball cover as
+      {!Gcmvrp.plan_greedy} (radius [⌈ω*⌉] around heavy vertices);
+    - pairs come from a greedy maximal matching of each cluster's edges
+      (adjacent vertex pairs; unmatched vertices serve alone);
+    - the communication topology is the graph itself, restricted to
+      clusters (adjacent vehicles are neighbors — the natural analog of
+      the paper's constant-radius rule);
+    - the Dijkstra–Scholten diffusing computation, phase II relocation,
+      and retirement rule are verbatim from the grid version, with the
+      walk-to-serve bound 1 replaced by the pair's edge weight.
+
+    The measured minimal capacity against the graph [ω*] (experiment E17)
+    probes whether [Won = Θ(Woff)] should be expected beyond the grid. *)
+
+type config = {
+  capacity : float;
+  seed : int;
+}
+
+type outcome = {
+  served : int;
+  failed : int;
+  messages : int;
+  replacements : int;
+  computations : int;
+  starved_searches : int;
+  max_energy_used : float;
+}
+
+val succeeded : outcome -> bool
+
+val run : Gcmvrp.t -> jobs:int array -> config -> outcome
+(** Serves the arrival sequence of vertex ids on the given instance.
+    Jobs must be valid vertex ids. *)
+
+val recommended_capacity : Gcmvrp.t -> float
+(** [(4·3^2 + 2)·ω*] plus rounding cushion — the grid Lemma 3.3.1 constant
+    reused as a (non-proven) graph heuristic; E17 measures how much of it
+    is really needed. *)
+
+val min_feasible_capacity : ?tol:float -> ?seed:int -> Gcmvrp.t -> jobs:int array -> float
+(** Smallest capacity at which the strategy serves every job. *)

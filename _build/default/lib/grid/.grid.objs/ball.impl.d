@@ -1,0 +1,1 @@
+lib/grid/ball.ml: Array Box List Point Queue

@@ -1,0 +1,1 @@
+lib/grid/ball.mli: Box Point

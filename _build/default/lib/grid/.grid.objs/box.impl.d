@@ -1,0 +1,1 @@
+lib/grid/box.ml: Array Format List Point

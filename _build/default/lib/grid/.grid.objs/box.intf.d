@@ -1,0 +1,1 @@
+lib/grid/box.mli: Format Point

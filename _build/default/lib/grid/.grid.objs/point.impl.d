@@ -1,0 +1,1 @@
+lib/grid/point.ml: Array Format Hashtbl Map Set Stdlib String

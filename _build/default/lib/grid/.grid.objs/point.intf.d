@@ -1,0 +1,1 @@
+lib/grid/point.mli: Format Hashtbl Map Set

@@ -1,0 +1,1 @@
+lib/grid/render.ml: Array Box Buffer Printf String

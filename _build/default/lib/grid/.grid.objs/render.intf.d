@@ -1,0 +1,1 @@
+lib/grid/render.mli: Box Point

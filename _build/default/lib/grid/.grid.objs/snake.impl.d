@@ -1,0 +1,1 @@
+lib/grid/snake.ml: Array Box List Point

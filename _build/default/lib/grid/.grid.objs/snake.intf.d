@@ -1,0 +1,1 @@
+lib/grid/snake.mli: Box Point

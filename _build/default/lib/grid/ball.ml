@@ -1,0 +1,156 @@
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let ball_volume ~dim ~radius =
+  if radius < 0 then 0
+  else begin
+    let acc = ref 0 in
+    for k = 0 to min dim radius do
+      acc := !acc + ((1 lsl k) * binomial dim k * binomial radius k)
+    done;
+    !acc
+  end
+
+let cube_ball_volume ~dim ~side ~radius =
+  if side <= 0 then invalid_arg "Ball.cube_ball_volume: side must be positive";
+  if radius < 0 then 0
+  else begin
+    let int_pow base e =
+      let v = ref 1 in
+      for _ = 1 to e do
+        v := !v * base
+      done;
+      !v
+    in
+    let acc = ref 0 in
+    for k = 0 to dim do
+      acc :=
+        !acc + (binomial dim k * int_pow side (dim - k) * (1 lsl k) * binomial radius k)
+    done;
+    !acc
+  end
+
+let box_ball_volume box ~radius =
+  if radius < 0 then 0
+  else begin
+    let n = Box.dim box in
+    (* For each subset S of coordinates that lie strictly outside the box,
+       inside coordinates contribute (side i) choices each, outside ones a
+       signed positive excess; excesses over S sum to <= radius.  Summing
+       over subsets by dynamic programming on (axis, #outside) with the
+       product of inside sides accumulated per count is wrong when sides
+       differ, so enumerate subset sizes with a DP carrying the sum of
+       products of inside sides for each count of outside axes. *)
+    (* dp.(k) = sum over k-subsets S of prod_{i not in S} side_i *)
+    let dp = Array.make (n + 1) 0 in
+    dp.(0) <- 1;
+    for i = 0 to n - 1 do
+      let s = Box.side box i in
+      for k = i + 1 downto 1 do
+        dp.(k) <- (dp.(k) * s) + dp.(k - 1)
+      done;
+      dp.(0) <- dp.(0) * s
+    done;
+    let acc = ref 0 in
+    for k = 0 to n do
+      acc := !acc + (dp.(k) * (1 lsl k) * binomial radius k)
+    done;
+    !acc
+  end
+
+let segment_ball_volume_2d ~len ~radius =
+  if len <= 0 then invalid_arg "Ball.segment_ball_volume_2d: len must be positive";
+  if radius < 0 then 0
+  else (((2 * radius) + 1) * len) + (2 * radius * radius)
+
+let dilate_set points ~radius =
+  if radius < 0 then invalid_arg "Ball.dilate_set: negative radius";
+  match points with
+  | [] -> Point.Set.empty
+  | p0 :: _ ->
+      let l = Point.dim p0 in
+      ignore l;
+      let seen = Point.Tbl.create 1024 in
+      let queue = Queue.create () in
+      List.iter
+        (fun p ->
+          if not (Point.Tbl.mem seen p) then begin
+            Point.Tbl.add seen p 0;
+            Queue.add p queue
+          end)
+        points;
+      while not (Queue.is_empty queue) do
+        let p = Queue.pop queue in
+        let d = Point.Tbl.find seen p in
+        if d < radius then
+          List.iter
+            (fun q ->
+              if not (Point.Tbl.mem seen q) then begin
+                Point.Tbl.add seen q (d + 1);
+                Queue.add q queue
+              end)
+            (Point.neighbors p)
+      done;
+      Point.Tbl.fold (fun p _ acc -> Point.Set.add p acc) seen Point.Set.empty
+
+let as_box points =
+  (* Recognise a set of points that exactly fills its bounding box. *)
+  match points with
+  | [] -> None
+  | p0 :: _ ->
+      let n = Point.dim p0 in
+      let lo = Array.copy p0 and hi = Array.copy p0 in
+      List.iter
+        (fun p ->
+          for i = 0 to n - 1 do
+            if p.(i) < lo.(i) then lo.(i) <- p.(i);
+            if p.(i) > hi.(i) then hi.(i) <- p.(i)
+          done)
+        points;
+      let box = Box.make ~lo ~hi in
+      let distinct = Point.Set.of_list points in
+      if Point.Set.cardinal distinct = Box.volume box then Some box else None
+
+let neighborhood_size points ~radius =
+  match as_box points with
+  | Some box -> box_ball_volume box ~radius
+  | None -> Point.Set.cardinal (dilate_set points ~radius)
+
+let shell_sizes points ~max_radius =
+  if max_radius < 0 then invalid_arg "Ball.shell_sizes: negative radius";
+  let shells = Array.make (max_radius + 1) 0 in
+  (match points with
+  | [] -> ()
+  | _ ->
+      let seen = Point.Tbl.create 1024 in
+      let queue = Queue.create () in
+      List.iter
+        (fun p ->
+          if not (Point.Tbl.mem seen p) then begin
+            Point.Tbl.add seen p 0;
+            Queue.add p queue;
+            shells.(0) <- shells.(0) + 1
+          end)
+        points;
+      while not (Queue.is_empty queue) do
+        let p = Queue.pop queue in
+        let d = Point.Tbl.find seen p in
+        if d < max_radius then
+          List.iter
+            (fun q ->
+              if not (Point.Tbl.mem seen q) then begin
+                Point.Tbl.add seen q (d + 1);
+                shells.(d + 1) <- shells.(d + 1) + 1;
+                Queue.add q queue
+              end)
+            (Point.neighbors p)
+      done);
+  shells

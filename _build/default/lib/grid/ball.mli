@@ -1,0 +1,43 @@
+(** L1 neighborhoods [N_r(T)] and their cardinalities.
+
+    Equation (1.1) of the paper, [ω_T · |N_{ω_T}(T)| = Σ_{x∈T} d(x)],
+    requires [|N_r(T)|] for arbitrary finite [T].  This module provides:
+
+    - exact closed forms for the shapes the paper analyses (single points,
+      segments, and [l]-cubes — Examples 2.1.1–2.1.3 and Lemma 2.2.5), and
+    - a BFS dilation for arbitrary finite sets, used both as the general
+      fallback and as an independent witness for the closed forms in the
+      test suite. *)
+
+val binomial : int -> int -> int
+(** [binomial n k] = C(n,k); 0 when [k < 0] or [k > n].  Exact in native
+    [int] for all arguments used here. *)
+
+val ball_volume : dim:int -> radius:int -> int
+(** Number of lattice points of [Z^dim] at L1 distance [<= radius] from a
+    point: [Σ_k 2^k C(dim,k) C(radius,k)].  [radius < 0] yields 0. *)
+
+val cube_ball_volume : dim:int -> side:int -> radius:int -> int
+(** [|N_radius(C)|] for a [side]-cube [C ⊆ Z^dim]:
+    [Σ_k C(dim,k) side^(dim-k) 2^k C(radius,k)].  This is the quantity the
+    paper's Corollary 2.2.7 approximates by [(3⌈ω⌉)^l]. *)
+
+val box_ball_volume : Box.t -> radius:int -> int
+(** Closed-form [|N_radius(B)|] for an arbitrary box [B] (sides may
+    differ); covers the segment of Example 2.1.2 as a [1 x m] box. *)
+
+val segment_ball_volume_2d : len:int -> radius:int -> int
+(** 2-D special case used by Example 2.1.2: [(2r+1)·len + 2r^2]. *)
+
+val dilate_set : Point.t list -> radius:int -> Point.Set.t
+(** [N_radius(T)] by multi-source BFS; exact for any finite [T].
+    Cost is proportional to the volume of the result. *)
+
+val neighborhood_size : Point.t list -> radius:int -> int
+(** [|N_radius(T)|].  Uses the closed form when [T] is recognised as a box,
+    BFS otherwise. *)
+
+val shell_sizes : Point.t list -> max_radius:int -> int array
+(** [shell_sizes t ~max_radius].(r) = number of points at L1 distance
+    exactly [r] from [T] (index 0 counts [T] itself).  Used by the
+    energy-decay bound of Theorem 5.1.1. *)

@@ -1,0 +1,82 @@
+type t = int array
+
+let dim = Array.length
+
+let equal (a : t) (b : t) =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec loop i = i = n || (a.(i) = b.(i) && loop (i + 1)) in
+  loop 0
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let hash (a : t) =
+  Array.fold_left (fun h x -> (h * 1000003) lxor (x * 2654435761)) 17 a
+  land max_int
+
+let check_same_dim a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Point: dimension mismatch"
+
+let l1_dist a b =
+  check_same_dim a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a - 1 do
+    acc := !acc + abs (a.(i) - b.(i))
+  done;
+  !acc
+
+let l1_norm a =
+  let acc = ref 0 in
+  Array.iter (fun x -> acc := !acc + abs x) a;
+  !acc
+
+let add a b =
+  check_same_dim a b;
+  Array.init (Array.length a) (fun i -> a.(i) + b.(i))
+
+let sub a b =
+  check_same_dim a b;
+  Array.init (Array.length a) (fun i -> a.(i) - b.(i))
+
+let origin l = Array.make l 0
+
+let axis l i v =
+  let p = Array.make l 0 in
+  p.(i) <- v;
+  p
+
+let neighbors p =
+  let l = Array.length p in
+  let out = ref [] in
+  for i = 0 to l - 1 do
+    let up = Array.copy p and down = Array.copy p in
+    up.(i) <- up.(i) + 1;
+    down.(i) <- down.(i) - 1;
+    out := up :: down :: !out
+  done;
+  !out
+
+let pp fmt p =
+  Format.fprintf fmt "(%s)"
+    (String.concat "," (Array.to_list (Array.map string_of_int p)))
+
+let to_string p = Format.asprintf "%a" pp p
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Hashed = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end
+
+module Map = Map.Make (Ord)
+module Set = Set.Make (Ord)
+module Tbl = Hashtbl.Make (Hashed)

@@ -1,0 +1,24 @@
+let ramp = " .:-=+*#%@"
+
+let heat_char ~max:max_v v =
+  if v <= 0 then ramp.[0]
+  else if max_v <= 0 then ramp.[String.length ramp - 1]
+  else begin
+    let steps = String.length ramp - 1 in
+    let idx = 1 + ((v - 1) * (steps - 1) / max 1 max_v) in
+    ramp.[min steps idx]
+  end
+
+let legend ~max:max_v =
+  Printf.sprintf "0='%c' .. %d='%c'" ramp.[1] max_v ramp.[String.length ramp - 1]
+
+let grid box ~cell =
+  if Box.dim box <> 2 then invalid_arg "Render.grid: need a 2-D box";
+  let buf = Buffer.create 256 in
+  for y = box.Box.hi.(1) downto box.Box.lo.(1) do
+    for x = box.Box.lo.(0) to box.Box.hi.(0) do
+      Buffer.add_char buf (cell [| x; y |])
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

@@ -1,0 +1,14 @@
+(** ASCII rendering of 2-D grid data — demand heatmaps and world views for
+    the examples and CLI. *)
+
+val grid : Box.t -> cell:(Point.t -> char) -> string
+(** Renders a 2-D box row by row (highest y first, so the picture matches
+    the usual plane orientation), one character per cell.
+    Raises [Invalid_argument] for non-2-D boxes. *)
+
+val heat_char : max:int -> int -> char
+(** Maps a value in [\[0, max\]] to the ramp [" .:-=+*#%@"] (space for 0,
+    denser glyph for hotter). *)
+
+val legend : max:int -> string
+(** One-line legend for the heat ramp at the given maximum. *)

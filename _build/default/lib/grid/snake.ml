@@ -1,0 +1,37 @@
+let order box =
+  let n = Box.dim box in
+  let coords = Array.make n 0 in
+  (* Slice along each axis in turn; every odd-numbered slice replays the
+     sub-traversal in reverse, so the seam between consecutive slices is a
+     single step along the current axis. *)
+  let rec build axis =
+    if axis = n then [ Array.copy coords ]
+    else begin
+      let a = box.Box.lo.(axis) and b = box.Box.hi.(axis) in
+      let slices = ref [] in
+      for v = a to b do
+        coords.(axis) <- v;
+        let sub = build (axis + 1) in
+        let sub = if (v - a) mod 2 = 1 then List.rev sub else sub in
+        slices := List.rev_append sub !slices
+      done;
+      List.rev !slices
+    end
+  in
+  Array.of_list (build 0)
+
+type pairing = {
+  pairs : (Point.t * Point.t) array;
+  unpaired : Point.t option;
+}
+
+let pairing box =
+  let path = order box in
+  let n = Array.length path in
+  let pairs = Array.init (n / 2) (fun i -> (path.(2 * i), path.((2 * i) + 1))) in
+  let unpaired = if n mod 2 = 1 then Some path.(n - 1) else None in
+  { pairs; unpaired }
+
+let color p =
+  let s = Array.fold_left ( + ) 0 p in
+  if (s mod 2 + 2) mod 2 = 0 then `Black else `White

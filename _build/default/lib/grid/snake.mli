@@ -1,0 +1,25 @@
+(** Boustrophedon ("snake") traversal of a box and the black/white pairing
+    of §3.2 of the paper.
+
+    The online strategy colours each vertex of an [⌈ωc⌉]-cube black or
+    white by coordinate-sum parity and pairs each black vertex with an
+    adjacent white one, leaving at most one vertex unpaired per cube.  A
+    snake path visits the cube's cells so that consecutive cells are
+    lattice-adjacent; since each step flips the colour, pairing consecutive
+    cells along the path realises exactly the paper's pairing. *)
+
+val order : Box.t -> Point.t array
+(** All points of the box in snake order: consecutive entries are at L1
+    distance exactly 1 (for boxes with [volume >= 2]). *)
+
+type pairing = {
+  pairs : (Point.t * Point.t) array;  (** adjacent (first, second) pairs *)
+  unpaired : Point.t option;  (** present iff the box has odd volume *)
+}
+
+val pairing : Box.t -> pairing
+(** Perfect matching of the box's cells into adjacent pairs, save one
+    leftover cell when the volume is odd. *)
+
+val color : Point.t -> [ `Black | `White ]
+(** Coordinate-sum parity colouring of the paper ([`Black] iff even). *)

@@ -1,0 +1,579 @@
+type fault_plan = {
+  silent_initiators : int list;
+  deaths : (int * int) list;
+  longevity : (int * float) list;
+}
+
+let no_faults = { silent_initiators = []; deaths = []; longevity = [] }
+
+type config = {
+  capacity : float;
+  side : int;
+  comm_radius : int;
+  seed : int;
+  faults : fault_plan;
+}
+
+let config ?(comm_radius = 2) ?(seed = 0) ?(faults = no_faults) ~capacity ~side () =
+  if capacity <= 0.0 then invalid_arg "Online.config: capacity must be positive";
+  if side <= 0 then invalid_arg "Online.config: side must be positive";
+  if comm_radius <= 0 then invalid_arg "Online.config: comm_radius must be positive";
+  { capacity; side; comm_radius; seed; faults }
+
+type failure = { job : int; position : Point.t; reason : string }
+
+type outcome = {
+  served : int;
+  failures : failure list;
+  max_energy_used : float;
+  mean_energy_used : float;
+  messages : int;
+  replacements : int;
+  computations : int;
+  starved_searches : int;
+  vehicles : int;
+  vehicles_still_serviceable : int;
+}
+
+let succeeded o = o.failures = []
+
+(* --- protocol messages (§3.2.3.1 plus the Move of phase II and the
+   heartbeat-timeout abstraction of §3.2.5) --- *)
+
+type event =
+  | Job_served of { job : int; position : Point.t; vehicle : int; walk : int }
+  | Vehicle_retired of { vehicle : int; pair : int }
+  | Vehicle_died of { vehicle : int }
+  | Computation_started of { initiator : int; pair : int }
+  | Candidate_found of { initiator : int; pair : int }
+  | Replacement of { vehicle : int; pair : int; dest : Point.t }
+  | Search_starved of { pair : int }
+
+type msg =
+  | Query of { init : int * int }
+  | Reply of { init : int * int; flag : bool }
+  | Move of { init : int * int; dest : Point.t; pair : int }
+  | Monitor_timeout of { pair : int }
+
+(* --- vehicle state (§3.2.1) --- *)
+
+type working = Idle | Active | Done | Dead
+type transfer = Waiting | Searching | Initiator
+
+type vehicle = {
+  id : int;
+  home : Point.t;
+  cube : int;
+  mutable pos : Point.t;
+  mutable energy : float;
+  mutable working : working;
+  mutable transfer : transfer;
+  mutable pair : int;
+  (* Dijkstra–Scholten locals (§3.2.3.2); -1 encodes the paper's NULL. *)
+  mutable par : int;
+  mutable child : int;
+  mutable init : (int * int) option;
+  mutable num : int;
+}
+
+type pair_state = {
+  pair_id : int;
+  pair_cube : int;
+  cells : Point.t array; (* one or two adjacent cells *)
+  mutable active : int; (* vehicle id, or -1 while a replacement is pending *)
+}
+
+type world = {
+  cfg : config;
+  observer : event -> unit;
+  dim : int;
+  window : Box.t;
+  vehicles : vehicle array;
+  pairs : pair_state array;
+  pair_of_cell : int Point.Tbl.t;
+  neighbors : int list array;
+  cube_pairs : int array array;
+  des : msg Des.t;
+  silent : (int, unit) Hashtbl.t;
+  break_at : float array; (* used-energy threshold per vehicle (Ch. 4) *)
+  phase2 : (int, int) Hashtbl.t; (* pending initiator id -> pair id *)
+  mutable seq : int;
+  mutable served : int;
+  mutable failures : failure list;
+  mutable computations : int;
+  mutable replacements : int;
+  mutable starved : int;
+  mutable violations : int;
+}
+
+let alive v = v.working <> Dead
+
+let alive_neighbors w v =
+  List.filter (fun id -> alive w.vehicles.(id)) w.neighbors.(v.id)
+
+let spend w v cost =
+  v.energy <- v.energy -. cost;
+  if v.energy < -1e-9 then begin
+    w.violations <- w.violations + 1;
+    w.failures <-
+      { job = w.served; position = v.pos; reason = "energy went negative" }
+      :: w.failures
+  end
+
+(* Shared by scenario-3 kills and scenario-4 longevity breaks; the
+   monitor-timeout scheduling lives below and is wired in by [run]. *)
+let on_break = ref (fun (_ : world) (_ : int) -> ())
+
+(* A vehicle whose longevity fraction is exhausted breaks down right after
+   the operation that crossed the threshold (Chapter 4 semantics). *)
+let maybe_break w v =
+  if alive v && w.cfg.capacity -. v.energy >= w.break_at.(v.id) -. 1e-9 then begin
+    let was_active = v.working = Active in
+    v.working <- Dead;
+    w.observer (Vehicle_died { vehicle = v.id });
+    if was_active then begin
+      w.pairs.(v.pair).active <- -1;
+      !on_break w v.pair
+    end
+  end
+
+(* --- world construction --- *)
+
+let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
+  let side = cfg.side in
+  let lo = jobs_box.Box.lo in
+  let hi =
+    Array.init dim (fun i ->
+        let extent = Box.side jobs_box i in
+        let tiles = (extent + side - 1) / side in
+        lo.(i) + (tiles * side) - 1)
+  in
+  let window = Box.make ~lo ~hi in
+  let cubes = Array.of_list (Box.partition_cubes window ~side) in
+  let cube_of_point p =
+    let c = Box.containing_cube window ~side p in
+    (* Cubes are listed in partition order; find by anchor. *)
+    let rec locate i =
+      if Point.equal cubes.(i).Box.lo c.Box.lo then i else locate (i + 1)
+    in
+    locate 0
+  in
+  let n = Box.volume window in
+  let vehicles =
+    Array.init n (fun id ->
+        let home = Box.point_of_index window id in
+        {
+          id;
+          home;
+          cube = cube_of_point home;
+          pos = home;
+          energy = cfg.capacity;
+          working = Idle;
+          transfer = Waiting;
+          pair = -1;
+          par = -1;
+          child = -1;
+          init = None;
+          num = 0;
+        })
+  in
+  let pair_of_cell = Point.Tbl.create (2 * n) in
+  let pairs = ref [] and n_pairs = ref 0 in
+  let cube_pairs =
+    Array.map
+      (fun cube ->
+        let { Snake.pairs = matched; unpaired } = Snake.pairing cube in
+        let ids = ref [] in
+        let register cells =
+          let pid = !n_pairs in
+          incr n_pairs;
+          let cube_id = cube_of_point cells.(0) in
+          pairs := { pair_id = pid; pair_cube = cube_id; cells; active = -1 } :: !pairs;
+          Array.iter (fun c -> Point.Tbl.replace pair_of_cell c pid) cells;
+          ids := pid :: !ids
+        in
+        Array.iter (fun (a, b) -> register [| a; b |]) matched;
+        (match unpaired with None -> () | Some c -> register [| c |]);
+        Array.of_list (List.rev !ids))
+      cubes
+  in
+  let pairs = Array.of_list (List.rev !pairs) in
+  (* Initial roles: the first cell of each pair hosts the active vehicle,
+     its partner stays idle (the paper's black/white split). *)
+  Array.iter
+    (fun pr ->
+      let active_vehicle = Box.index window pr.cells.(0) in
+      pr.active <- active_vehicle;
+      let v = vehicles.(active_vehicle) in
+      v.working <- Active;
+      v.pair <- pr.pair_id;
+      if Array.length pr.cells = 2 then begin
+        let idle = vehicles.(Box.index window pr.cells.(1)) in
+        idle.working <- Idle;
+        idle.pair <- pr.pair_id
+      end)
+    pairs;
+  (* Depot-based communication graph, confined to cubes (§3.2.3). *)
+  let neighbors =
+    Array.map
+      (fun v ->
+        let cube = cubes.(v.cube) in
+        let out = ref [] in
+        Box.iter cube (fun p ->
+            let d = Point.l1_dist p v.home in
+            if d > 0 && d <= cfg.comm_radius then
+              out := Box.index window p :: !out);
+        List.rev !out)
+      vehicles
+  in
+  let silent = Hashtbl.create 8 in
+  List.iter (fun id -> Hashtbl.replace silent id ()) cfg.faults.silent_initiators;
+  let break_at = Array.make n infinity in
+  List.iter
+    (fun (id, p) ->
+      if id >= 0 && id < n then
+        break_at.(id) <- Float.max 0.0 (Float.min 1.0 p) *. cfg.capacity)
+    cfg.faults.longevity;
+  {
+    cfg;
+    observer;
+    dim;
+    window;
+    vehicles;
+    pairs;
+    pair_of_cell;
+    neighbors;
+    cube_pairs;
+    des = Des.create ~rng:(Rng.create cfg.seed) ();
+    silent;
+    break_at;
+    phase2 = Hashtbl.create 8;
+    seq = 0;
+    served = 0;
+    failures = [];
+    computations = 0;
+    replacements = 0;
+    starved = 0;
+    violations = 0;
+  }
+
+(* --- diffusing computation (Algorithm 2) --- *)
+
+let start_computation w ~initiator ~pair_id =
+  let v = initiator in
+  w.computations <- w.computations + 1;
+  w.seq <- w.seq + 1;
+  let init = (v.id, w.seq) in
+  v.init <- Some init;
+  v.par <- -1;
+  v.child <- -1;
+  let ns = alive_neighbors w v in
+  v.num <- List.length ns;
+  if v.num = 0 then begin
+    w.starved <- w.starved + 1;
+    w.observer (Search_starved { pair = pair_id })
+  end
+  else begin
+    w.observer (Computation_started { initiator = v.id; pair = pair_id });
+    v.transfer <- Initiator;
+    Hashtbl.replace w.phase2 v.id pair_id;
+    List.iter (fun q -> Des.send w.des ~src:v.id ~dst:q (Query { init })) ns
+  end
+
+let complete_initiator w v =
+  v.transfer <- Waiting;
+  match Hashtbl.find_opt w.phase2 v.id with
+  | None -> ()
+  | Some pair_id ->
+      Hashtbl.remove w.phase2 v.id;
+      if v.child >= 0 then begin
+        w.observer (Candidate_found { initiator = v.id; pair = pair_id });
+        let dest = w.pairs.(pair_id).cells.(0) in
+        Des.send w.des ~src:v.id ~dst:v.child
+          (Move { init = Option.get v.init; dest; pair = pair_id })
+      end
+      else begin
+        w.starved <- w.starved + 1;
+        w.observer (Search_starved { pair = pair_id })
+      end
+
+let handle_query w p ~src init =
+  if alive p then begin
+    if p.transfer = Waiting && p.init <> Some init then begin
+      p.par <- src;
+      p.init <- Some init;
+      p.child <- -1;
+      if p.working = Idle then
+        Des.send w.des ~src:p.id ~dst:src (Reply { init; flag = true })
+      else begin
+        let ns = alive_neighbors w p in
+        p.num <- List.length ns;
+        if p.num = 0 then
+          Des.send w.des ~src:p.id ~dst:src (Reply { init; flag = false })
+        else begin
+          p.transfer <- Searching;
+          List.iter (fun q -> Des.send w.des ~src:p.id ~dst:q (Query { init })) ns
+        end
+      end
+    end
+    else Des.send w.des ~src:p.id ~dst:src (Reply { init; flag = false })
+  end
+
+let handle_reply w p ~src init flag =
+  if alive p && p.init = Some init && p.transfer <> Waiting then begin
+    p.num <- p.num - 1;
+    if flag && p.child < 0 then begin
+      p.child <- src;
+      if p.par >= 0 then
+        Des.send w.des ~src:p.id ~dst:p.par (Reply { init; flag = true })
+    end;
+    if p.num = 0 then begin
+      match p.transfer with
+      | Initiator -> complete_initiator w p
+      | Searching ->
+          p.transfer <- Waiting;
+          if p.child < 0 && p.par >= 0 then
+            Des.send w.des ~src:p.id ~dst:p.par (Reply { init; flag = false })
+      | Waiting -> ()
+    end
+  end
+
+let handle_move w p init ~dest ~pair_id =
+  if alive p then begin
+    if p.working = Idle then begin
+      (* Phase II terminus: the candidate relocates and takes over. *)
+      spend w p (float_of_int (Point.l1_dist p.pos dest));
+      p.pos <- dest;
+      p.working <- Active;
+      p.pair <- pair_id;
+      w.pairs.(pair_id).active <- p.id;
+      w.replacements <- w.replacements + 1;
+      w.observer (Replacement { vehicle = p.id; pair = pair_id; dest });
+      maybe_break w p
+    end
+    else if p.child >= 0 then
+      Des.send w.des ~src:p.id ~dst:p.child (Move { init; dest; pair = pair_id })
+    else
+      (* Broken relay chain: count as a starved search; the monitor of the
+         pair will eventually retry via its timeout. *)
+      w.starved <- w.starved + 1
+  end
+
+(* --- monitoring ring (§3.2.5, scenarios 2 and 3) --- *)
+
+let monitor_of w ~pair_id =
+  let order = w.cube_pairs.(w.pairs.(pair_id).pair_cube) in
+  let n = Array.length order in
+  let start =
+    let rec find i = if order.(i) = pair_id then i else find (i + 1) in
+    find 0
+  in
+  let rec scan k =
+    if k >= n then None
+    else begin
+      let candidate = w.pairs.(order.((start + k) mod n)).active in
+      if candidate >= 0 && alive w.vehicles.(candidate) then Some candidate
+      else scan (k + 1)
+    end
+  in
+  scan 1
+
+let heartbeat_timeout = 50.0
+
+let schedule_monitor_timeout w ~pair_id =
+  match monitor_of w ~pair_id with
+  | None -> w.starved <- w.starved + 1
+  | Some m ->
+      Des.send_after w.des ~delay:heartbeat_timeout ~src:m ~dst:m
+        (Monitor_timeout { pair = pair_id })
+
+let () = on_break := fun w pair_id -> schedule_monitor_timeout w ~pair_id
+
+let handle_monitor_timeout w m ~pair_id =
+  let pr = w.pairs.(pair_id) in
+  if pr.active < 0 then begin
+    let mv = w.vehicles.(m) in
+    if alive mv && mv.transfer = Waiting then
+      start_computation w ~initiator:mv ~pair_id
+    else
+      (* This monitor is busy or gone; re-delegate along the ring. *)
+      schedule_monitor_timeout w ~pair_id
+  end
+
+(* --- job service (§3.2.2, first part) --- *)
+
+let retire w v =
+  (* An active vehicle that can no longer guarantee the next job (walk 1 +
+     serve 1) becomes done and triggers its replacement. *)
+  v.working <- Done;
+  w.observer (Vehicle_retired { vehicle = v.id; pair = v.pair });
+  let pair_id = v.pair in
+  w.pairs.(pair_id).active <- -1;
+  if Hashtbl.mem w.silent v.id then schedule_monitor_timeout w ~pair_id
+  else start_computation w ~initiator:v ~pair_id
+
+let process_job w ~index x =
+  match Point.Tbl.find_opt w.pair_of_cell x with
+  | None ->
+      w.failures <-
+        { job = index; position = x; reason = "job outside the window" } :: w.failures
+  | Some pair_id ->
+      let pr = w.pairs.(pair_id) in
+      if pr.active < 0 then
+        w.failures <-
+          { job = index; position = x; reason = "no active vehicle in pair" }
+          :: w.failures
+      else begin
+        let v = w.vehicles.(pr.active) in
+        let cost = float_of_int (Point.l1_dist v.pos x + 1) in
+        if v.energy < cost -. 1e-9 then
+          w.failures <-
+            { job = index; position = x; reason = "active vehicle out of energy" }
+            :: w.failures
+        else begin
+          let walk = Point.l1_dist v.pos x in
+          spend w v cost;
+          v.pos <- x;
+          w.served <- w.served + 1;
+          w.observer (Job_served { job = index; position = x; vehicle = v.id; walk });
+          maybe_break w v;
+          if v.working = Active && v.energy < 2.0 then retire w v
+        end
+      end
+
+let kill w id =
+  let v = w.vehicles.(id) in
+  if alive v then begin
+    let was_active = v.working = Active in
+    v.working <- Dead;
+    w.observer (Vehicle_died { vehicle = v.id });
+    if was_active then begin
+      let pair_id = v.pair in
+      w.pairs.(pair_id).active <- -1;
+      schedule_monitor_timeout w ~pair_id
+    end
+  end
+
+(* --- runner --- *)
+
+let dispatch w ~time:_ ~src ~dst msg =
+  let p = w.vehicles.(dst) in
+  match msg with
+  | Query { init } -> handle_query w p ~src init
+  | Reply { init; flag } -> handle_reply w p ~src init flag
+  | Move { init; dest; pair } -> handle_move w p init ~dest ~pair_id:pair
+  | Monitor_timeout { pair } -> handle_monitor_timeout w dst ~pair_id:pair
+
+let int_pow base e =
+  let v = ref 1 in
+  for _ = 1 to e do
+    v := !v * base
+  done;
+  !v
+
+let capacity_bound ~dim omega = float_of_int ((4 * int_pow 3 dim) + dim) *. omega
+
+let empty_outcome =
+  {
+    served = 0;
+    failures = [];
+    max_energy_used = 0.0;
+    mean_energy_used = 0.0;
+    messages = 0;
+    replacements = 0;
+    computations = 0;
+    starved_searches = 0;
+    vehicles = 0;
+    vehicles_still_serviceable = 0;
+  }
+
+let run ?observer cfg workload =
+  let jobs = workload.Workload.jobs in
+  if Array.length jobs = 0 then empty_outcome
+  else begin
+    let dim = workload.Workload.dim in
+    let jobs_box =
+      let lo = Array.copy jobs.(0) and hi = Array.copy jobs.(0) in
+      Array.iter
+        (fun p ->
+          for i = 0 to dim - 1 do
+            if p.(i) < lo.(i) then lo.(i) <- p.(i);
+            if p.(i) > hi.(i) then hi.(i) <- p.(i)
+          done)
+        jobs;
+      Box.make ~lo ~hi
+    in
+    let w = build ?observer cfg ~dim ~jobs_box in
+    let quiesce () = Des.run_until_quiescent w.des ~handler:(dispatch w) in
+    let deaths = List.sort compare cfg.faults.deaths in
+    let remaining = ref deaths in
+    let apply_deaths upto =
+      let rec loop () =
+        match !remaining with
+        | (k, id) :: rest when k <= upto ->
+            remaining := rest;
+            if id >= 0 && id < Array.length w.vehicles then kill w id;
+            quiesce ();
+            loop ()
+        | _ -> ()
+      in
+      loop ()
+    in
+    apply_deaths 0;
+    Array.iteri
+      (fun i x ->
+        process_job w ~index:(i + 1) x;
+        quiesce ();
+        apply_deaths (i + 1))
+      jobs;
+    let used =
+      Array.map (fun v -> Float.max 0.0 (cfg.capacity -. v.energy)) w.vehicles
+    in
+    let consumers = Array.of_list (List.filter (fun u -> u > 0.0) (Array.to_list used)) in
+    {
+      served = w.served;
+      failures = List.rev w.failures;
+      max_energy_used =
+        Array.fold_left
+          (fun acc v -> Float.max acc (cfg.capacity -. v.energy))
+          0.0 w.vehicles;
+      mean_energy_used = (if Array.length consumers = 0 then 0.0 else Stats.mean consumers);
+      messages = Des.messages_delivered w.des;
+      replacements = w.replacements;
+      computations = w.computations;
+      starved_searches = w.starved;
+      vehicles = Array.length w.vehicles;
+      vehicles_still_serviceable =
+        Array.fold_left
+          (fun acc v -> if alive v && v.energy >= 2.0 then acc + 1 else acc)
+          0 w.vehicles;
+    }
+  end
+
+let recommended ?(seed = 0) workload =
+  let dm = Workload.demand workload in
+  let omega, side = Omega.cube_fixpoint_with_side dm in
+  let dim = workload.Workload.dim in
+  (* +4 cushions the integer-lattice overheads (the done threshold and the
+     walk-to-serve step) that Lemma 3.3.1's continuous accounting drops. *)
+  config ~seed ~capacity:(capacity_bound ~dim omega +. 4.0) ~side ()
+
+let min_feasible_capacity ?(tol = 0.25) ?(seed = 0) ~side workload =
+  let succeeds capacity =
+    succeeded (run (config ~seed ~capacity ~side ()) workload)
+  in
+  (* Find a feasible upper bound by doubling, then bisect. *)
+  let rec grow hi attempts =
+    if attempts = 0 then hi
+    else if succeeds hi then hi
+    else grow (2.0 *. hi) (attempts - 1)
+  in
+  let hi = grow 4.0 30 in
+  let rec bisect lo hi =
+    if hi -. lo <= tol then hi
+    else begin
+      let mid = 0.5 *. (lo +. hi) in
+      if succeeds mid then bisect lo mid else bisect mid hi
+    end
+  in
+  bisect 0.0 hi

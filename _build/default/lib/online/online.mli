@@ -1,0 +1,113 @@
+(** The decentralized on-line strategy of Chapter 3.
+
+    One vehicle per grid vertex; the world is partitioned into
+    [side]-cubes; each cube's cells are matched into adjacent black/white
+    pairs (via {!Snake.pairing}).  The vehicle on one cell of each pair
+    starts [Active] and serves every job arriving at either cell of its
+    pair (walking at most distance 1); its partner starts [Idle].  When an
+    active vehicle runs out of energy it becomes [Done] and starts a
+    Dijkstra–Scholten diffusing computation (§3.1, Algorithm 2) over the
+    cube's communication graph to locate an idle vehicle; phase II routes a
+    [Move] order down the discovered tree path, and the idle candidate
+    relocates and takes over the pair.
+
+    Failure handling follows §3.2.5: a vehicle that fails to initiate
+    (scenario 2) or dies outright (scenario 3) is detected by its monitor —
+    the active vehicle of the next pair of the cube, which realizes the
+    paper's "monitoring"-pointer loop — via a heartbeat timeout, and the
+    monitor initiates the diffusing computation on its behalf.
+
+    Modelling notes (DESIGN.md §2): the communication topology links
+    vehicles whose depots are within [comm_radius] (default 2) in the same
+    cube — depot-based rather than position-based, constant-equivalent
+    since vehicles stay within distance 1 of a pair cell; message delays
+    are random but FIFO per channel; heartbeat timeouts are abstracted as a
+    delayed self-message to the monitor.  Job arrivals are spaced so that
+    the network quiesces in between, exactly the paper's timing
+    assumption. *)
+
+type fault_plan = {
+  silent_initiators : int list;
+      (** vehicles that, on becoming done, fail to start the diffusing
+          computation (scenario 2) *)
+  deaths : (int * int) list;
+      (** [(k, v)]: vehicle [v] breaks down (dead, cannot serve or relay)
+          immediately after the [k]-th job has been processed; [k = 0]
+          kills before the first job (scenarios 3–4) *)
+  longevity : (int * float) list;
+      (** Chapter 4 longevity parameters [(v, p)]: vehicle [v] breaks the
+          moment a fraction [p ∈ [0,1]] of its initial energy has been
+          spent (scenario 4).  Unlisted vehicles have [p = 1] (never
+          break this way). *)
+}
+
+val no_faults : fault_plan
+
+type config = {
+  capacity : float;  (** initial energy [W] of every vehicle *)
+  side : int;  (** cube side of the partition *)
+  comm_radius : int;  (** neighbor radius (the paper's constant, 2) *)
+  seed : int;  (** message-delay randomness *)
+  faults : fault_plan;
+}
+
+val config : ?comm_radius:int -> ?seed:int -> ?faults:fault_plan ->
+  capacity:float -> side:int -> unit -> config
+
+type failure = {
+  job : int;  (** 1-based index in the arrival sequence *)
+  position : Point.t;
+  reason : string;
+}
+
+type outcome = {
+  served : int;
+  failures : failure list;
+  max_energy_used : float;  (** peak consumption over all vehicles *)
+  mean_energy_used : float;  (** over vehicles that consumed anything *)
+  messages : int;  (** protocol messages delivered (E8) *)
+  replacements : int;  (** completed phase-II relocations *)
+  computations : int;  (** diffusing computations initiated *)
+  starved_searches : int;  (** computations that found no idle vehicle *)
+  vehicles : int;  (** fleet size (window volume) *)
+  vehicles_still_serviceable : int;
+      (** vehicles alive with enough energy for another job at the end of
+          the run — Lemma 3.3.1 keeps this at least half the fleet at the
+          theorem capacity *)
+}
+
+val succeeded : outcome -> bool
+(** No failed job and no energy violation. *)
+
+(** Protocol-level events, emitted in causal order to an optional
+    observer — the audit trail behind the aggregate counters. *)
+type event =
+  | Job_served of { job : int; position : Point.t; vehicle : int; walk : int }
+  | Vehicle_retired of { vehicle : int; pair : int }
+      (** became done after exhausting its energy (§3.2.1) *)
+  | Vehicle_died of { vehicle : int }  (** scenario 3/4 breakdown *)
+  | Computation_started of { initiator : int; pair : int }
+      (** a diffusing computation began (Algorithm 2) *)
+  | Candidate_found of { initiator : int; pair : int }
+      (** phase I terminated with a candidate; phase II (Move) begins *)
+  | Replacement of { vehicle : int; pair : int; dest : Point.t }
+      (** the candidate relocated and took the pair over *)
+  | Search_starved of { pair : int }
+      (** no idle vehicle could be found for the pair *)
+
+val run : ?observer:(event -> unit) -> config -> Workload.t -> outcome
+(** Executes the strategy on the arrival sequence.  [observer] (default
+    ignore) receives every protocol event as it happens. *)
+
+val capacity_bound : dim:int -> float -> float
+(** [(4·3^l + l)·ω] — the capacity Lemma 3.3.1 proves sufficient. *)
+
+val recommended : ?seed:int -> Workload.t -> config
+(** Config with the side [⌈ωc⌉] and theorem capacity derived from the
+    workload's aggregate demand (what an informed designer would pick). *)
+
+val min_feasible_capacity :
+  ?tol:float -> ?seed:int -> side:int -> Workload.t -> float
+(** Smallest capacity (within [tol], default 0.25) at which the strategy
+    serves every job — the measured [Won] upper bound of experiment E7.
+    Runs the full simulation per probe. *)

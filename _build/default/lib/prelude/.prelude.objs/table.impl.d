@@ -1,0 +1,1 @@
+lib/prelude/table.ml: Buffer List Printf String

@@ -1,0 +1,70 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title columns =
+  { title; headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        match row with
+        | Rule -> widths
+        | Cells cells -> List.map2 (fun w c -> max w (String.length c)) widths cells)
+      (List.map String.length t.headers)
+      rows
+  in
+  let buf = Buffer.create 1024 in
+  let emit_cells cells =
+    let padded =
+      List.map2 (fun (w, a) c -> pad a w c)
+        (List.combine widths t.aligns)
+        cells
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " padded ^ " |\n")
+  in
+  let emit_rule () =
+    let bars = List.map (fun w -> String.make (w + 2) '-') widths in
+    Buffer.add_string buf ("+" ^ String.concat "+" bars ^ "+\n")
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  emit_rule ();
+  emit_cells t.headers;
+  emit_rule ();
+  List.iter (function Rule -> emit_rule () | Cells cells -> emit_cells cells) rows;
+  emit_rule ();
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_f ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x
+let cell_i n = string_of_int n

@@ -1,0 +1,31 @@
+(** Plain-text tables for benchmark reports.
+
+    The benchmark harness prints one table per reproduced paper artifact;
+    this module renders them with aligned columns so the output in
+    [bench_output.txt] is directly readable next to the thesis. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> (string * align) list -> t
+(** [create ~title columns] starts an empty table with the given column
+    headers and alignments. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Raises [Invalid_argument] if the arity does not match
+    the header. *)
+
+val add_rule : t -> unit
+(** Appends a horizontal separator between row groups. *)
+
+val render : t -> string
+(** Renders the table, headers and separators included. *)
+
+val print : t -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val cell_f : ?decimals:int -> float -> string
+(** Formats a float for a table cell (default 3 decimals). *)
+
+val cell_i : int -> string

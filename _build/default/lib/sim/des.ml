@@ -1,0 +1,72 @@
+type 'msg event = { time : float; seq : int; src : int; dst : int; payload : 'msg }
+
+(* Ordered by (time, seq): seq breaks ties deterministically and preserves
+   insertion order among simultaneous events. *)
+let compare_events a b =
+  match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+type 'msg t = {
+  rng : Rng.t;
+  min_delay : float;
+  max_delay : float;
+  heap : 'msg event Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable delivered : int;
+  (* Last scheduled delivery time per channel, to enforce FIFO order on top
+     of random delays. *)
+  channel_front : (int * int, float) Hashtbl.t;
+}
+
+let create ?(min_delay = 0.1) ?(max_delay = 1.0) ~rng () =
+  if min_delay < 0.0 || max_delay < min_delay then
+    invalid_arg "Des.create: bad delay bounds";
+  {
+    rng;
+    min_delay;
+    max_delay;
+    heap = Heap.create ~compare:compare_events ();
+    clock = 0.0;
+    next_seq = 0;
+    delivered = 0;
+    channel_front = Hashtbl.create 64;
+  }
+
+let now t = t.clock
+
+let schedule t ~time ~src ~dst payload =
+  (* FIFO per channel: never deliver before an earlier message on the same
+     channel. *)
+  let key = (src, dst) in
+  let floor_time =
+    match Hashtbl.find_opt t.channel_front key with
+    | None -> time
+    | Some front -> Float.max time (front +. 1e-9)
+  in
+  Hashtbl.replace t.channel_front key floor_time;
+  let e = { time = floor_time; seq = t.next_seq; src; dst; payload } in
+  t.next_seq <- t.next_seq + 1;
+  Heap.push t.heap e
+
+let send_after t ~delay ~src ~dst payload =
+  if delay < 0.0 then invalid_arg "Des.send_after: negative delay";
+  let jitter = t.min_delay +. Rng.float t.rng (t.max_delay -. t.min_delay) in
+  schedule t ~time:(t.clock +. delay +. jitter) ~src ~dst payload
+
+let send t ~src ~dst payload = send_after t ~delay:0.0 ~src ~dst payload
+
+let run_until_quiescent t ~handler =
+  let rec drain () =
+    match Heap.pop t.heap with
+    | None -> ()
+    | Some e ->
+        t.clock <- Float.max t.clock e.time;
+        t.delivered <- t.delivered + 1;
+        handler ~time:t.clock ~src:e.src ~dst:e.dst e.payload;
+        drain ()
+  in
+  drain ()
+
+let pending t = Heap.size t.heap
+
+let messages_delivered t = t.delivered

@@ -1,0 +1,1 @@
+lib/transfer/grid_collector.ml: Array Box Demand_map Float Snake Transfer

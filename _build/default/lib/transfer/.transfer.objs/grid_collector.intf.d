@@ -1,0 +1,1 @@
+lib/transfer/grid_collector.mli: Demand_map Transfer

@@ -1,0 +1,1 @@
+lib/transfer/transfer.ml: Box Demand_map Float List Omega Oracle

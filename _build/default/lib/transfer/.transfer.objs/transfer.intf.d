@@ -1,0 +1,1 @@
+lib/transfer/transfer.mli: Demand_map

@@ -1,0 +1,30 @@
+(** The §5.2.1 collector generalized from a segment to a 2-D region — a
+    concrete answer to the chapter's closing question ("how much energy
+    could be saved in general remains open") for grid windows.
+
+    With unbounded tanks, one collector walks a boustrophedon
+    (Hamiltonian, unit-step) path over the window: it drains every tank on
+    the way out, tops the last vehicle up to its demand, and redistributes
+    exact demands on the way back.  Total distance [2(V-1)] and at most
+    [2V-3] transfers for a window of [V] vertices — the same structure as
+    the paper's segment, so the minimal uniform charge is again
+    [Θ(avg d)] under either accounting model. *)
+
+type run = {
+  success : bool;
+  transfers : int;
+  distance : int;
+  energy_spent : float;
+}
+
+val simulate : Demand_map.t -> cost:Transfer.cost_model -> w:float -> run
+(** Replays the snake-path collector over the demand's bounding box
+    (2-D demand maps only; the box must have at least 2 vertices). *)
+
+val min_capacity : ?tol:float -> Demand_map.t -> Transfer.cost_model -> float
+(** Smallest uniform initial charge making {!simulate} succeed. *)
+
+val closed_form : Demand_map.t -> cost:Transfer.cost_model -> float
+(** The segment formulas with [n] replaced by the window volume [V]:
+    fixed [(a1(2V-3) + 2(V-1) + Σd)/V]; variable
+    [(2(V-1) + Σd)/(V - 2·a2·V + 3·a2)]. *)

@@ -1,0 +1,63 @@
+(** Chapter 5: inter-vehicle energy transfers.
+
+    Co-located vehicles may pass energy to each other, under one of two
+    accounting methods: a fixed charge of [a1] per transfer, or a variable
+    charge of [a2 << 1] per unit transferred.  Theorem 5.1.1 shows the
+    minimal capacity with transfers, [Wtrans-off], stays [Θ(Woff)] when
+    tanks are exactly the initial charge ([C = W]); §5.2 shows unbounded
+    tanks change the game: on a segment a single collector achieves
+    [Wtrans-off = Θ(avg d)]. *)
+
+type cost_model =
+  | Fixed of float  (** [a1] units of energy per transfer *)
+  | Variable of float  (** [a2] units per unit of energy transferred *)
+
+val remaining_after : w:float -> dist:int -> float
+(** Theorem 5.1.1's decay bound: starting with [w] units at one point, at
+    most [w·(1 - 1/w)^dist] arrive at distance [dist], however the moves
+    and transfers are arranged (independent of the accounting method). *)
+
+val import_bound : w:float -> side:int -> float
+(** Upper bound on the total energy that can ever be brought into (or
+    already sits in) an [side x side] square of [Z^2] when every vehicle
+    starts with [w]: the paper's
+    [w·(s^2 + 4w^2 + 4sw - 8w - 4s + 4)] closed form, derived by summing
+    the decay bound over distance shells [|{i : D(i,T) = r}| = 4s+4(r-1)].
+    For small [w] the shell series is evaluated exactly instead of with
+    the closed form (which assumes the geometric tail). *)
+
+val lower_bound : Demand_map.t -> float
+(** Lower bound on [Wtrans-off] for a 2-D demand map: the smallest [w]
+    such that every square's import bound covers its demand (maximized
+    over squares via sliding scans).  Theorem 5.1.1 shows this is
+    [Ω(Woff)]; together with [Wtrans-off <= Woff] it yields the Θ. *)
+
+(** §5.2.1: the collector strategy on a segment [1..n] with unbounded
+    tanks ([C = ∞]). *)
+module Segment : sig
+  type run = {
+    success : bool;  (** all demands served, tank never negative *)
+    transfers : int;  (** number of transfer events (paper: [2n-3]) *)
+    distance : int;  (** total distance walked (paper: [2n-2]) *)
+    energy_spent : float;  (** walks + services + transfer charges *)
+  }
+
+  val simulate : n:int -> demand:(int -> int) -> cost:cost_model -> w:float -> run
+  (** Replays the §5.2.1 schedule: vehicle 1 sweeps right collecting every
+      tank, tops vehicle [n] up to its demand, then sweeps back
+      redistributing exactly the demanded amounts, and finally serves its
+      own position.  Requires [n >= 2]. *)
+
+  val min_capacity : ?tol:float -> n:int -> demand:(int -> int) -> cost_model -> float
+  (** Smallest uniform initial charge [w] making {!simulate} succeed
+      (binary search, default tolerance 1e-4). *)
+
+  val closed_form : n:int -> total:int -> cost:cost_model -> float
+  (** The paper's formulas:
+      fixed cost  [w = (a1(2n-3) + 2n-2 + Σd) / n];
+      variable    [w = (2n-2 + Σd) / (n - 2·a2·n + 3·a2)]. *)
+
+  val no_transfer_capacity : n:int -> demand:(int -> int) -> float
+  (** [ω*] of the same segment demand without transfers (the 1-D LP value
+      via {!Oracle.omega_star}) — the contrast §5.2.1 draws. *)
+end

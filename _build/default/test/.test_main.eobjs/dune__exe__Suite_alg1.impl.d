@@ -1,0 +1,1 @@
+test/suite_alg1.ml: Alcotest Alg1 Array Demand_map List Oracle Printf Rng Stats Workload

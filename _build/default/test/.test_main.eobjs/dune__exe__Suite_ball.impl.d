@@ -1,0 +1,1 @@
+test/suite_ball.ml: Alcotest Array Ball Box List Point Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_baselines.ml: Alcotest Array Central Cvrp Demand_map Greedy_online List Option Oracle Printf Rng Tour Workload

@@ -1,0 +1,1 @@
+test/suite_breakdown.ml: Alcotest Array Breakdown Demand_map Float List Oracle Point Printf Rng

@@ -1,0 +1,1 @@
+test/suite_demand.ml: Alcotest Array Box Demand_map Gen List Point QCheck QCheck_alcotest Rng Workload

@@ -1,0 +1,1 @@
+test/suite_des.ml: Alcotest Des Hashtbl List Option Rng

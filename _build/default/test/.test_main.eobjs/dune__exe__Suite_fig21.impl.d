@@ -1,0 +1,1 @@
+test/suite_fig21.ml: Alcotest Exact Fig21 List Omega Planner Printf

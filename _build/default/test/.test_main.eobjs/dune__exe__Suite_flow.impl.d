@@ -1,0 +1,1 @@
+test/suite_flow.ml: Alcotest Array List Maxflow Rng

@@ -1,0 +1,1 @@
+test/suite_gcmvrp.ml: Alcotest Array Box Demand_map Digraph Float Gcmvrp Gonline List Oracle Printf Rng

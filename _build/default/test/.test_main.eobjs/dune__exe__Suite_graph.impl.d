@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Digraph Paths Rng

@@ -1,0 +1,1 @@
+test/suite_grid.ml: Alcotest Box List Option Point QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_io.ml: Alcotest Array Box Char List Point Render Rng String Workload Workload_io

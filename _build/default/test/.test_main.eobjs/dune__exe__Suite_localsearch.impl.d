@@ -1,0 +1,1 @@
+test/suite_localsearch.ml: Alcotest Box Demand_map Exact List Localsearch Omega Oracle Planner Printf Rng

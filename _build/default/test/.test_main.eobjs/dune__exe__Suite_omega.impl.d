@@ -1,0 +1,1 @@
+test/suite_omega.ml: Alcotest Ball Box Demand_map Float List Omega Printf QCheck QCheck_alcotest Rng

@@ -1,0 +1,1 @@
+test/suite_online.ml: Alcotest Array Box Hashtbl List Omega Online Oracle Point Printf QCheck QCheck_alcotest Rng Workload

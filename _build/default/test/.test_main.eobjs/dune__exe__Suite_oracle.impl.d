@@ -1,0 +1,1 @@
+test/suite_oracle.ml: Alcotest Demand_map Float List Omega Oracle Printf Rng

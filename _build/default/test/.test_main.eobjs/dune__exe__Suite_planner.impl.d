@@ -1,0 +1,1 @@
+test/suite_planner.ml: Alcotest Box Demand_map Gen List Oracle Planner Printf QCheck QCheck_alcotest Rng Workload

@@ -1,0 +1,1 @@
+test/suite_properties.ml: Alg1 Breakdown Demand_map Exact Format Greedy_online List Omega Online Oracle Planner Point QCheck QCheck_alcotest Rng Transfer Workload

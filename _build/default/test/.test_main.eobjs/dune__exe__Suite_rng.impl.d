@@ -1,0 +1,1 @@
+test/suite_rng.ml: Alcotest Array Float Rng Stats

@@ -1,0 +1,1 @@
+test/suite_snake.ml: Alcotest Array Box Point QCheck QCheck_alcotest Snake

@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Array Float Heap Int List Printf QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/suite_table.ml: Alcotest List String Table

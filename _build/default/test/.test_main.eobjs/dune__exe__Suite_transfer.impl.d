@@ -1,0 +1,1 @@
+test/suite_transfer.ml: Alcotest Demand_map Float Grid_collector List Oracle Planner Printf Rng Transfer

@@ -1,0 +1,1 @@
+test/suite_transport.ml: Alcotest Rng Transport

@@ -1,0 +1,138 @@
+(* Algorithm 1: special cases, the approximation sandwich, and the
+   linear-time operation count. *)
+
+let point2 x y = [| x; y |]
+
+let test_rejects_bad_n () =
+  Alcotest.check_raises "n not a power of two"
+    (Invalid_argument "Alg1.run: n must be a power of two") (fun () ->
+      ignore (Alg1.run ~dim:2 ~n:3 (Demand_map.empty 2)))
+
+let test_rejects_outside_support () =
+  let dm = Demand_map.of_alist 2 [ (point2 10 0, 1) ] in
+  Alcotest.check_raises "support outside"
+    (Invalid_argument "Alg1.run: support outside the grid") (fun () ->
+      ignore (Alg1.run ~dim:2 ~n:4 dm))
+
+let test_zero_demand () =
+  let r = Alg1.run ~dim:2 ~n:8 (Demand_map.empty 2) in
+  Alcotest.(check (float 0.0)) "zero" 0.0 r.Alg1.value
+
+let test_d_le_one_returns_d () =
+  (* Property 2.3.2: when every point has demand <= 1, Woff = D. *)
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 1); (point2 3 2, 1) ] in
+  let r = Alg1.run ~dim:2 ~n:4 dm in
+  Alcotest.(check (float 0.0)) "returns D" 1.0 r.Alg1.value;
+  Alcotest.(check bool) "special-case exit" true (r.Alg1.cube_side = None)
+
+let test_dense_grid_shortcut () =
+  (* Property 2.3.3: n <= average demand. *)
+  let n = 4 in
+  let dm =
+    Demand_map.of_alist 2
+      (List.concat_map
+         (fun x -> List.init n (fun y -> (point2 x y, 10)))
+         (List.init n (fun x -> x)))
+  in
+  let r = Alg1.run ~dim:2 ~n dm in
+  (* D = 10, Dhat = 10 >= n = 4: estimate = min(D, 2*Dhat + 2n) = 10. *)
+  Alcotest.(check (float 1e-9)) "min(D, 2Dhat+ln)" 10.0 r.Alg1.value;
+  Alcotest.(check bool) "special-case exit" true (r.Alg1.cube_side = None)
+
+let test_point_demand_scale () =
+  (* A single hot point of demand 1000 in a 64-grid: the accepted scale w
+     must satisfy 1000 <= w (3w)^2, i.e. w >= ~5 -> first power of two is 8;
+     also scale 4 fails (4*144 = 576 < 1000).  Estimate = 20w = 160. *)
+  let dm = Demand_map.of_alist 2 [ (point2 10 10, 1000) ] in
+  let r = Alg1.run ~dim:2 ~n:64 dm in
+  Alcotest.(check bool) "main-branch exit" true (r.Alg1.cube_side <> None);
+  (match r.Alg1.cube_side with
+  | Some w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "block budget holds at w=%d" w)
+        true
+        (1000 <= w * (3 * w) * (3 * w))
+  | None -> ());
+  Alcotest.(check (float 1e-9)) "estimate = 20w" 160.0 r.Alg1.value
+
+let approx_sandwich dm ~n =
+  let r = Alg1.run ~dim:2 ~n dm in
+  let star = Oracle.omega_star dm in
+  if Demand_map.total dm > 0 then begin
+    Alcotest.(check bool)
+      (Printf.sprintf "upper-bounds ω* (est=%g, ω*=%g)" r.Alg1.value star)
+      true
+      (r.Alg1.value >= star -. 1e-4);
+    Alcotest.(check bool)
+      (Printf.sprintf "within 2(2·3^l+l)·ω* (est=%g, ω*=%g)" r.Alg1.value star)
+      true
+      (r.Alg1.value <= (Alg1.approximation_factor 2 *. star) +. 1e-4)
+  end
+
+let test_sandwich_random_instances () =
+  let rng = Rng.create 55 in
+  for _ = 1 to 12 do
+    let support = 1 + Rng.int rng 6 in
+    let pts =
+      List.init support (fun _ ->
+          (point2 (Rng.int rng 8) (Rng.int rng 8), 1 + Rng.int rng 30))
+    in
+    approx_sandwich (Demand_map.of_alist 2 pts) ~n:8
+  done
+
+let test_sandwich_structured_instances () =
+  approx_sandwich
+    (Workload.demand (Workload.square ~side:4 ~per_point:12 ()))
+    ~n:16;
+  approx_sandwich (Workload.demand (Workload.line ~len:8 ~per_point:20)) ~n:16;
+  approx_sandwich (Workload.demand (Workload.point ~total:500 ())) ~n:16
+
+let test_linear_ops_scaling () =
+  (* cell_ops must grow linearly with the number of grid cells n^2. *)
+  let ops_at n =
+    let dm = Demand_map.of_alist 2 [ (point2 0 0, 50) ] in
+    float_of_int (Alg1.run ~dim:2 ~n dm).Alg1.cell_ops
+  in
+  let pts = [| 16.; 32.; 64.; 128. |] in
+  let series = Array.map (fun n -> (n *. n, ops_at (int_of_float n))) pts in
+  let slope = Stats.loglog_slope series in
+  Alcotest.(check bool)
+    (Printf.sprintf "ops ~ cells^1 (exponent %.3f)" slope)
+    true
+    (slope > 0.85 && slope < 1.15)
+
+let test_dim1 () =
+  let dm = Demand_map.of_alist 1 [ ([| 3 |], 40) ] in
+  let r = Alg1.run ~dim:1 ~n:16 dm in
+  let star = Oracle.omega_star dm in
+  Alcotest.(check bool) "1d sandwich" true
+    (r.Alg1.value >= star -. 1e-4
+    && r.Alg1.value <= (Alg1.approximation_factor 1 *. star) +. 1e-4)
+
+let suite =
+  [
+    Alcotest.test_case "rejects bad n" `Quick test_rejects_bad_n;
+    Alcotest.test_case "rejects outside support" `Quick test_rejects_outside_support;
+    Alcotest.test_case "zero demand" `Quick test_zero_demand;
+    Alcotest.test_case "D<=1 returns D" `Quick test_d_le_one_returns_d;
+    Alcotest.test_case "dense-grid shortcut" `Quick test_dense_grid_shortcut;
+    Alcotest.test_case "hot point scale" `Quick test_point_demand_scale;
+    Alcotest.test_case "sandwich on random instances" `Quick test_sandwich_random_instances;
+    Alcotest.test_case "sandwich on structured instances" `Quick test_sandwich_structured_instances;
+    Alcotest.test_case "linear operation count" `Quick test_linear_ops_scaling;
+    Alcotest.test_case "one-dimensional run" `Quick test_dim1;
+  ]
+
+(* --- appended: a 3-D run of the generic implementation --- *)
+
+let test_dim3_sandwich () =
+  let dm = Demand_map.of_alist 3 [ ([| 1; 1; 1 |], 300) ] in
+  let r = Alg1.run ~dim:3 ~n:8 dm in
+  let star = Oracle.omega_star dm in
+  Alcotest.(check bool)
+    (Printf.sprintf "3-D sandwich (est=%g, ω*=%g)" r.Alg1.value star)
+    true
+    (r.Alg1.value >= star -. 1e-4
+    && r.Alg1.value <= (Alg1.approximation_factor 3 *. star) +. 1e-4)
+
+let suite = suite @ [ Alcotest.test_case "3-D run" `Quick test_dim3_sandwich ]

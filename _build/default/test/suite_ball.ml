@@ -1,0 +1,139 @@
+(* Closed-form neighborhood sizes vs. BFS dilation — the identities behind
+   every ω_T computation. *)
+
+let point2 x y = [| x; y |]
+
+let test_binomial () =
+  Alcotest.(check int) "C(5,2)" 10 (Ball.binomial 5 2);
+  Alcotest.(check int) "C(n,0)" 1 (Ball.binomial 9 0);
+  Alcotest.(check int) "C(n,n)" 1 (Ball.binomial 9 9);
+  Alcotest.(check int) "out of range" 0 (Ball.binomial 4 7);
+  Alcotest.(check int) "negative k" 0 (Ball.binomial 4 (-1));
+  Alcotest.(check int) "C(20,10)" 184756 (Ball.binomial 20 10)
+
+let test_ball_volume_known () =
+  (* 1-D: 2r+1; 2-D diamond: 2r^2+2r+1. *)
+  Alcotest.(check int) "1d r=3" 7 (Ball.ball_volume ~dim:1 ~radius:3);
+  Alcotest.(check int) "2d r=1" 5 (Ball.ball_volume ~dim:2 ~radius:1);
+  Alcotest.(check int) "2d r=2" 13 (Ball.ball_volume ~dim:2 ~radius:2);
+  Alcotest.(check int) "3d r=1" 7 (Ball.ball_volume ~dim:3 ~radius:1);
+  Alcotest.(check int) "r=0" 1 (Ball.ball_volume ~dim:5 ~radius:0);
+  Alcotest.(check int) "negative radius" 0 (Ball.ball_volume ~dim:2 ~radius:(-1))
+
+let test_ball_volume_vs_bfs () =
+  for dim = 1 to 3 do
+    for r = 0 to 4 do
+      let bfs = Point.Set.cardinal (Ball.dilate_set [ Point.origin dim ] ~radius:r) in
+      Alcotest.(check int)
+        (Printf.sprintf "dim=%d r=%d" dim r)
+        bfs
+        (Ball.ball_volume ~dim ~radius:r)
+    done
+  done
+
+let test_cube_ball_volume_vs_bfs () =
+  for side = 1 to 3 do
+    for r = 0 to 3 do
+      let cube = Box.cube_at_origin ~dim:2 ~side in
+      let bfs = Point.Set.cardinal (Ball.dilate_set (Box.points cube) ~radius:r) in
+      Alcotest.(check int)
+        (Printf.sprintf "side=%d r=%d" side r)
+        bfs
+        (Ball.cube_ball_volume ~dim:2 ~side ~radius:r)
+    done
+  done
+
+let test_cube_ball_volume_3d_vs_bfs () =
+  let cube = Box.cube_at_origin ~dim:3 ~side:2 in
+  for r = 0 to 2 do
+    let bfs = Point.Set.cardinal (Ball.dilate_set (Box.points cube) ~radius:r) in
+    Alcotest.(check int)
+      (Printf.sprintf "3d side=2 r=%d" r)
+      bfs
+      (Ball.cube_ball_volume ~dim:3 ~side:2 ~radius:r)
+  done
+
+let test_segment_formula_vs_bfs () =
+  for len = 1 to 4 do
+    for r = 0 to 3 do
+      let seg = List.init len (fun i -> point2 i 0) in
+      let bfs = Point.Set.cardinal (Ball.dilate_set seg ~radius:r) in
+      Alcotest.(check int)
+        (Printf.sprintf "len=%d r=%d" len r)
+        bfs
+        (Ball.segment_ball_volume_2d ~len ~radius:r)
+    done
+  done
+
+let test_paper_shell_identity () =
+  (* Theorem 5.1.1 uses |{i : D(i,T) = r}| = 4s + 4(r-1) for an s x s
+     square in the plane. *)
+  for s = 1 to 3 do
+    let square = Box.points (Box.cube_at_origin ~dim:2 ~side:s) in
+    let shells = Ball.shell_sizes square ~max_radius:4 in
+    for r = 1 to 4 do
+      Alcotest.(check int)
+        (Printf.sprintf "s=%d r=%d" s r)
+        ((4 * s) + (4 * (r - 1)))
+        shells.(r)
+    done
+  done
+
+let test_shell_sizes_sum_to_ball () =
+  let pts = [ point2 0 0; point2 2 0 ] in
+  let shells = Ball.shell_sizes pts ~max_radius:3 in
+  let cumulative = Array.fold_left ( + ) 0 shells in
+  Alcotest.(check int) "shells sum to dilation"
+    (Point.Set.cardinal (Ball.dilate_set pts ~radius:3))
+    cumulative
+
+let test_box_ball_volume_rectangle () =
+  let rect = Box.make ~lo:(point2 0 0) ~hi:(point2 3 1) in
+  for r = 0 to 3 do
+    let bfs = Point.Set.cardinal (Ball.dilate_set (Box.points rect) ~radius:r) in
+    Alcotest.(check int) (Printf.sprintf "rect r=%d" r) bfs
+      (Ball.box_ball_volume rect ~radius:r)
+  done
+
+let test_neighborhood_size_non_box () =
+  (* An L-shaped set falls back to BFS; spot check against dilate_set. *)
+  let l_shape = [ point2 0 0; point2 1 0; point2 0 1 ] in
+  for r = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "L-shape r=%d" r)
+      (Point.Set.cardinal (Ball.dilate_set l_shape ~radius:r))
+      (Ball.neighborhood_size l_shape ~radius:r)
+  done
+
+let prop_closed_form_matches_bfs =
+  QCheck.Test.make ~name:"box_ball_volume = BFS dilation (random 2d boxes)"
+    ~count:60
+    QCheck.(triple (int_range 1 4) (int_range 1 4) (int_range 0 4))
+    (fun (w, h, r) ->
+      let box = Box.make ~lo:(point2 0 0) ~hi:(point2 (w - 1) (h - 1)) in
+      Ball.box_ball_volume box ~radius:r
+      = Point.Set.cardinal (Ball.dilate_set (Box.points box) ~radius:r))
+
+let prop_dilation_monotone =
+  QCheck.Test.make ~name:"dilation is monotone in the radius" ~count:60
+    QCheck.(pair (int_range 0 4) (int_range 0 4))
+    (fun (r1, r2) ->
+      let pts = [ point2 0 0; point2 3 2 ] in
+      let lo = min r1 r2 and hi = max r1 r2 in
+      Point.Set.subset (Ball.dilate_set pts ~radius:lo) (Ball.dilate_set pts ~radius:hi))
+
+let suite =
+  [
+    Alcotest.test_case "binomial" `Quick test_binomial;
+    Alcotest.test_case "ball volume known values" `Quick test_ball_volume_known;
+    Alcotest.test_case "ball volume vs BFS" `Quick test_ball_volume_vs_bfs;
+    Alcotest.test_case "cube ball vs BFS (2d)" `Quick test_cube_ball_volume_vs_bfs;
+    Alcotest.test_case "cube ball vs BFS (3d)" `Quick test_cube_ball_volume_3d_vs_bfs;
+    Alcotest.test_case "segment formula vs BFS" `Quick test_segment_formula_vs_bfs;
+    Alcotest.test_case "paper shell identity (Thm 5.1.1)" `Quick test_paper_shell_identity;
+    Alcotest.test_case "shells sum to dilation" `Quick test_shell_sizes_sum_to_ball;
+    Alcotest.test_case "rectangle closed form" `Quick test_box_ball_volume_rectangle;
+    Alcotest.test_case "non-box falls back to BFS" `Quick test_neighborhood_size_non_box;
+    QCheck_alcotest.to_alcotest prop_closed_form_matches_bfs;
+    QCheck_alcotest.to_alcotest prop_dilation_monotone;
+  ]

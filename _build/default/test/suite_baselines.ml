@@ -1,0 +1,160 @@
+(* Classical comparators: tour primitives, Clarke–Wright, sweep, central
+   dispatch, and the omniscient-greedy online baseline. *)
+
+let point2 x y = [| x; y |]
+
+let test_path_and_cycle_length () =
+  let pts = [ point2 0 0; point2 2 0; point2 2 2 ] in
+  Alcotest.(check int) "path" 4 (Tour.path_length pts);
+  Alcotest.(check int) "cycle" 8 (Tour.cycle_length pts);
+  Alcotest.(check int) "singleton cycle" 0 (Tour.cycle_length [ point2 1 1 ]);
+  Alcotest.(check int) "empty" 0 (Tour.path_length [])
+
+let test_nearest_neighbor_orders_greedily () =
+  let pts = [ point2 10 0; point2 1 0; point2 5 0 ] in
+  let ordered = Tour.nearest_neighbor ~start:(point2 0 0) pts in
+  Alcotest.(check bool) "greedy order" true
+    (List.map (fun p -> p.(0)) ordered = [ 1; 5; 10 ])
+
+let test_nearest_neighbor_is_permutation () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 20 do
+    let pts = List.init 12 (fun _ -> point2 (Rng.int rng 10) (Rng.int rng 10)) in
+    let ordered = Tour.nearest_neighbor ~start:(point2 0 0) pts in
+    Alcotest.(check int) "same length" (List.length pts) (List.length ordered);
+    Alcotest.(check bool) "same multiset" true
+      (List.sort compare pts = List.sort compare ordered)
+  done
+
+let test_two_opt_never_worse () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 25 do
+    let pts = List.init 10 (fun _ -> point2 (Rng.int rng 15) (Rng.int rng 15)) in
+    let improved = Tour.two_opt pts in
+    Alcotest.(check bool) "2-opt does not lengthen the cycle" true
+      (Tour.cycle_length improved <= Tour.cycle_length pts);
+    Alcotest.(check bool) "permutation" true
+      (List.sort compare pts = List.sort compare improved)
+  done
+
+let test_two_opt_fixes_crossing () =
+  (* A deliberately crossed square tour: 2-opt must recover the perimeter. *)
+  let crossed = [ point2 0 0; point2 4 4; point2 4 0; point2 0 4 ] in
+  let fixed = Tour.two_opt crossed in
+  Alcotest.(check int) "perimeter" 16 (Tour.cycle_length fixed)
+
+let grid_demand rng ~points ~max_d =
+  Demand_map.of_alist 2
+    (List.init points (fun _ ->
+         (point2 (Rng.int rng 12) (Rng.int rng 12), 1 + Rng.int rng max_d)))
+
+let test_clarke_wright_valid () =
+  let rng = Rng.create 15 in
+  for _ = 1 to 15 do
+    let dm = grid_demand rng ~points:10 ~max_d:5 in
+    let depot = Cvrp.centroid dm in
+    let sol = Cvrp.clarke_wright ~dm ~depot ~capacity:12 in
+    (match Cvrp.validate ~dm sol with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail ("clarke-wright: " ^ msg));
+    List.iter
+      (fun r ->
+        Alcotest.(check bool) "capacity respected" true
+          (Cvrp.route_demand dm r <= 12))
+      sol.Cvrp.routes
+  done
+
+let test_clarke_wright_merges_routes () =
+  (* Customers on a line far from the depot: merging must beat one round
+     trip each. *)
+  let dm = Demand_map.of_alist 2 (List.init 5 (fun i -> (point2 (10 + i) 0, 1))) in
+  let depot = point2 0 0 in
+  let merged = Cvrp.clarke_wright ~dm ~depot ~capacity:5 in
+  let singles = Cvrp.clarke_wright ~dm ~depot ~capacity:1 in
+  Alcotest.(check int) "single merged route" 1 (List.length merged.Cvrp.routes);
+  Alcotest.(check bool) "merging shortens total travel" true
+    (Cvrp.total_travel merged < Cvrp.total_travel singles)
+
+let test_sweep_valid () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 15 do
+    let dm = grid_demand rng ~points:10 ~max_d:4 in
+    let depot = Cvrp.centroid dm in
+    let sol = Cvrp.sweep ~dm ~depot 10 in
+    match Cvrp.validate ~dm sol with
+    | Ok () -> ()
+    | Error msg -> Alcotest.fail ("sweep: " ^ msg)
+  done
+
+let test_sweep_improvement_helps () =
+  let rng = Rng.create 19 in
+  let dm = grid_demand rng ~points:12 ~max_d:2 in
+  let depot = Cvrp.centroid dm in
+  let rough = Cvrp.sweep ~improve:false ~dm ~depot 100 in
+  let polished = Cvrp.sweep ~improve:true ~dm ~depot 100 in
+  Alcotest.(check bool) "2-opt no worse" true
+    (Cvrp.total_travel polished <= Cvrp.total_travel rough)
+
+let test_central_vehicles_needed () =
+  let dm = Demand_map.of_alist 2 [ (point2 3 0, 10) ] in
+  (* W = 5: reach = 2 per trip, so 5 vehicles. *)
+  Alcotest.(check (option int)) "ceil(10/2)" (Some 5)
+    (Central.vehicles_needed dm ~depot:(point2 0 0) ~capacity:5);
+  Alcotest.(check (option int)) "unreachable" None
+    (Central.vehicles_needed dm ~depot:(point2 0 0) ~capacity:3)
+
+let test_central_min_capacity () =
+  let dm = Demand_map.of_alist 2 [ (point2 3 0, 10) ] in
+  (* Fleet of 5 needs W = 5 (5 trips of 2 units each). *)
+  Alcotest.(check (option int)) "fleet 5" (Some 5)
+    (Central.min_capacity dm ~depot:(point2 0 0) ~fleet:5);
+  (* A single vehicle must haul everything: W = 3 + 10. *)
+  Alcotest.(check (option int)) "fleet 1" (Some 13)
+    (Central.min_capacity dm ~depot:(point2 0 0) ~fleet:1)
+
+let test_central_grows_with_distance () =
+  let near = Demand_map.of_alist 2 [ (point2 2 0, 8) ] in
+  let far = Demand_map.of_alist 2 [ (point2 40 0, 8) ] in
+  let cap dm = Option.get (Central.min_capacity dm ~depot:(point2 0 0) ~fleet:100) in
+  Alcotest.(check bool) "distance dominates" true (cap far > cap near + 30)
+
+let test_greedy_online_serves_with_generous_capacity () =
+  let w = Workload.square ~side:4 ~per_point:5 () in
+  let o = Greedy_online.run ~capacity:100.0 w in
+  Alcotest.(check bool) "success" true (Greedy_online.succeeded o);
+  Alcotest.(check int) "all served" 80 o.Greedy_online.served
+
+let test_greedy_online_fails_when_starved () =
+  let w = Workload.point ~total:100 () in
+  let o = Greedy_online.run ~capacity:2.0 w in
+  Alcotest.(check bool) "failures recorded" true (o.Greedy_online.failed > 0)
+
+let test_greedy_min_capacity_sandwich () =
+  (* Greedy is a valid online strategy, so its minimal capacity is also
+     an upper bound on Won and must exceed ω*. *)
+  let w = Workload.point ~total:200 () in
+  let star = Oracle.omega_star (Workload.demand w) in
+  let greedy = Greedy_online.min_feasible_capacity w in
+  Alcotest.(check bool)
+    (Printf.sprintf "ω* (%g) <= greedy (%g)" star greedy)
+    true
+    (star <= greedy +. 0.5)
+
+let suite =
+  [
+    Alcotest.test_case "path and cycle length" `Quick test_path_and_cycle_length;
+    Alcotest.test_case "nearest neighbor greedy" `Quick test_nearest_neighbor_orders_greedily;
+    Alcotest.test_case "nearest neighbor permutes" `Quick test_nearest_neighbor_is_permutation;
+    Alcotest.test_case "2-opt never worse" `Quick test_two_opt_never_worse;
+    Alcotest.test_case "2-opt fixes crossing" `Quick test_two_opt_fixes_crossing;
+    Alcotest.test_case "clarke-wright valid" `Quick test_clarke_wright_valid;
+    Alcotest.test_case "clarke-wright merges" `Quick test_clarke_wright_merges_routes;
+    Alcotest.test_case "sweep valid" `Quick test_sweep_valid;
+    Alcotest.test_case "sweep improvement" `Quick test_sweep_improvement_helps;
+    Alcotest.test_case "central vehicles needed" `Quick test_central_vehicles_needed;
+    Alcotest.test_case "central min capacity" `Quick test_central_min_capacity;
+    Alcotest.test_case "central grows with distance" `Quick test_central_grows_with_distance;
+    Alcotest.test_case "greedy online success" `Quick test_greedy_online_serves_with_generous_capacity;
+    Alcotest.test_case "greedy online starves" `Quick test_greedy_online_fails_when_starved;
+    Alcotest.test_case "greedy capacity sandwich" `Quick test_greedy_min_capacity_sandwich;
+  ]

@@ -1,0 +1,138 @@
+(* The discrete-event simulator: delivery, FIFO per channel, determinism,
+   and quiescence under handler-driven message chains. *)
+
+let test_delivers_all () =
+  let des = Des.create ~rng:(Rng.create 1) () in
+  let got = ref [] in
+  for i = 1 to 5 do
+    Des.send des ~src:0 ~dst:1 i
+  done;
+  Alcotest.(check int) "pending before run" 5 (Des.pending des);
+  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst:_ m ->
+      got := m :: !got);
+  Alcotest.(check int) "all delivered" 5 (List.length !got);
+  Alcotest.(check int) "counter" 5 (Des.messages_delivered des);
+  Alcotest.(check int) "nothing pending" 0 (Des.pending des)
+
+let test_fifo_per_channel () =
+  let des = Des.create ~rng:(Rng.create 2) () in
+  let got = ref [] in
+  for i = 1 to 50 do
+    Des.send des ~src:0 ~dst:1 i
+  done;
+  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst:_ m ->
+      got := m :: !got);
+  Alcotest.(check (list int)) "in-order delivery"
+    (List.init 50 (fun i -> i + 1))
+    (List.rev !got)
+
+let test_fifo_independent_channels () =
+  (* Interleave two channels; each must stay internally ordered. *)
+  let des = Des.create ~rng:(Rng.create 3) () in
+  let per_channel = Hashtbl.create 4 in
+  for i = 1 to 30 do
+    Des.send des ~src:0 ~dst:1 i;
+    Des.send des ~src:2 ~dst:1 (100 + i)
+  done;
+  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src ~dst:_ m ->
+      let old = Option.value ~default:[] (Hashtbl.find_opt per_channel src) in
+      Hashtbl.replace per_channel src (m :: old));
+  let channel src = List.rev (Option.value ~default:[] (Hashtbl.find_opt per_channel src)) in
+  Alcotest.(check (list int)) "channel 0" (List.init 30 (fun i -> i + 1)) (channel 0);
+  Alcotest.(check (list int)) "channel 2" (List.init 30 (fun i -> 101 + i)) (channel 2)
+
+let test_time_monotone () =
+  let des = Des.create ~rng:(Rng.create 4) () in
+  let last = ref neg_infinity in
+  for i = 1 to 40 do
+    Des.send des ~src:(i mod 3) ~dst:((i + 1) mod 3) i
+  done;
+  Des.run_until_quiescent des ~handler:(fun ~time ~src:_ ~dst:_ _ ->
+      Alcotest.(check bool) "time never goes backwards" true (time >= !last);
+      last := time)
+
+let test_handler_chain_extends_run () =
+  (* A relay: message k < 9 triggers a send of k+1; quiescence must reach
+     the end of the chain. *)
+  let des = Des.create ~rng:(Rng.create 5) () in
+  let hops = ref 0 in
+  Des.send des ~src:0 ~dst:1 0;
+  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst m ->
+      incr hops;
+      if m < 9 then Des.send des ~src:dst ~dst:(dst + 1) (m + 1));
+  Alcotest.(check int) "ten hops" 10 !hops
+
+let test_send_after_ordering () =
+  let des = Des.create ~rng:(Rng.create 6) () in
+  let got = ref [] in
+  Des.send_after des ~delay:100.0 ~src:0 ~dst:1 `Late;
+  Des.send_after des ~delay:0.0 ~src:2 ~dst:1 `Early;
+  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst:_ m ->
+      got := m :: !got);
+  Alcotest.(check bool) "delayed message arrives second" true
+    (List.rev !got = [ `Early; `Late ])
+
+let test_determinism () =
+  let trace seed =
+    let des = Des.create ~rng:(Rng.create seed) () in
+    let out = ref [] in
+    for i = 1 to 20 do
+      Des.send des ~src:(i mod 4) ~dst:((i * 7) mod 4) i
+    done;
+    Des.run_until_quiescent des ~handler:(fun ~time ~src ~dst m ->
+        out := (time, src, dst, m) :: !out);
+    !out
+  in
+  Alcotest.(check bool) "identical seeded traces" true (trace 42 = trace 42);
+  Alcotest.(check bool) "different seeds may reorder" true
+    (List.length (trace 1) = List.length (trace 2))
+
+let suite =
+  [
+    Alcotest.test_case "delivers all" `Quick test_delivers_all;
+    Alcotest.test_case "fifo per channel" `Quick test_fifo_per_channel;
+    Alcotest.test_case "fifo independent channels" `Quick test_fifo_independent_channels;
+    Alcotest.test_case "time monotone" `Quick test_time_monotone;
+    Alcotest.test_case "handler chain extends run" `Quick test_handler_chain_extends_run;
+    Alcotest.test_case "send_after ordering" `Quick test_send_after_ordering;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]
+
+(* --- appended: configuration edges --- *)
+
+let test_bad_delay_bounds_rejected () =
+  Alcotest.check_raises "max < min" (Invalid_argument "Des.create: bad delay bounds")
+    (fun () -> ignore (Des.create ~min_delay:2.0 ~max_delay:1.0 ~rng:(Rng.create 0) ()));
+  Alcotest.check_raises "negative min" (Invalid_argument "Des.create: bad delay bounds")
+    (fun () -> ignore (Des.create ~min_delay:(-0.1) ~max_delay:1.0 ~rng:(Rng.create 0) ()))
+
+let test_negative_delay_rejected () =
+  let des = Des.create ~rng:(Rng.create 1) () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Des.send_after: negative delay") (fun () ->
+      Des.send_after des ~delay:(-1.0) ~src:0 ~dst:1 ())
+
+let test_self_messages () =
+  let des = Des.create ~rng:(Rng.create 2) () in
+  let got = ref 0 in
+  Des.send des ~src:7 ~dst:7 ();
+  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src ~dst _ ->
+      Alcotest.(check int) "src" 7 src;
+      Alcotest.(check int) "dst" 7 dst;
+      incr got);
+  Alcotest.(check int) "delivered" 1 !got
+
+let test_clock_advances_with_delays () =
+  let des = Des.create ~min_delay:1.0 ~max_delay:1.0 ~rng:(Rng.create 3) () in
+  Des.send_after des ~delay:10.0 ~src:0 ~dst:1 ();
+  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst:_ _ -> ());
+  Alcotest.(check bool) "clock past the delay" true (Des.now des >= 11.0)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "bad delay bounds" `Quick test_bad_delay_bounds_rejected;
+      Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
+      Alcotest.test_case "self messages" `Quick test_self_messages;
+      Alcotest.test_case "clock advances" `Quick test_clock_advances_with_delays;
+    ]

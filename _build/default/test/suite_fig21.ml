@@ -1,0 +1,88 @@
+(* The specialized §2.1 strategies: exact reproduction of the 2·W2 and
+   3·W3 capacity factors of Figures 2.2 and 2.3. *)
+
+let test_line_validates () =
+  List.iter
+    (fun (len, d) ->
+      let s = Fig21.line ~len ~d in
+      match Fig21.validate s (Fig21.line_demand ~len ~d) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (Printf.sprintf "len=%d d=%d: %s" len d msg))
+    [ (1, 1); (5, 7); (12, 100); (30, 1000); (3, 2) ]
+
+let test_line_factor_two () =
+  (* Fig 2.2: capacity 2·W2 suffices (plus integer-rounding slack). *)
+  List.iter
+    (fun d ->
+      let w2 = Omega.example_line_w2 ~d in
+      let s = Fig21.line ~len:20 ~d in
+      Alcotest.(check bool)
+        (Printf.sprintf "d=%d: used %d <= 2·W2+2 = %.2f" d s.Fig21.capacity_used
+           ((2.0 *. w2) +. 2.0))
+        true
+        (float_of_int s.Fig21.capacity_used <= (2.0 *. w2) +. 2.0))
+    [ 1; 5; 50; 500; 5000 ]
+
+let test_line_beats_generic_planner () =
+  let d = 500 and len = 10 in
+  let dm = Fig21.line_demand ~len ~d in
+  let generic = Planner.max_energy (Planner.plan dm) in
+  let bespoke = (Fig21.line ~len ~d).Fig21.capacity_used in
+  Alcotest.(check bool)
+    (Printf.sprintf "bespoke (%d) < generic (%d)" bespoke generic)
+    true (bespoke < generic)
+
+let test_point_validates () =
+  List.iter
+    (fun d ->
+      let s = Fig21.point ~d in
+      match Fig21.validate s (Fig21.point_demand ~d) with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail (Printf.sprintf "d=%d: %s" d msg))
+    [ 1; 9; 100; 12345 ]
+
+let test_point_factor_three () =
+  (* Fig 2.3: capacity 3·W3 suffices (plus rounding slack). *)
+  List.iter
+    (fun d ->
+      let w3 = Omega.example_point_w3 ~d in
+      let s = Fig21.point ~d in
+      Alcotest.(check bool)
+        (Printf.sprintf "d=%d: used %d <= 3·W3+3 = %.2f" d s.Fig21.capacity_used
+           ((3.0 *. w3) +. 3.0))
+        true
+        (float_of_int s.Fig21.capacity_used <= (3.0 *. w3) +. 3.0))
+    [ 1; 10; 100; 1000; 100000 ]
+
+let test_point_above_exact_optimum () =
+  (* The bespoke strategy cannot beat the exact single-site optimum. *)
+  List.iter
+    (fun d ->
+      let exact = Exact.point_capacity ~dim:2 ~demand:d in
+      let s = Fig21.point ~d in
+      Alcotest.(check bool)
+        (Printf.sprintf "d=%d: exact %.2f <= used %d" d exact s.Fig21.capacity_used)
+        true
+        (float_of_int s.Fig21.capacity_used >= exact -. 1e-6))
+    [ 10; 100; 1000 ]
+
+let test_zero_demand () =
+  Alcotest.(check int) "line zero" 0 (Fig21.line ~len:4 ~d:0).Fig21.capacity_used;
+  Alcotest.(check int) "point zero" 0 (Fig21.point ~d:0).Fig21.capacity_used
+
+let test_validate_catches_underservice () =
+  let s = Fig21.point ~d:10 in
+  let wrong = Fig21.point_demand ~d:11 in
+  Alcotest.(check bool) "detects shortfall" true (Fig21.validate s wrong <> Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "line validates" `Quick test_line_validates;
+    Alcotest.test_case "line factor 2·W2 (Fig 2.2)" `Quick test_line_factor_two;
+    Alcotest.test_case "line beats generic planner" `Quick test_line_beats_generic_planner;
+    Alcotest.test_case "point validates" `Quick test_point_validates;
+    Alcotest.test_case "point factor 3·W3 (Fig 2.3)" `Quick test_point_factor_three;
+    Alcotest.test_case "point above exact optimum" `Quick test_point_above_exact_optimum;
+    Alcotest.test_case "zero demand" `Quick test_zero_demand;
+    Alcotest.test_case "validate catches underservice" `Quick test_validate_catches_underservice;
+  ]

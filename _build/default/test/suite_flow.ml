@@ -1,0 +1,133 @@
+(* Dinic max-flow: known instances, min-cut certification, and agreement
+   with a brute-force cut enumeration on random small networks. *)
+
+let test_single_edge () =
+  let net = Maxflow.create 2 in
+  let e = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:5 in
+  Alcotest.(check int) "value" 5 (Maxflow.max_flow net ~source:0 ~sink:1);
+  Alcotest.(check int) "edge flow" 5 (Maxflow.flow_on net e)
+
+let test_series_bottleneck () =
+  let net = Maxflow.create 3 in
+  ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:7);
+  ignore (Maxflow.add_edge net ~src:1 ~dst:2 ~cap:3);
+  Alcotest.(check int) "bottleneck" 3 (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_parallel_paths () =
+  let net = Maxflow.create 4 in
+  ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:4);
+  ignore (Maxflow.add_edge net ~src:1 ~dst:3 ~cap:4);
+  ignore (Maxflow.add_edge net ~src:0 ~dst:2 ~cap:2);
+  ignore (Maxflow.add_edge net ~src:2 ~dst:3 ~cap:5);
+  Alcotest.(check int) "sum of paths" 6 (Maxflow.max_flow net ~source:0 ~sink:3)
+
+let test_classic_residual_instance () =
+  (* The textbook instance where an augmenting path must be undone via a
+     residual edge. *)
+  let net = Maxflow.create 4 in
+  ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:1);
+  ignore (Maxflow.add_edge net ~src:0 ~dst:2 ~cap:1);
+  ignore (Maxflow.add_edge net ~src:1 ~dst:2 ~cap:1);
+  ignore (Maxflow.add_edge net ~src:1 ~dst:3 ~cap:1);
+  ignore (Maxflow.add_edge net ~src:2 ~dst:3 ~cap:1);
+  Alcotest.(check int) "value 2" 2 (Maxflow.max_flow net ~source:0 ~sink:3)
+
+let test_disconnected () =
+  let net = Maxflow.create 3 in
+  ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:9);
+  Alcotest.(check int) "zero flow" 0 (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_zero_capacity () =
+  let net = Maxflow.create 2 in
+  ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:0);
+  Alcotest.(check int) "zero" 0 (Maxflow.max_flow net ~source:0 ~sink:1)
+
+(* Brute force: min cut by enumerating all vertex bipartitions. *)
+let brute_force_min_cut ~n ~edges ~source ~sink =
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n) - 1 do
+    let side v = mask land (1 lsl v) <> 0 in
+    if side source && not (side sink) then begin
+      let cut =
+        List.fold_left
+          (fun acc (u, v, c) -> if side u && not (side v) then acc + c else acc)
+          0 edges
+      in
+      if cut < !best then best := cut
+    end
+  done;
+  !best
+
+let random_network rng =
+  let n = 2 + Rng.int rng 5 in
+  let m = Rng.int rng 14 in
+  let edges = ref [] in
+  for _ = 1 to m do
+    let u = Rng.int rng n and v = Rng.int rng n in
+    if u <> v then edges := (u, v, Rng.int rng 8) :: !edges
+  done;
+  (n, !edges)
+
+let test_matches_brute_force () =
+  let rng = Rng.create 2024 in
+  for _ = 1 to 150 do
+    let n, edges = random_network rng in
+    let net = Maxflow.create n in
+    List.iter (fun (u, v, c) -> ignore (Maxflow.add_edge net ~src:u ~dst:v ~cap:c)) edges;
+    let flow = Maxflow.max_flow net ~source:0 ~sink:(n - 1) in
+    let cut = brute_force_min_cut ~n ~edges ~source:0 ~sink:(n - 1) in
+    Alcotest.(check int) "max-flow = min-cut (brute force)" cut flow
+  done
+
+let test_min_cut_side_certifies () =
+  let rng = Rng.create 77 in
+  for _ = 1 to 50 do
+    let n, edges = random_network rng in
+    let net = Maxflow.create n in
+    List.iter (fun (u, v, c) -> ignore (Maxflow.add_edge net ~src:u ~dst:v ~cap:c)) edges;
+    let flow = Maxflow.max_flow net ~source:0 ~sink:(n - 1) in
+    let side = Maxflow.min_cut_side net ~source:0 in
+    Alcotest.(check bool) "source on source side" true side.(0);
+    Alcotest.(check bool) "sink on sink side" false side.(n - 1);
+    let cut =
+      List.fold_left
+        (fun acc (u, v, c) -> if side.(u) && not side.(v) then acc + c else acc)
+        0 edges
+    in
+    Alcotest.(check int) "cut value equals flow" flow cut
+  done
+
+let test_flow_conservation () =
+  let rng = Rng.create 5150 in
+  for _ = 1 to 50 do
+    let n, edges = random_network rng in
+    let net = Maxflow.create n in
+    let ids = List.map (fun (u, v, c) -> ((u, v), Maxflow.add_edge net ~src:u ~dst:v ~cap:c)) edges in
+    let value = Maxflow.max_flow net ~source:0 ~sink:(n - 1) in
+    let balance = Array.make n 0 in
+    List.iter
+      (fun ((u, v), id) ->
+        let f = Maxflow.flow_on net id in
+        Alcotest.(check bool) "0 <= flow <= cap" true (f >= 0);
+        balance.(u) <- balance.(u) - f;
+        balance.(v) <- balance.(v) + f)
+      ids;
+    Alcotest.(check int) "source emits value" (-value) balance.(0);
+    Alcotest.(check int) "sink absorbs value" value balance.(n - 1);
+    for v = 1 to n - 2 do
+      Alcotest.(check int) "interior balanced" 0 balance.(v)
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "single edge" `Quick test_single_edge;
+    Alcotest.test_case "series bottleneck" `Quick test_series_bottleneck;
+    Alcotest.test_case "parallel paths" `Quick test_parallel_paths;
+    Alcotest.test_case "residual instance" `Quick test_classic_residual_instance;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "zero capacity" `Quick test_zero_capacity;
+    Alcotest.test_case "matches brute force" `Quick test_matches_brute_force;
+    Alcotest.test_case "min cut certifies" `Quick test_min_cut_side_certifies;
+    Alcotest.test_case "flow conservation" `Quick test_flow_conservation;
+  ]

@@ -1,0 +1,221 @@
+(* Local-search refinement and the exact single-site solver. *)
+
+let point2 x y = [| x; y |]
+
+let check_solution dm sol =
+  match Localsearch.validate sol dm with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invalid solution: " ^ msg)
+
+let test_of_plan_matches_planner_peak () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 200); (point2 4 4, 30) ] in
+  let plan = Planner.plan dm in
+  let sol = Localsearch.of_plan plan in
+  check_solution dm sol;
+  Alcotest.(check int) "same peak as the plan" (Planner.max_energy plan)
+    (Localsearch.peak_energy sol)
+
+let test_improve_never_worse () =
+  let rng = Rng.create 4321 in
+  for _ = 1 to 8 do
+    let pts =
+      List.init
+        (1 + Rng.int rng 5)
+        (fun _ -> (point2 (Rng.int rng 6) (Rng.int rng 6), 1 + Rng.int rng 60))
+    in
+    let dm = Demand_map.of_alist 2 pts in
+    let base = Localsearch.of_plan (Planner.plan dm) in
+    let improved = Localsearch.improve base dm in
+    check_solution dm improved;
+    Alcotest.(check bool) "peak never rises" true
+      (Localsearch.peak_energy improved <= Localsearch.peak_energy base)
+  done
+
+let test_solve_between_bounds () =
+  let rng = Rng.create 8765 in
+  for _ = 1 to 6 do
+    let pts =
+      List.init 3 (fun _ -> (point2 (Rng.int rng 5) (Rng.int rng 5), 1 + Rng.int rng 40))
+    in
+    let dm = Demand_map.of_alist 2 pts in
+    let sol = Localsearch.solve dm in
+    check_solution dm sol;
+    let peak = float_of_int (Localsearch.peak_energy sol) in
+    let star = Oracle.omega_star dm in
+    Alcotest.(check bool)
+      (Printf.sprintf "ω* (%g) <= refined peak (%g)" star peak)
+      true
+      (star <= peak +. 1e-6)
+  done
+
+let test_solve_improves_hot_point () =
+  (* The constructive plan is loose on a hot point; local search must cut
+     the peak substantially. *)
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 500) ] in
+  let plan_peak = Planner.max_energy (Planner.plan dm) in
+  let refined = Localsearch.peak_energy (Localsearch.solve dm) in
+  Alcotest.(check bool)
+    (Printf.sprintf "refined (%d) < constructive (%d)" refined plan_peak)
+    true
+    (refined < plan_peak)
+
+let test_vehicle_energy_route () =
+  let window = Box.make ~lo:(point2 0 0) ~hi:(point2 4 4) in
+  (* Vehicle at (0,0) serving 3 units at (2,0) and 1 at (2,1): best path is
+     home -> (2,0) -> (2,1), travel 3, units 4. *)
+  let v = Box.index window (point2 0 0) in
+  let loads =
+    [
+      { Localsearch.site = point2 2 0; units = 3 };
+      { Localsearch.site = point2 2 1; units = 1 };
+    ]
+  in
+  Alcotest.(check int) "travel + units" 7 (Localsearch.vehicle_energy ~window v loads)
+
+(* --- exact single-site Woff --- *)
+
+let test_exact_point_small_values () =
+  (* d = 1: the site's own vehicle serves it: W = 1. *)
+  Alcotest.(check (float 1e-9)) "d=1" 1.0 (Exact.point_capacity ~dim:2 ~demand:1);
+  (* d = 2: W in [1,2): own vehicle gives W, 4 ring-1 vehicles give (W-1)
+     each: W + 4(W-1) >= 2 -> W = 1.2. *)
+  Alcotest.(check (float 1e-9)) "d=2" 1.2 (Exact.point_capacity ~dim:2 ~demand:2)
+
+let test_exact_point_inverse () =
+  for d = 1 to 200 do
+    let w = Exact.point_capacity ~dim:2 ~demand:d in
+    Alcotest.(check bool)
+      (Printf.sprintf "deliverable at W covers d=%d" d)
+      true
+      (Exact.point_deliverable ~dim:2 ~w >= float_of_int d -. 1e-6);
+    if w > 1e-9 then
+      Alcotest.(check bool)
+        (Printf.sprintf "W is minimal for d=%d" d)
+        true
+        (Exact.point_deliverable ~dim:2 ~w:(w -. 1e-6) < float_of_int d)
+  done
+
+let test_exact_between_paper_bounds () =
+  (* §2.1.3: W3 <= Woff <= 3·W3 for point demand. *)
+  List.iter
+    (fun d ->
+      let exact = Exact.point_capacity ~dim:2 ~demand:d in
+      let w3 = Omega.example_point_w3 ~d in
+      Alcotest.(check bool)
+        (Printf.sprintf "W3 (%g) <= exact (%g) <= 3·W3 for d=%d" w3 exact d)
+        true
+        (exact >= w3 -. 1e-6 && exact <= (3.0 *. w3) +. 1.0))
+    [ 10; 100; 1000; 100000 ]
+
+let test_exact_dominates_lp_lower_bound () =
+  List.iter
+    (fun d ->
+      let exact = Exact.point_capacity ~dim:2 ~demand:d in
+      let dm = Demand_map.of_alist 2 [ (point2 0 0, d) ] in
+      let star = Oracle.omega_star dm in
+      Alcotest.(check bool)
+        (Printf.sprintf "ω* (%g) <= exact (%g) for d=%d" star exact d)
+        true
+        (star <= exact +. 1e-4))
+    [ 5; 50; 500 ]
+
+let test_exact_upper_bounds_local_search () =
+  (* Local search cannot beat the exact optimum. *)
+  List.iter
+    (fun d ->
+      let exact = Exact.point_capacity ~dim:2 ~demand:d in
+      let dm = Demand_map.of_alist 2 [ (point2 0 0, d) ] in
+      let refined = Localsearch.peak_energy (Localsearch.solve dm) in
+      Alcotest.(check bool)
+        (Printf.sprintf "exact (%g) <= refined (%d) for d=%d" exact refined d)
+        true
+        (float_of_int refined >= exact -. 1e-6))
+    [ 20; 100; 400 ]
+
+let test_exact_1d_and_3d () =
+  (* 1-D, d = 3: W + 2(W-1) >= 3 -> W = 5/3. *)
+  Alcotest.(check (float 1e-9)) "1d d=3" (5.0 /. 3.0)
+    (Exact.point_capacity ~dim:1 ~demand:3);
+  (* 3-D shells are bigger, so the capacity is smaller for equal demand. *)
+  Alcotest.(check bool) "3d cheaper than 2d" true
+    (Exact.point_capacity ~dim:3 ~demand:1000
+    < Exact.point_capacity ~dim:2 ~demand:1000)
+
+let suite =
+  [
+    Alcotest.test_case "of_plan keeps the peak" `Quick test_of_plan_matches_planner_peak;
+    Alcotest.test_case "improve never worse" `Quick test_improve_never_worse;
+    Alcotest.test_case "solve between bounds" `Quick test_solve_between_bounds;
+    Alcotest.test_case "solve improves hot point" `Quick test_solve_improves_hot_point;
+    Alcotest.test_case "vehicle energy route" `Quick test_vehicle_energy_route;
+    Alcotest.test_case "exact point small values" `Quick test_exact_point_small_values;
+    Alcotest.test_case "exact point inverse" `Quick test_exact_point_inverse;
+    Alcotest.test_case "exact within paper bounds" `Quick test_exact_between_paper_bounds;
+    Alcotest.test_case "exact dominates ω*" `Quick test_exact_dominates_lp_lower_bound;
+    Alcotest.test_case "exact <= local search" `Quick test_exact_upper_bounds_local_search;
+    Alcotest.test_case "exact in 1d and 3d" `Quick test_exact_1d_and_3d;
+  ]
+
+(* --- appended: tiny exhaustive Woff --- *)
+
+let window_for dm ~pad =
+  match Demand_map.bounding_box dm with
+  | None -> Box.cube_at_origin ~dim:2 ~side:1
+  | Some b -> Box.dilate b pad
+
+let test_tiny_exact_singletons () =
+  (* One unit at one point: its own vehicle serves it, W = 1. *)
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 1) ] in
+  Alcotest.(check (option int)) "W=1" (Some 1)
+    (Exact.tiny_woff dm ~window:(window_for dm ~pad:1))
+
+let test_tiny_exact_two_units_same_site () =
+  (* Two units at one point: own vehicle serves both (W=2) — a helper
+     would pay 1 travel + 1 service = 2 as well. *)
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 2) ] in
+  Alcotest.(check (option int)) "W=2" (Some 2)
+    (Exact.tiny_woff dm ~window:(window_for dm ~pad:1))
+
+let test_tiny_exact_spreads_load () =
+  (* Four units at one point with a 3x3 fleet: peak 2 is achievable (own
+     vehicle serves 2, neighbors deliver 1 each at cost 1+1). *)
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 4) ] in
+  Alcotest.(check (option int)) "W=2" (Some 2)
+    (Exact.tiny_woff dm ~window:(window_for dm ~pad:1))
+
+let test_tiny_exact_bounded_by_heuristics () =
+  let rng = Rng.create 777 in
+  for _ = 1 to 6 do
+    let k = 2 + Rng.int rng 4 in
+    let pts = List.init k (fun _ -> (point2 (Rng.int rng 2) (Rng.int rng 2), 1)) in
+    let dm = Demand_map.of_alist 2 pts in
+    let window = window_for dm ~pad:1 in
+    match Exact.tiny_woff dm ~window with
+    | None -> Alcotest.fail "instance within tiny limits"
+    | Some exact ->
+        let star = Oracle.omega_star dm in
+        let ls = Localsearch.peak_energy (Localsearch.solve dm) in
+        Alcotest.(check bool)
+          (Printf.sprintf "ω* (%g) <= exact (%d)" star exact)
+          true
+          (star <= float_of_int exact +. 1e-6);
+        Alcotest.(check bool)
+          (Printf.sprintf "exact (%d) <= local search (%d)" exact ls)
+          true
+          (exact <= ls || ls = 0)
+  done
+
+let test_tiny_exact_refuses_large () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 100) ] in
+  Alcotest.(check (option int)) "too many units" None
+    (Exact.tiny_woff dm ~window:(window_for dm ~pad:1))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "tiny exact: singleton" `Quick test_tiny_exact_singletons;
+      Alcotest.test_case "tiny exact: two units" `Quick test_tiny_exact_two_units_same_site;
+      Alcotest.test_case "tiny exact: spreads load" `Quick test_tiny_exact_spreads_load;
+      Alcotest.test_case "tiny exact vs heuristics" `Quick test_tiny_exact_bounded_by_heuristics;
+      Alcotest.test_case "tiny exact refuses large" `Quick test_tiny_exact_refuses_large;
+    ]

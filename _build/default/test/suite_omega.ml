@@ -1,0 +1,174 @@
+(* ω_T: bracket arithmetic, closed forms, and the maximizations of
+   Theorem 1.4.1 / Corollaries 2.2.6–2.2.7. *)
+
+let point2 x y = [| x; y |]
+
+let test_solve_zero () =
+  Alcotest.(check (float 0.0)) "zero demand" 0.0
+    (Omega.solve ~neighborhood_size:(fun _ -> 1) ~total:0)
+
+let test_single_point_small_demands () =
+  (* Single point in the plane: |N_0| = 1, |N_1| = 5, |N_2| = 13. *)
+  Alcotest.(check (float 1e-12)) "d=1 -> ω=1" 1.0
+    (Omega.of_points [ point2 0 0 ] ~total:1);
+  Alcotest.(check (float 1e-12)) "d=3 -> ω=1" 1.0
+    (Omega.of_points [ point2 0 0 ] ~total:3);
+  (* d=10: bracket [2,3) with |N_2| = 13 gives max(2, 10/13) = 2. *)
+  Alcotest.(check (float 1e-12)) "d=10 -> ω=2" 2.0
+    (Omega.of_points [ point2 0 0 ] ~total:10);
+  (* d=7: bracket [1,2): 7/5 = 1.4. *)
+  Alcotest.(check (float 1e-12)) "d=7 -> ω=1.4" 1.4
+    (Omega.of_points [ point2 0 0 ] ~total:7)
+
+let test_of_cube_matches_of_points () =
+  for side = 1 to 3 do
+    for total = 1 to 40 do
+      let cube = Box.cube_at_origin ~dim:2 ~side in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "side=%d total=%d" side total)
+        (Omega.of_points (Box.points cube) ~total)
+        (Omega.of_cube ~dim:2 ~side ~total)
+    done
+  done
+
+let test_solve_defining_inequality () =
+  (* The returned ω satisfies ω·|N_⌊ω⌋| >= total, and nothing visibly
+     smaller does. *)
+  let check points total =
+    let w = Omega.of_points points ~total in
+    let nsize r = Ball.neighborhood_size points ~radius:r in
+    let value v = v *. float_of_int (nsize (int_of_float (Float.floor v))) in
+    Alcotest.(check bool) "feasible at omega" true
+      (value w >= float_of_int total -. 1e-6);
+    let slightly_less = w -. 1e-6 in
+    if slightly_less > 0.0 then
+      Alcotest.(check bool) "infimum" true (value slightly_less < float_of_int total)
+  in
+  check [ point2 0 0 ] 17;
+  check [ point2 0 0; point2 1 0 ] 23;
+  check (Box.points (Box.cube_at_origin ~dim:2 ~side:3)) 100
+
+let test_monotone_in_total () =
+  let points = Box.points (Box.cube_at_origin ~dim:2 ~side:2) in
+  let prev = ref 0.0 in
+  for total = 1 to 60 do
+    let w = Omega.of_points points ~total in
+    Alcotest.(check bool) "non-decreasing in demand" true (w >= !prev);
+    prev := w
+  done
+
+let random_demand rng ~support ~max_d =
+  let pts = ref [] in
+  for _ = 1 to support do
+    pts := (point2 (Rng.int rng 5) (Rng.int rng 5), 1 + Rng.int rng max_d) :: !pts
+  done;
+  Demand_map.of_alist 2 !pts
+
+let test_subsets_dominate_cubes () =
+  (* A cube has at least the neighborhood of its demand-carrying subset, so
+     ω over subsets of the support dominates ω over cubes. *)
+  let rng = Rng.create 123 in
+  for _ = 1 to 30 do
+    let dm = random_demand rng ~support:5 ~max_d:8 in
+    let cubes = Omega.max_over_cubes dm in
+    let subsets = Omega.max_over_subsets dm in
+    Alcotest.(check bool)
+      (Printf.sprintf "subsets (%g) >= cubes (%g)" subsets cubes)
+      true
+      (subsets >= cubes -. 1e-9)
+  done
+
+let test_cube_scan_finds_hot_square () =
+  (* Demand 8 on each point of a 2x2 square; the 2x2 cube is the hot set. *)
+  let dm =
+    Demand_map.of_alist 2
+      [ (point2 0 0, 8); (point2 0 1, 8); (point2 1 0, 8); (point2 1 1, 8) ]
+  in
+  let expected = Omega.of_cube ~dim:2 ~side:2 ~total:32 in
+  Alcotest.(check (float 1e-12)) "hot square found" expected (Omega.max_over_cubes dm)
+
+let test_cube_fixpoint_bounds () =
+  let rng = Rng.create 321 in
+  for _ = 1 to 20 do
+    let dm = random_demand rng ~support:5 ~max_d:10 in
+    let wc, side = Omega.cube_fixpoint_with_side dm in
+    Alcotest.(check bool) "positive" true (wc > 0.0);
+    Alcotest.(check bool) "side brackets ωc" true
+      (float_of_int (side - 1) <= wc +. 1e-9 && wc <= float_of_int side +. 1e-9);
+    (* ωc is a Woff lower bound, so it must not exceed the subset max by
+       more than the discretization slack. *)
+    let star = Omega.max_over_subsets dm in
+    Alcotest.(check bool)
+      (Printf.sprintf "ωc (%g) <= ω* (%g) + 1" wc star)
+      true (wc <= star +. 1.0)
+  done
+
+let test_cube_fixpoint_empty () =
+  Alcotest.(check (float 0.0)) "empty" 0.0 (Omega.cube_fixpoint (Demand_map.empty 2))
+
+let test_example_line_w2_closed_form () =
+  (* W(2W+1) = d has W = (-1 + sqrt(1+8d))/4; d = 10 gives exactly 2. *)
+  Alcotest.(check (float 1e-9)) "d=10" 2.0 (Omega.example_line_w2 ~d:10);
+  for d = 1 to 50 do
+    let w = Omega.example_line_w2 ~d in
+    Alcotest.(check (float 1e-6))
+      (Printf.sprintf "plugs back d=%d" d)
+      (float_of_int d)
+      (w *. ((2.0 *. w) +. 1.0))
+  done
+
+let test_example_point_w3_plugs_back () =
+  for d = 1 to 50 do
+    let w = Omega.example_point_w3 ~d in
+    Alcotest.(check (float 1e-5))
+      (Printf.sprintf "plugs back d=%d" d)
+      (float_of_int d)
+      (w *. (((2.0 *. w) +. 1.0) ** 2.0))
+  done
+
+let test_example_square_w1_plugs_back () =
+  List.iter
+    (fun (a, d) ->
+      let w = Omega.example_square_w1 ~a ~d in
+      let fa = float_of_int a and fd = float_of_int d in
+      Alcotest.(check (float 1e-4))
+        (Printf.sprintf "plugs back a=%d d=%d" a d)
+        (fd *. fa *. fa)
+        (w *. (((2.0 *. w) +. fa) ** 2.0)))
+    [ (1, 5); (4, 10); (16, 100); (64, 7) ]
+
+let test_example_square_w1_approaches_d () =
+  (* §2.1.1: as a grows, W1 -> d. *)
+  let d = 9 in
+  let w_small = Omega.example_square_w1 ~a:2 ~d in
+  let w_large = Omega.example_square_w1 ~a:4096 ~d in
+  Alcotest.(check bool) "increasing toward d" true (w_small < w_large);
+  Alcotest.(check bool) "close to d for huge squares" true
+    (w_large > 0.9 *. float_of_int d && w_large < float_of_int d)
+
+let prop_omega_scale_invariance_line =
+  (* On a line of length m with demand d per point, ω_T depends on d and m
+     through the equation only; doubling d must increase ω. *)
+  QCheck.Test.make ~name:"ω grows when demand doubles" ~count:50
+    QCheck.(pair (int_range 1 6) (int_range 1 20))
+    (fun (len, d) ->
+      let pts = List.init len (fun i -> point2 i 0) in
+      Omega.of_points pts ~total:(len * d) <= Omega.of_points pts ~total:(2 * len * d))
+
+let suite =
+  [
+    Alcotest.test_case "solve zero" `Quick test_solve_zero;
+    Alcotest.test_case "single point demands" `Quick test_single_point_small_demands;
+    Alcotest.test_case "cube closed form = BFS" `Quick test_of_cube_matches_of_points;
+    Alcotest.test_case "defining inequality" `Quick test_solve_defining_inequality;
+    Alcotest.test_case "monotone in total" `Quick test_monotone_in_total;
+    Alcotest.test_case "subsets dominate cubes" `Quick test_subsets_dominate_cubes;
+    Alcotest.test_case "cube scan finds hot square" `Quick test_cube_scan_finds_hot_square;
+    Alcotest.test_case "cube fixpoint bounds" `Quick test_cube_fixpoint_bounds;
+    Alcotest.test_case "cube fixpoint empty" `Quick test_cube_fixpoint_empty;
+    Alcotest.test_case "W2 closed form" `Quick test_example_line_w2_closed_form;
+    Alcotest.test_case "W3 plugs back" `Quick test_example_point_w3_plugs_back;
+    Alcotest.test_case "W1 plugs back" `Quick test_example_square_w1_plugs_back;
+    Alcotest.test_case "W1 -> d as a grows" `Quick test_example_square_w1_approaches_d;
+    QCheck_alcotest.to_alcotest prop_omega_scale_invariance_line;
+  ]

@@ -1,0 +1,357 @@
+(* The Chapter 3 distributed strategy: full service at the theorem
+   capacity, replacement via diffusing computations, failure scenarios,
+   and the Won sandwich of Theorem 1.4.2. *)
+
+let point2 x y = [| x; y |]
+
+let run_recommended ?faults w =
+  let cfg = Online.recommended w in
+  let cfg = match faults with None -> cfg | Some f -> { cfg with Online.faults = f } in
+  Online.run cfg w
+
+let check_success name w o =
+  if not (Online.succeeded o) then begin
+    let first =
+      match o.Online.failures with
+      | [] -> "?"
+      | f :: _ ->
+          Printf.sprintf "job %d at %s: %s" f.Online.job
+            (Point.to_string f.Online.position)
+            f.Online.reason
+    in
+    Alcotest.fail
+      (Printf.sprintf "%s: %d failures (first: %s)" name
+         (List.length o.Online.failures) first)
+  end;
+  Alcotest.(check int)
+    (name ^ ": every job served")
+    (Array.length w.Workload.jobs)
+    o.Online.served
+
+let test_single_job () =
+  let w = Workload.point ~total:1 () in
+  let o = run_recommended w in
+  check_success "single job" w o;
+  Alcotest.(check int) "one vehicle fleet serves it" o.Online.served 1
+
+let test_point_workload_with_replacements () =
+  let w = Workload.point ~total:800 () in
+  let o = run_recommended w in
+  check_success "hot point" w o;
+  Alcotest.(check bool) "replacements happened" true (o.Online.replacements > 0);
+  Alcotest.(check bool) "computations ran" true (o.Online.computations > 0);
+  Alcotest.(check bool) "messages flowed" true (o.Online.messages > 0)
+
+let test_square_workload () =
+  let w = Workload.square ~side:4 ~per_point:30 () in
+  check_success "square" w (run_recommended w)
+
+let test_line_workload () =
+  let w = Workload.line ~len:10 ~per_point:25 in
+  check_success "line" w (run_recommended w)
+
+let test_uniform_workload () =
+  let rng = Rng.create 2718 in
+  let box = Box.make ~lo:(point2 0 0) ~hi:(point2 9 9) in
+  let w = Workload.uniform ~rng ~box ~jobs:300 in
+  check_success "uniform" w (run_recommended w)
+
+let test_zipf_workload () =
+  let rng = Rng.create 987 in
+  let box = Box.make ~lo:(point2 0 0) ~hi:(point2 7 7) in
+  let w = Workload.zipf_sites ~rng ~box ~sites:10 ~jobs:400 ~exponent:1.3 in
+  check_success "zipf" w (run_recommended w)
+
+let test_energy_never_exceeds_capacity () =
+  let w = Workload.point ~total:500 () in
+  let cfg = Online.recommended w in
+  let o = Online.run cfg w in
+  check_success "capacity audit" w o;
+  Alcotest.(check bool) "peak use within capacity" true
+    (o.Online.max_energy_used <= cfg.Online.capacity +. 1e-9)
+
+let test_message_delay_seed_invariance_of_service () =
+  (* Different message schedules must not change what gets served. *)
+  let w = Workload.point ~total:300 () in
+  List.iter
+    (fun seed ->
+      let o = run_recommended { w with Workload.name = w.Workload.name } in
+      ignore seed;
+      check_success "seeded run" w o)
+    [ 1; 2; 3 ];
+  let cfg1 = Online.recommended ~seed:11 w in
+  let cfg2 = Online.recommended ~seed:22 w in
+  let o1 = Online.run cfg1 w and o2 = Online.run cfg2 w in
+  Alcotest.(check int) "same served count across delays" o1.Online.served
+    o2.Online.served
+
+let test_pairs_covered_after_run () =
+  (* If no search starved, every pair must end with an active vehicle —
+     the Lemma 3.3.1 invariant. *)
+  let w = Workload.point ~total:600 () in
+  let o = run_recommended w in
+  check_success "coverage" w o;
+  Alcotest.(check int) "no starved searches at theorem capacity" 0
+    o.Online.starved_searches
+
+let test_scenario2_silent_initiator () =
+  (* The initial active at the hot point will exhaust and stay silent; the
+     monitoring ring must replace it anyway. *)
+  let w = Workload.point ~total:600 () in
+  let base = Online.recommended w in
+  (* Silence every vehicle: all done vehicles rely on their monitors. *)
+  let all_ids = List.init 200 (fun i -> i) in
+  let cfg = { base with Online.faults = { Online.no_faults with Online.silent_initiators = all_ids } } in
+  let o = Online.run cfg w in
+  check_success "scenario 2" w o;
+  Alcotest.(check bool) "replacements still happen" true (o.Online.replacements > 0)
+
+let test_scenario3_dead_vehicles () =
+  (* Kill a couple of active vehicles mid-run; monitors must recover. *)
+  let w = Workload.square ~side:4 ~per_point:40 () in
+  let base = Online.recommended w in
+  let cfg =
+    {
+      base with
+      Online.capacity = base.Online.capacity +. 8.0;
+      faults = { Online.no_faults with Online.deaths = [ (10, 0); (30, 5) ] };
+    }
+  in
+  let o = Online.run cfg w in
+  check_success "scenario 3" w o
+
+let test_death_before_first_job () =
+  let w = Workload.point ~total:50 () in
+  let base = Online.recommended w in
+  (* Kill the initial active of the origin's pair before any job. *)
+  let cfg =
+    { base with Online.faults = { Online.no_faults with Online.deaths = [ (0, 0) ] } }
+  in
+  let o = Online.run cfg w in
+  (* Either vehicle 0 was not the responsible active (then nothing
+     changes), or the ring replaced it; both ways every job is served. *)
+  check_success "death before first job" w o
+
+let test_insufficient_capacity_fails_cleanly () =
+  let w = Workload.point ~total:400 () in
+  let cfg = Online.config ~capacity:4.5 ~side:4 () in
+  let o = Online.run cfg w in
+  Alcotest.(check bool) "some jobs fail" true (o.Online.failures <> []);
+  Alcotest.(check bool) "no crash, partial service" true
+    (o.Online.served > 0 && o.Online.served < 400)
+
+let test_min_feasible_capacity_sandwich () =
+  (* ω* <= Won <= measured minimal capacity <= theorem capacity. *)
+  let w = Workload.point ~total:300 () in
+  let dm = Workload.demand w in
+  let star = Oracle.omega_star dm in
+  let _, side = Omega.cube_fixpoint_with_side dm in
+  let measured = Online.min_feasible_capacity ~side w in
+  let bound = (Online.recommended w).Online.capacity in
+  Alcotest.(check bool)
+    (Printf.sprintf "ω* (%g) <= measured (%g)" star measured)
+    true
+    (star <= measured +. 0.5);
+  Alcotest.(check bool)
+    (Printf.sprintf "measured (%g) <= theorem capacity (%g)" measured bound)
+    true (measured <= bound +. 1e-9)
+
+let test_capacity_bound_formula () =
+  Alcotest.(check (float 1e-12)) "2d" 38.0 (Online.capacity_bound ~dim:2 1.0);
+  Alcotest.(check (float 1e-12)) "1d" 13.0 (Online.capacity_bound ~dim:1 1.0);
+  Alcotest.(check (float 1e-12)) "3d" 111.0 (Online.capacity_bound ~dim:3 1.0)
+
+let test_mixture_workload () =
+  let rng = Rng.create 1123 in
+  let w =
+    Workload.mixture ~rng ~name:"mixed"
+      [
+        Workload.line ~len:6 ~per_point:15;
+        Workload.translate (Workload.point ~total:120 ()) (point2 3 4);
+      ]
+  in
+  check_success "mixture" w (run_recommended w)
+
+let prop_random_workloads_served =
+  QCheck.Test.make ~name:"recommended config serves random workloads" ~count:15
+    QCheck.(pair (int_range 1 1000000) (int_range 20 150))
+    (fun (seed, jobs) ->
+      let rng = Rng.create seed in
+      let box = Box.make ~lo:(point2 0 0) ~hi:(point2 6 6) in
+      let w = Workload.clustered ~rng ~box ~clusters:2 ~jobs_per_cluster:(jobs / 2) ~spread:2 in
+      let o = run_recommended w in
+      Online.succeeded o && o.Online.served = Array.length w.Workload.jobs)
+
+let suite =
+  [
+    Alcotest.test_case "single job" `Quick test_single_job;
+    Alcotest.test_case "hot point with replacements" `Quick test_point_workload_with_replacements;
+    Alcotest.test_case "square workload" `Quick test_square_workload;
+    Alcotest.test_case "line workload" `Quick test_line_workload;
+    Alcotest.test_case "uniform workload" `Quick test_uniform_workload;
+    Alcotest.test_case "zipf workload" `Quick test_zipf_workload;
+    Alcotest.test_case "energy within capacity" `Quick test_energy_never_exceeds_capacity;
+    Alcotest.test_case "delay-seed invariance" `Quick test_message_delay_seed_invariance_of_service;
+    Alcotest.test_case "pairs covered after run" `Quick test_pairs_covered_after_run;
+    Alcotest.test_case "scenario 2: silent initiators" `Quick test_scenario2_silent_initiator;
+    Alcotest.test_case "scenario 3: dead vehicles" `Quick test_scenario3_dead_vehicles;
+    Alcotest.test_case "death before first job" `Quick test_death_before_first_job;
+    Alcotest.test_case "insufficient capacity fails cleanly" `Quick test_insufficient_capacity_fails_cleanly;
+    Alcotest.test_case "Won sandwich" `Quick test_min_feasible_capacity_sandwich;
+    Alcotest.test_case "capacity bound formula" `Quick test_capacity_bound_formula;
+    Alcotest.test_case "mixture workload" `Quick test_mixture_workload;
+    QCheck_alcotest.to_alcotest prop_random_workloads_served;
+  ]
+
+(* --- appended: higher-dimension runs and scenario 4 (longevity) --- *)
+
+let test_online_1d () =
+  let w =
+    { Workload.name = "1d-hot"; dim = 1; jobs = Array.init 200 (fun _ -> [| 0 |]) }
+  in
+  let o = run_recommended w in
+  check_success "1-D online" w o
+
+let test_online_3d () =
+  let w =
+    {
+      Workload.name = "3d-burst";
+      dim = 3;
+      jobs = Array.init 120 (fun i -> if i mod 3 = 0 then [| 0; 0; 0 |] else [| 1; 0; 0 |]);
+    }
+  in
+  let o = run_recommended w in
+  check_success "3-D online" w o
+
+let test_scenario4_mild_longevity_survives () =
+  (* A third of the fleet breaks at half charge; with doubled capacity the
+     ring and replacements absorb it. *)
+  let w = Workload.square ~side:4 ~per_point:25 () in
+  let base = Online.recommended w in
+  let longevity = List.init 20 (fun i -> (3 * i, 0.5)) in
+  let cfg =
+    {
+      base with
+      Online.capacity = 2.0 *. base.Online.capacity;
+      faults = { Online.no_faults with Online.longevity };
+    }
+  in
+  let o = Online.run cfg w in
+  check_success "scenario 4 (mild)" w o
+
+let test_scenario4_mass_breakdown_fails () =
+  (* Scenario 4 proper: when a LARGE number of vehicles break, the
+     constant-factor guarantee is void (§3.2.5 / Chapter 4) — the run must
+     fail gracefully, not silently succeed. *)
+  let w = Workload.point ~total:400 () in
+  let base = Online.recommended w in
+  (* Everyone breaks at 5% of charge: almost no usable energy anywhere. *)
+  let longevity = List.init 2000 (fun i -> (i, 0.05)) in
+  let cfg = { base with Online.faults = { Online.no_faults with Online.longevity } } in
+  let o = Online.run cfg w in
+  Alcotest.(check bool) "fails as the theory predicts" true
+    (not (Online.succeeded o));
+  Alcotest.(check bool) "still serves a prefix" true (o.Online.served > 0)
+
+let test_longevity_zero_is_initial_breakdown () =
+  (* p = 0 vehicles break on their first expenditure. *)
+  let w = Workload.point ~total:60 () in
+  let base = Online.recommended w in
+  let cfg =
+    { base with Online.faults = { Online.no_faults with Online.longevity = [ (0, 0.0) ] } }
+  in
+  let o = Online.run cfg w in
+  (* Vehicle 0 may or may not be the responsible active; either way the
+     protocol absorbs a single constant-fraction breakdown (scenario 3). *)
+  check_success "single p=0 vehicle" w o
+
+let extra_suite =
+  [
+    Alcotest.test_case "online 1-D" `Quick test_online_1d;
+    Alcotest.test_case "online 3-D" `Quick test_online_3d;
+    Alcotest.test_case "scenario 4: mild longevity" `Quick test_scenario4_mild_longevity_survives;
+    Alcotest.test_case "scenario 4: mass breakdown fails" `Quick test_scenario4_mass_breakdown_fails;
+    Alcotest.test_case "longevity p=0" `Quick test_longevity_zero_is_initial_breakdown;
+  ]
+
+let suite = suite @ extra_suite
+
+let test_moving_hotspot () =
+  let rng = Rng.create 999 in
+  let w = Workload.moving_hotspot ~rng ~start:(point2 5 5) ~steps:40 ~jobs_per_step:8 in
+  let o = run_recommended w in
+  check_success "moving hotspot" w o
+
+let suite = suite @ [ Alcotest.test_case "moving hotspot" `Quick test_moving_hotspot ]
+
+(* --- appended: observer trace --- *)
+
+let collect_trace w =
+  let events = ref [] in
+  let o = Online.run ~observer:(fun e -> events := e :: !events) (Online.recommended w) w in
+  (o, List.rev !events)
+
+let test_trace_counts_match_outcome () =
+  let w = Workload.point ~total:500 () in
+  let o, events = collect_trace w in
+  let count f = List.length (List.filter f events) in
+  Alcotest.(check int) "served events" o.Online.served
+    (count (function Online.Job_served _ -> true | _ -> false));
+  Alcotest.(check int) "replacement events" o.Online.replacements
+    (count (function Online.Replacement _ -> true | _ -> false));
+  Alcotest.(check int) "computation events" o.Online.computations
+    (count (function Online.Computation_started _ -> true | _ -> false))
+
+let test_trace_causal_order () =
+  (* Every replacement of a pair must be preceded by a computation start
+     and a candidate-found for that pair. *)
+  let w = Workload.point ~total:800 () in
+  let _, events = collect_trace w in
+  let seen_start = Hashtbl.create 8 and seen_candidate = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Online.Computation_started { pair; _ } -> Hashtbl.replace seen_start pair ()
+      | Online.Candidate_found { pair; _ } ->
+          Alcotest.(check bool) "candidate after start" true (Hashtbl.mem seen_start pair);
+          Hashtbl.replace seen_candidate pair ()
+      | Online.Replacement { pair; _ } ->
+          Alcotest.(check bool) "replacement after candidate" true
+            (Hashtbl.mem seen_candidate pair)
+      | _ -> ())
+    events
+
+let test_trace_retirement_precedes_computation () =
+  let w = Workload.point ~total:600 () in
+  let _, events = collect_trace w in
+  (* The first computation for a pair comes after some retirement of the
+     pair's vehicle (scenario 1: the done vehicle self-initiates). *)
+  let retired = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Online.Vehicle_retired { pair; _ } -> Hashtbl.replace retired pair ()
+      | Online.Computation_started { pair; _ } ->
+          Alcotest.(check bool) "computation follows retirement" true
+            (Hashtbl.mem retired pair)
+      | _ -> ())
+    events
+
+let test_trace_walks_at_most_one () =
+  let rng = Rng.create 321 in
+  let box = Box.make ~lo:(point2 0 0) ~hi:(point2 6 6) in
+  let w = Workload.uniform ~rng ~box ~jobs:200 in
+  let _, events = collect_trace w in
+  List.iter
+    (function
+      | Online.Job_served { walk; _ } ->
+          Alcotest.(check bool) "pair service walks <= 1" true (walk <= 1)
+      | _ -> ())
+    events
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "trace counts match outcome" `Quick test_trace_counts_match_outcome;
+      Alcotest.test_case "trace causal order" `Quick test_trace_causal_order;
+      Alcotest.test_case "trace retirement first" `Quick test_trace_retirement_precedes_computation;
+      Alcotest.test_case "trace walks <= 1" `Quick test_trace_walks_at_most_one;
+    ]

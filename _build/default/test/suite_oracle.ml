@@ -1,0 +1,142 @@
+(* The flow-based LP oracle vs. the combinatorial characterizations:
+   Lemma 2.2.2 (per-radius) and Lemma 2.2.3 (program 2.8). *)
+
+let point2 x y = [| x; y |]
+
+let test_lp_radius_zero_is_max_demand () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 4); (point2 3 3, 9) ] in
+  Alcotest.(check (float 1e-6)) "radius 0" 9.0 (Oracle.lp_value ~radius:0 dm)
+
+let test_lp_value_single_point () =
+  (* One point with demand d, radius r: ω = d / |N_r|. *)
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 26) ] in
+  Alcotest.(check (float 1e-4)) "r=1: 26/5" (26.0 /. 5.0) (Oracle.lp_value ~radius:1 dm);
+  Alcotest.(check (float 1e-4)) "r=2: 26/13" 2.0 (Oracle.lp_value ~radius:2 dm)
+
+let test_lp_value_non_increasing_in_radius () =
+  let rng = Rng.create 17 in
+  for _ = 1 to 10 do
+    let pts =
+      List.init 4 (fun _ -> (point2 (Rng.int rng 4) (Rng.int rng 4), 1 + Rng.int rng 9))
+    in
+    let dm = Demand_map.of_alist 2 pts in
+    let prev = ref infinity in
+    for r = 0 to 4 do
+      let v = Oracle.lp_value ~radius:r dm in
+      Alcotest.(check bool)
+        (Printf.sprintf "ω(r) non-increasing at r=%d" r)
+        true
+        (v <= !prev +. 1e-6);
+      prev := v
+    done
+  done
+
+let test_lp_value_empty () =
+  Alcotest.(check (float 0.0)) "empty demand" 0.0
+    (Oracle.lp_value ~radius:3 (Demand_map.empty 2))
+
+let test_omega_star_single_point () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 5) ] in
+  (* Bracket [1,2): lp(1) = 5/5 = 1 -> ω* = 1. *)
+  Alcotest.(check (float 1e-4)) "ω* = 1" 1.0 (Oracle.omega_star dm)
+
+let test_omega_star_equals_subset_max () =
+  (* Lemma 2.2.3: program (2.8) = max_T ω_T, checked against the
+     exponential subset enumeration on random small instances. *)
+  let rng = Rng.create 271828 in
+  for _ = 1 to 15 do
+    let support = 1 + Rng.int rng 5 in
+    let pts =
+      List.init support (fun _ ->
+          (point2 (Rng.int rng 4) (Rng.int rng 4), 1 + Rng.int rng 12))
+    in
+    let dm = Demand_map.of_alist 2 pts in
+    let lp = Oracle.omega_star dm in
+    let subsets = Omega.max_over_subsets dm in
+    Alcotest.(check (float 1e-4))
+      (Printf.sprintf "ω* agreement (lp=%g subsets=%g)" lp subsets)
+      subsets lp
+  done
+
+let test_omega_star_equals_subset_max_1d () =
+  let rng = Rng.create 31415 in
+  for _ = 1 to 10 do
+    let pts = List.init 4 (fun _ -> ([| Rng.int rng 6 |], 1 + Rng.int rng 10)) in
+    let dm = Demand_map.of_alist 1 pts in
+    Alcotest.(check (float 1e-4))
+      "1d agreement"
+      (Omega.max_over_subsets dm)
+      (Oracle.omega_star dm)
+  done
+
+let test_omega_star_line_example () =
+  (* Demand d per point on a length-m segment: for m large relative to ω,
+     ω* ~ W2(d).  Exact small case: segment of 5 points, d = 2 each.
+     Validated against the subset enumeration. *)
+  let dm = Demand_map.of_alist 2 (List.init 5 (fun i -> (point2 i 0, 2))) in
+  Alcotest.(check (float 1e-4))
+    "line instance"
+    (Omega.max_over_subsets dm)
+    (Oracle.omega_star dm)
+
+let test_lower_bound_is_synonym () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 7) ] in
+  Alcotest.(check (float 0.0)) "synonym" (Oracle.omega_star dm)
+    (Oracle.lower_bound_woff dm)
+
+let suite =
+  [
+    Alcotest.test_case "lp radius 0 = max demand" `Quick test_lp_radius_zero_is_max_demand;
+    Alcotest.test_case "lp single point" `Quick test_lp_value_single_point;
+    Alcotest.test_case "lp non-increasing in radius" `Quick test_lp_value_non_increasing_in_radius;
+    Alcotest.test_case "lp empty" `Quick test_lp_value_empty;
+    Alcotest.test_case "ω* single point" `Quick test_omega_star_single_point;
+    Alcotest.test_case "ω* = subset max (Lemma 2.2.3)" `Quick test_omega_star_equals_subset_max;
+    Alcotest.test_case "ω* = subset max, 1d" `Quick test_omega_star_equals_subset_max_1d;
+    Alcotest.test_case "ω* line instance" `Quick test_omega_star_line_example;
+    Alcotest.test_case "lower_bound_woff synonym" `Quick test_lower_bound_is_synonym;
+  ]
+
+(* --- appended: duality witness extraction --- *)
+
+let test_witness_single_point () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 26) ] in
+  match Oracle.witness dm with
+  | None -> Alcotest.fail "non-empty demand must have a witness"
+  | Some (points, w) ->
+      Alcotest.(check int) "the hot point itself" 1 (List.length points);
+      Alcotest.(check (float 1e-3)) "tight value" (Oracle.omega_star dm) w
+
+let test_witness_is_tight_random () =
+  let rng = Rng.create 112358 in
+  for _ = 1 to 10 do
+    let pts =
+      List.init
+        (1 + Rng.int rng 5)
+        (fun _ -> (point2 (Rng.int rng 4) (Rng.int rng 4), 1 + Rng.int rng 15))
+    in
+    let dm = Demand_map.of_alist 2 pts in
+    let star = Oracle.omega_star dm in
+    match Oracle.witness dm with
+    | None -> Alcotest.fail "witness must exist"
+    | Some (points, w) ->
+        Alcotest.(check bool) "non-empty subset of support" true
+          (points <> []
+          && List.for_all (fun p -> Demand_map.value dm p > 0) points);
+        Alcotest.(check bool)
+          (Printf.sprintf "ω_T (%g) ~ ω* (%g)" w star)
+          true
+          (Float.abs (w -. star) < 0.01)
+  done
+
+let test_witness_empty () =
+  Alcotest.(check bool) "no witness for empty demand" true
+    (Oracle.witness (Demand_map.empty 2) = None)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "witness: single point" `Quick test_witness_single_point;
+      Alcotest.test_case "witness tight on random instances" `Quick test_witness_is_tight_random;
+      Alcotest.test_case "witness: empty" `Quick test_witness_empty;
+    ]

@@ -1,0 +1,128 @@
+(* The constructive offline plan: full service, cube confinement, energy
+   bounds, and the Theorem 1.4.1 sandwich against the LP oracle. *)
+
+let point2 x y = [| x; y |]
+
+let check_valid dm =
+  let plan = Planner.plan dm in
+  (match Planner.validate plan dm with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invalid plan: " ^ msg));
+  plan
+
+let test_empty_demand () =
+  let plan = check_valid (Demand_map.empty 2) in
+  Alcotest.(check int) "no energy needed" 0 (Planner.max_energy plan)
+
+let test_single_point_small () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 3) ] in
+  let plan = check_valid dm in
+  (* A lone demand of 3 fits the home vehicle's budget: no relocation. *)
+  Alcotest.(check int) "energy 3" 3 (Planner.max_energy plan);
+  List.iter
+    (fun a -> Alcotest.(check bool) "no relocation" true (a.Planner.target = None))
+    plan.Planner.assignments
+
+let test_hot_point_uses_helpers () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 400) ] in
+  let plan = check_valid dm in
+  let helpers =
+    List.filter (fun a -> a.Planner.target <> None) plan.Planner.assignments
+  in
+  Alcotest.(check bool) "some vehicles relocate" true (List.length helpers > 0)
+
+let test_structured_workloads_valid () =
+  List.iter
+    (fun w -> ignore (check_valid (Workload.demand w)))
+    [
+      Workload.square ~side:5 ~per_point:7 ();
+      Workload.line ~len:12 ~per_point:9;
+      Workload.point ~total:1000 ();
+      Workload.square ~side:2 ~per_point:100 ();
+    ]
+
+let test_random_workloads_valid () =
+  let rng = Rng.create 909 in
+  let box = Box.make ~lo:(point2 0 0) ~hi:(point2 11 11) in
+  for _ = 1 to 15 do
+    let w = Workload.uniform ~rng ~box ~jobs:(10 + Rng.int rng 200) in
+    ignore (check_valid (Workload.demand w))
+  done
+
+let test_zipf_workloads_valid () =
+  let rng = Rng.create 910 in
+  let box = Box.make ~lo:(point2 0 0) ~hi:(point2 15 15) in
+  for _ = 1 to 10 do
+    let w = Workload.zipf_sites ~rng ~box ~sites:12 ~jobs:300 ~exponent:1.4 in
+    ignore (check_valid (Workload.demand w))
+  done
+
+let test_energy_within_construction_bound () =
+  let rng = Rng.create 911 in
+  let box = Box.make ~lo:(point2 0 0) ~hi:(point2 9 9) in
+  for _ = 1 to 10 do
+    let w = Workload.clustered ~rng ~box ~clusters:3 ~jobs_per_cluster:80 ~spread:1 in
+    let dm = Workload.demand w in
+    let plan = check_valid dm in
+    Alcotest.(check bool) "max energy <= 2B + l(s-1)" true
+      (float_of_int (Planner.max_energy plan) <= Planner.energy_bound plan +. 1e-9)
+  done
+
+let test_theorem_sandwich () =
+  (* ω* <= measured Woff upper bound <= (2·3^l+l)·ωc + 2. *)
+  let rng = Rng.create 912 in
+  for _ = 1 to 8 do
+    let pts =
+      List.init
+        (1 + Rng.int rng 5)
+        (fun _ -> (point2 (Rng.int rng 6) (Rng.int rng 6), 1 + Rng.int rng 40))
+    in
+    let dm = Demand_map.of_alist 2 pts in
+    let plan = check_valid dm in
+    let measured = float_of_int (Planner.max_energy plan) in
+    let star = Oracle.omega_star dm in
+    Alcotest.(check bool)
+      (Printf.sprintf "lower: ω* (%g) <= measured (%g)" star measured)
+      true
+      (star <= measured +. 1e-4);
+    let cap = Planner.theorem_bound ~dim:2 plan.Planner.omega +. 2.0 in
+    Alcotest.(check bool)
+      (Printf.sprintf "upper: measured (%g) <= (2·3^l+l)ωc+2 (%g)" measured cap)
+      true (measured <= cap +. 1e-9)
+  done
+
+let test_1d_plan () =
+  let dm = Demand_map.of_alist 1 [ ([| 0 |], 60); ([| 5 |], 3) ] in
+  let plan = check_valid dm in
+  Alcotest.(check bool) "energy positive" true (Planner.max_energy plan > 0)
+
+let test_3d_plan () =
+  let dm = Demand_map.of_alist 3 [ ([| 0; 0; 0 |], 100); ([| 1; 2; 0 |], 5) ] in
+  ignore (check_valid dm)
+
+let prop_plan_valid_random =
+  QCheck.Test.make ~name:"plan validates on random demand maps" ~count:40
+    QCheck.(
+      list_of_size (Gen.int_range 1 8)
+        (triple (int_range 0 7) (int_range 0 7) (int_range 1 60)))
+    (fun triples ->
+      let dm =
+        Demand_map.of_alist 2 (List.map (fun (x, y, d) -> (point2 x y, d)) triples)
+      in
+      let plan = Planner.plan dm in
+      match Planner.validate plan dm with Ok () -> true | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "empty demand" `Quick test_empty_demand;
+    Alcotest.test_case "single small point" `Quick test_single_point_small;
+    Alcotest.test_case "hot point uses helpers" `Quick test_hot_point_uses_helpers;
+    Alcotest.test_case "structured workloads valid" `Quick test_structured_workloads_valid;
+    Alcotest.test_case "random workloads valid" `Quick test_random_workloads_valid;
+    Alcotest.test_case "zipf workloads valid" `Quick test_zipf_workloads_valid;
+    Alcotest.test_case "energy within construction bound" `Quick test_energy_within_construction_bound;
+    Alcotest.test_case "theorem sandwich" `Quick test_theorem_sandwich;
+    Alcotest.test_case "1d plan" `Quick test_1d_plan;
+    Alcotest.test_case "3d plan" `Quick test_3d_plan;
+    QCheck_alcotest.to_alcotest prop_plan_valid_random;
+  ]

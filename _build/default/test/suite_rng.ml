@@ -1,0 +1,107 @@
+(* Determinism and distributional sanity of the SplitMix64 generator. *)
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_int_in_bounds () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in rng (-5) 5 in
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_int_covers_all_values () =
+  let rng = Rng.create 9 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 10_000 do
+    seen.(Rng.int rng 6) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all (fun b -> b) seen)
+
+let test_int_unbiased () =
+  (* Chi-square-ish sanity: each of 8 buckets within 20% of expectation. *)
+  let rng = Rng.create 10 in
+  let counts = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  let expected = n / 8 in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "bucket near uniform" true
+        (abs (c - expected) < expected / 5))
+    counts
+
+let test_float_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_split_independence () =
+  let rng = Rng.create 12 in
+  let child = Rng.split rng in
+  (* The child stream must not simply replay the parent stream. *)
+  let parent_next = Rng.int64 rng and child_next = Rng.int64 child in
+  Alcotest.(check bool) "split streams diverge" true (parent_next <> child_next)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 13 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_zipf_range_and_skew () =
+  let rng = Rng.create 14 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let r = Rng.zipf rng ~n:10 ~s:1.2 in
+    Alcotest.(check bool) "rank in range" true (r >= 1 && r <= 10);
+    counts.(r - 1) <- counts.(r - 1) + 1
+  done;
+  Alcotest.(check bool) "rank 1 dominates rank 10" true (counts.(0) > 4 * counts.(9))
+
+let test_exponential_positive_mean () =
+  let rng = Rng.create 15 in
+  let xs = Array.init 20_000 (fun _ -> Rng.exponential rng 2.0) in
+  Array.iter (fun x -> Alcotest.(check bool) "positive" true (x >= 0.0)) xs;
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (m -. 2.0) < 0.1)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "int covers all values" `Quick test_int_covers_all_values;
+    Alcotest.test_case "int unbiased" `Quick test_int_unbiased;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+    Alcotest.test_case "zipf range and skew" `Quick test_zipf_range_and_skew;
+    Alcotest.test_case "exponential positive mean" `Quick test_exponential_positive_mean;
+  ]

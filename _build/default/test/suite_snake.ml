@@ -1,0 +1,95 @@
+(* The snake traversal realises the paper's black/white pairing (§3.2):
+   consecutive cells are adjacent, colours alternate, pairs cover the cube. *)
+
+let point2 x y = [| x; y |]
+
+let test_order_visits_all () =
+  let b = Box.make ~lo:(point2 0 0) ~hi:(point2 3 2) in
+  let path = Snake.order b in
+  Alcotest.(check int) "length" (Box.volume b) (Array.length path);
+  let distinct = Point.Set.of_list (Array.to_list path) in
+  Alcotest.(check int) "all distinct" (Box.volume b) (Point.Set.cardinal distinct)
+
+let test_order_consecutive_adjacent_2d () =
+  let b = Box.make ~lo:(point2 (-1) (-1)) ~hi:(point2 2 3) in
+  let path = Snake.order b in
+  for i = 0 to Array.length path - 2 do
+    Alcotest.(check int) "adjacent step" 1 (Point.l1_dist path.(i) path.(i + 1))
+  done
+
+let test_order_consecutive_adjacent_3d () =
+  let b = Box.make ~lo:[| 0; 0; 0 |] ~hi:[| 2; 2; 2 |] in
+  let path = Snake.order b in
+  Alcotest.(check int) "length 27" 27 (Array.length path);
+  for i = 0 to Array.length path - 2 do
+    Alcotest.(check int) "adjacent step" 1 (Point.l1_dist path.(i) path.(i + 1))
+  done
+
+let test_order_1d () =
+  let b = Box.make ~lo:[| 3 |] ~hi:[| 7 |] in
+  let path = Snake.order b in
+  Alcotest.(check int) "length" 5 (Array.length path);
+  Alcotest.(check bool) "starts at lo" true (Point.equal path.(0) [| 3 |])
+
+let test_colors_alternate_along_path () =
+  let b = Box.make ~lo:(point2 0 0) ~hi:(point2 4 4) in
+  let path = Snake.order b in
+  for i = 0 to Array.length path - 2 do
+    Alcotest.(check bool) "colour flips" true
+      (Snake.color path.(i) <> Snake.color path.(i + 1))
+  done
+
+let test_pairing_structure () =
+  let b = Box.make ~lo:(point2 0 0) ~hi:(point2 2 2) in
+  let { Snake.pairs; unpaired } = Snake.pairing b in
+  Alcotest.(check int) "four pairs from nine cells" 4 (Array.length pairs);
+  Alcotest.(check bool) "one leftover" true (unpaired <> None);
+  Array.iter
+    (fun (a, c) ->
+      Alcotest.(check int) "pair adjacent" 1 (Point.l1_dist a c);
+      Alcotest.(check bool) "pair bicoloured" true (Snake.color a <> Snake.color c))
+    pairs
+
+let test_pairing_even_volume_no_leftover () =
+  let b = Box.make ~lo:(point2 0 0) ~hi:(point2 3 3) in
+  let { Snake.pairs; unpaired } = Snake.pairing b in
+  Alcotest.(check int) "eight pairs" 8 (Array.length pairs);
+  Alcotest.(check bool) "no leftover" true (unpaired = None)
+
+let test_pairing_covers_cube () =
+  let b = Box.make ~lo:(point2 1 1) ~hi:(point2 3 4) in
+  let { Snake.pairs; unpaired } = Snake.pairing b in
+  let covered =
+    Array.fold_left
+      (fun acc (a, c) -> Point.Set.add a (Point.Set.add c acc))
+      Point.Set.empty pairs
+  in
+  let covered =
+    match unpaired with None -> covered | Some p -> Point.Set.add p covered
+  in
+  Alcotest.(check int) "covers every cell" (Box.volume b) (Point.Set.cardinal covered)
+
+let prop_snake_adjacent_random_boxes =
+  QCheck.Test.make ~name:"snake steps adjacent on random boxes" ~count:80
+    QCheck.(pair (int_range 1 5) (int_range 1 5))
+    (fun (w, h) ->
+      let b = Box.make ~lo:(point2 0 0) ~hi:(point2 (w - 1) (h - 1)) in
+      let path = Snake.order b in
+      let ok = ref true in
+      for i = 0 to Array.length path - 2 do
+        if Point.l1_dist path.(i) path.(i + 1) <> 1 then ok := false
+      done;
+      !ok && Array.length path = Box.volume b)
+
+let suite =
+  [
+    Alcotest.test_case "visits all cells" `Quick test_order_visits_all;
+    Alcotest.test_case "adjacent steps (2d)" `Quick test_order_consecutive_adjacent_2d;
+    Alcotest.test_case "adjacent steps (3d)" `Quick test_order_consecutive_adjacent_3d;
+    Alcotest.test_case "1d path" `Quick test_order_1d;
+    Alcotest.test_case "colours alternate" `Quick test_colors_alternate_along_path;
+    Alcotest.test_case "pairing structure" `Quick test_pairing_structure;
+    Alcotest.test_case "even volume pairing" `Quick test_pairing_even_volume_no_leftover;
+    Alcotest.test_case "pairing covers cube" `Quick test_pairing_covers_cube;
+    QCheck_alcotest.to_alcotest prop_snake_adjacent_random_boxes;
+  ]

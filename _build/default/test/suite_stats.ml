@@ -1,0 +1,138 @@
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_f ?eps msg expected actual =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (expected %g, got %g)" msg expected actual)
+    true (feq ?eps expected actual)
+
+let test_mean () = check_f "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_mean_singleton () = check_f "mean singleton" 7.0 (Stats.mean [| 7.0 |])
+
+let test_variance () =
+  (* Sample variance of 2,4,4,4,5,5,7,9 is 32/7. *)
+  check_f "variance" (32.0 /. 7.0)
+    (Stats.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_variance_singleton () = check_f "variance singleton" 0.0 (Stats.variance [| 3.0 |])
+
+let test_stddev_constant () = check_f "stddev constant" 0.0 (Stats.stddev [| 5.; 5.; 5. |])
+
+let test_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 2.0 |] in
+  check_f "min" (-1.0) lo;
+  check_f "max" 3.0 hi
+
+let test_median_odd () = check_f "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |])
+
+let test_median_even () = check_f "median even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_percentile_extremes () =
+  let xs = [| 10.0; 20.0; 30.0 |] in
+  check_f "p0" 10.0 (Stats.percentile xs 0.0);
+  check_f "p100" 30.0 (Stats.percentile xs 100.0)
+
+let test_percentile_interpolates () =
+  check_f "p25" 1.5 (Stats.percentile [| 1.0; 2.0; 3.0 |] 25.0)
+
+let test_percentile_does_not_mutate () =
+  let xs = [| 3.0; 1.0; 2.0 |] in
+  ignore (Stats.median xs);
+  Alcotest.(check (array (float 0.0))) "unchanged" [| 3.0; 1.0; 2.0 |] xs
+
+let test_linear_fit_exact () =
+  let a, b, r2 = Stats.linear_fit [| (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) |] in
+  check_f "intercept" 1.0 a;
+  check_f "slope" 2.0 b;
+  check_f "r2" 1.0 r2
+
+let test_linear_fit_r2_below_one_with_noise () =
+  let _, b, r2 = Stats.linear_fit [| (0.0, 0.0); (1.0, 1.2); (2.0, 1.8); (3.0, 3.1) |] in
+  Alcotest.(check bool) "slope near 1" true (Float.abs (b -. 1.0) < 0.2);
+  Alcotest.(check bool) "r2 in (0.9, 1)" true (r2 > 0.9 && r2 <= 1.0)
+
+let test_loglog_slope_quadratic () =
+  let pts = Array.init 6 (fun i ->
+      let x = float_of_int (i + 2) in
+      (x, 3.0 *. (x ** 2.0)))
+  in
+  check_f ~eps:1e-6 "exponent 2" 2.0 (Stats.loglog_slope pts)
+
+let test_geometric_mean () =
+  check_f "geomean" 2.0 (Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
+
+let test_empty_raises () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean singleton" `Quick test_mean_singleton;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "variance singleton" `Quick test_variance_singleton;
+    Alcotest.test_case "stddev constant" `Quick test_stddev_constant;
+    Alcotest.test_case "min max" `Quick test_min_max;
+    Alcotest.test_case "median odd" `Quick test_median_odd;
+    Alcotest.test_case "median even" `Quick test_median_even;
+    Alcotest.test_case "percentile extremes" `Quick test_percentile_extremes;
+    Alcotest.test_case "percentile interpolates" `Quick test_percentile_interpolates;
+    Alcotest.test_case "percentile pure" `Quick test_percentile_does_not_mutate;
+    Alcotest.test_case "linear fit exact" `Quick test_linear_fit_exact;
+    Alcotest.test_case "linear fit with noise" `Quick test_linear_fit_r2_below_one_with_noise;
+    Alcotest.test_case "loglog slope" `Quick test_loglog_slope_quadratic;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "empty raises" `Quick test_empty_raises;
+  ]
+
+(* --- appended: the shared binary heap --- *)
+
+let test_heap_sorts () =
+  let h = Heap.of_list ~compare:Int.compare [ 5; 1; 4; 1; 3 ] in
+  Alcotest.(check (list int)) "ascending drain" [ 1; 1; 3; 4; 5 ] (Heap.drain h);
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_heap_peek_pop () =
+  let h = Heap.create ~compare:Int.compare () in
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Heap.push h 9;
+  Heap.push h 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Heap.peek h);
+  Alcotest.(check int) "size" 2 (Heap.size h);
+  Alcotest.(check (option int)) "pop min" (Some 2) (Heap.pop h);
+  Alcotest.(check (option int)) "pop next" (Some 9) (Heap.pop h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let prop_heap_matches_sort =
+  QCheck.Test.make ~name:"heap drain = List.sort" ~count:200
+    QCheck.(list (int_range (-1000) 1000))
+    (fun xs -> Heap.drain (Heap.of_list ~compare:Int.compare xs) = List.sort Int.compare xs)
+
+let prop_heap_interleaved_ops =
+  QCheck.Test.make ~name:"heap correct under interleaved push/pop" ~count:100
+    QCheck.(list (int_range 0 100))
+    (fun xs ->
+      (* Push two, pop one, repeatedly; collect pops; then drain.  The
+         multiset of outputs must equal the inputs and each drain segment
+         must come out sorted. *)
+      let h = Heap.create ~compare:Int.compare () in
+      let popped = ref [] in
+      List.iteri
+        (fun i x ->
+          Heap.push h x;
+          if i mod 2 = 1 then
+            match Heap.pop h with Some v -> popped := v :: !popped | None -> ())
+        xs;
+      let rest = Heap.drain h in
+      let all = List.sort Int.compare (!popped @ rest) in
+      all = List.sort Int.compare xs
+      && rest = List.sort Int.compare rest)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "heap sorts" `Quick test_heap_sorts;
+      Alcotest.test_case "heap peek/pop" `Quick test_heap_peek_pop;
+      QCheck_alcotest.to_alcotest prop_heap_matches_sort;
+      QCheck_alcotest.to_alcotest prop_heap_interleaved_ops;
+    ]

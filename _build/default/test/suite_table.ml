@@ -1,0 +1,73 @@
+(* The ASCII table renderer used by the benchmark reports. *)
+
+let test_basic_render () =
+  let t = Table.create [ ("name", Table.Left); ("value", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length out > 0
+    &&
+    let lines = String.split_on_char '\n' out in
+    List.exists (fun l -> l = "| name  | value |") lines);
+  Alcotest.(check bool) "right-aligned numbers" true
+    (let lines = String.split_on_char '\n' out in
+     List.exists (fun l -> l = "| alpha |     1 |") lines
+     && List.exists (fun l -> l = "| b     |    22 |") lines)
+
+let test_title () =
+  let t = Table.create ~title:"hello" [ ("c", Table.Left) ] in
+  Table.add_row t [ "x" ];
+  Alcotest.(check bool) "title first" true
+    (String.length (Table.render t) > 5
+    && String.sub (Table.render t) 0 5 = "hello")
+
+let test_wide_cells_stretch_columns () =
+  let t = Table.create [ ("c", Table.Left) ] in
+  Table.add_row t [ "a-very-long-cell" ];
+  let out = Table.render t in
+  let lines = String.split_on_char '\n' out in
+  let widths = List.map String.length (List.filter (fun l -> l <> "") lines) in
+  match widths with
+  | [] -> Alcotest.fail "no output"
+  | w :: rest ->
+      List.iter (fun w' -> Alcotest.(check int) "uniform width" w w') rest
+
+let test_rule_between_groups () =
+  let t = Table.create [ ("c", Table.Right) ] in
+  Table.add_row t [ "1" ];
+  Table.add_rule t;
+  Table.add_row t [ "2" ];
+  let out = Table.render t in
+  let rules =
+    List.filter
+      (fun l -> String.length l > 0 && l.[0] = '+')
+      (String.split_on_char '\n' out)
+  in
+  (* top, under-header, group separator, bottom *)
+  Alcotest.(check int) "four rules" 4 (List.length rules)
+
+let test_arity_mismatch_raises () =
+  let t = Table.create [ ("a", Table.Left); ("b", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let test_cell_formatters () =
+  Alcotest.(check string) "float default" "1.500" (Table.cell_f 1.5);
+  Alcotest.(check string) "float decimals" "1.5" (Table.cell_f ~decimals:1 1.5);
+  Alcotest.(check string) "int" "42" (Table.cell_i 42)
+
+let test_empty_table_renders () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.(check bool) "renders headers only" true (String.length (Table.render t) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "basic render" `Quick test_basic_render;
+    Alcotest.test_case "title" `Quick test_title;
+    Alcotest.test_case "wide cells" `Quick test_wide_cells_stretch_columns;
+    Alcotest.test_case "group rules" `Quick test_rule_between_groups;
+    Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch_raises;
+    Alcotest.test_case "cell formatters" `Quick test_cell_formatters;
+    Alcotest.test_case "empty table" `Quick test_empty_table_renders;
+  ]

@@ -1,0 +1,263 @@
+(* Chapter 5: decay bound, square import bound, and the §5.2.1 collector. *)
+
+let point2 x y = [| x; y |]
+
+let test_remaining_after_basics () =
+  Alcotest.(check (float 1e-12)) "no travel, no loss" 10.0
+    (Transfer.remaining_after ~w:10.0 ~dist:0);
+  Alcotest.(check (float 1e-12)) "w=2 over distance 1" 1.0
+    (Transfer.remaining_after ~w:2.0 ~dist:1);
+  Alcotest.(check (float 1e-9)) "w<=1 cannot move" 0.0
+    (Transfer.remaining_after ~w:1.0 ~dist:1);
+  let r = Transfer.remaining_after ~w:10.0 ~dist:20 in
+  Alcotest.(check bool) "decays" true (r < 10.0 && r > 0.0)
+
+let test_remaining_monotone_in_distance () =
+  let prev = ref infinity in
+  for d = 0 to 30 do
+    let r = Transfer.remaining_after ~w:7.0 ~dist:d in
+    Alcotest.(check bool) "non-increasing" true (r <= !prev);
+    prev := r
+  done
+
+let test_import_bound_equals_shell_series () =
+  (* The closed form must agree with summing the decay bound over the
+     shells |{i : D(i,T) = r}| = 4s + 4(r-1). *)
+  List.iter
+    (fun (w, s) ->
+      let series =
+        let acc = ref (w *. float_of_int (s * s)) in
+        let r = ref 1 in
+        let continue = ref true in
+        while !continue do
+          let term =
+            float_of_int ((4 * s) + (4 * (!r - 1)))
+            *. Transfer.remaining_after ~w ~dist:!r
+          in
+          acc := !acc +. term;
+          incr r;
+          if term < 1e-9 || !r > 100000 then continue := false
+        done;
+        !acc
+      in
+      let closed = Transfer.import_bound ~w ~side:s in
+      Alcotest.(check bool)
+        (Printf.sprintf "w=%g s=%d (series=%g closed=%g)" w s series closed)
+        true
+        (Float.abs (series -. closed) /. closed < 1e-6))
+    [ (2.0, 1); (3.0, 2); (10.0, 4); (25.0, 3) ]
+
+let test_lower_bound_le_omega_star () =
+  (* Wtrans-off <= Woff, so the transfer lower bound must not exceed a
+     valid Woff upper bound. *)
+  let rng = Rng.create 606 in
+  for _ = 1 to 8 do
+    let pts =
+      List.init 4 (fun _ -> (point2 (Rng.int rng 5) (Rng.int rng 5), 1 + Rng.int rng 30))
+    in
+    let dm = Demand_map.of_alist 2 pts in
+    let lb = Transfer.lower_bound dm in
+    let plan = Planner.plan dm in
+    let upper = float_of_int (Planner.max_energy plan) in
+    Alcotest.(check bool)
+      (Printf.sprintf "lb (%g) <= Woff upper (%g)" lb upper)
+      true (lb <= upper +. 1e-6)
+  done
+
+let test_theta_ratio_bounded () =
+  (* Theorem 5.1.1: lower bound and ω* stay within a constant factor. *)
+  let rng = Rng.create 607 in
+  let ratios = ref [] in
+  for _ = 1 to 8 do
+    let pts =
+      List.init 3 (fun _ -> (point2 (Rng.int rng 4) (Rng.int rng 4), 5 + Rng.int rng 60))
+    in
+    let dm = Demand_map.of_alist 2 pts in
+    let lb = Transfer.lower_bound dm in
+    let star = Oracle.omega_star dm in
+    if lb > 0.0 then ratios := (star /. lb) :: !ratios
+  done;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "ratio %g within a modest constant" r)
+        true
+        (r >= 0.2 && r <= 40.0))
+    !ratios
+
+let uniform_demand d _ = d
+
+let test_collector_transfer_and_distance_counts () =
+  let run =
+    Transfer.Segment.simulate ~n:10 ~demand:(uniform_demand 3)
+      ~cost:(Transfer.Fixed 0.5) ~w:20.0
+  in
+  Alcotest.(check bool) "succeeds with slack" true run.Transfer.Segment.success;
+  Alcotest.(check int) "2n-3 transfers" 17 run.Transfer.Segment.transfers;
+  Alcotest.(check int) "2n-2 distance" 18 run.Transfer.Segment.distance
+
+let test_collector_fixed_cost_matches_closed_form () =
+  List.iter
+    (fun (n, d, a1) ->
+      let measured =
+        Transfer.Segment.min_capacity ~n ~demand:(uniform_demand d)
+          (Transfer.Fixed a1)
+      in
+      let formula = Transfer.Segment.closed_form ~n ~total:(n * d) ~cost:(Transfer.Fixed a1) in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d d=%d a1=%g (measured=%g formula=%g)" n d a1 measured formula)
+        true
+        (Float.abs (measured -. formula) < 0.01))
+    [ (8, 4, 1.0); (32, 2, 0.5); (100, 5, 2.0); (16, 1, 0.0) ]
+
+let test_collector_variable_cost_near_closed_form () =
+  (* The paper's variable-cost formula charges every transfer as if it
+     moved the full W; the exact schedule only does so on the collecting
+     sweep, so agreement is approximate but close for a2 << 1. *)
+  List.iter
+    (fun (n, d, a2) ->
+      let measured =
+        Transfer.Segment.min_capacity ~n ~demand:(uniform_demand d)
+          (Transfer.Variable a2)
+      in
+      let formula =
+        Transfer.Segment.closed_form ~n ~total:(n * d) ~cost:(Transfer.Variable a2)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d d=%d a2=%g (measured=%g formula=%g)" n d a2 measured formula)
+        true
+        (Float.abs (measured -. formula) /. formula < 0.05))
+    [ (16, 4, 0.01); (64, 3, 0.02); (32, 10, 0.005) ]
+
+let test_collector_capacity_tracks_average_demand () =
+  (* §5.2.1's headline: Wtrans-off = Θ(avg d), while the no-transfer ω*
+     for the same segment grows like sqrt(d·...) of the concentration. *)
+  let cap d =
+    Transfer.Segment.min_capacity ~n:50 ~demand:(uniform_demand d)
+      (Transfer.Fixed 1.0)
+  in
+  let c2 = cap 2 and c8 = cap 8 and c32 = cap 32 in
+  Alcotest.(check bool) "roughly linear in d" true
+    (c8 /. c2 > 2.0 && c8 /. c2 < 4.5 && c32 /. c8 > 2.5 && c32 /. c8 < 4.5)
+
+let test_collector_beats_no_transfer_on_hot_segment () =
+  (* Uniform heavy demand: without transfers each vehicle needs ~W2(d);
+     with unbounded tanks the collector needs ~avg d + overheads.  For a
+     segment with one giant hot spot the gap is stark. *)
+  let n = 60 in
+  let demand x = if x = 30 then 600 else 0 in
+  let with_transfer =
+    Transfer.Segment.min_capacity ~n ~demand (Transfer.Fixed 1.0)
+  in
+  let without = Transfer.Segment.no_transfer_capacity ~n ~demand in
+  Alcotest.(check bool)
+    (Printf.sprintf "collector (%g) beats no-transfer ω* (%g)" with_transfer without)
+    true
+    (with_transfer < without)
+
+let test_simulate_rejects_bad_args () =
+  Alcotest.(check bool) "n=1 rejected" true
+    (try
+       ignore
+         (Transfer.Segment.simulate ~n:1 ~demand:(uniform_demand 1)
+            ~cost:(Transfer.Fixed 1.0) ~w:5.0);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "decay basics" `Quick test_remaining_after_basics;
+    Alcotest.test_case "decay monotone" `Quick test_remaining_monotone_in_distance;
+    Alcotest.test_case "import bound = shell series" `Quick test_import_bound_equals_shell_series;
+    Alcotest.test_case "lower bound <= Woff upper" `Quick test_lower_bound_le_omega_star;
+    Alcotest.test_case "Θ ratio bounded (Thm 5.1.1)" `Quick test_theta_ratio_bounded;
+    Alcotest.test_case "collector counts (2n-3, 2n-2)" `Quick test_collector_transfer_and_distance_counts;
+    Alcotest.test_case "fixed cost closed form" `Quick test_collector_fixed_cost_matches_closed_form;
+    Alcotest.test_case "variable cost near closed form" `Quick test_collector_variable_cost_near_closed_form;
+    Alcotest.test_case "capacity ~ avg demand" `Quick test_collector_capacity_tracks_average_demand;
+    Alcotest.test_case "collector beats no-transfer" `Quick test_collector_beats_no_transfer_on_hot_segment;
+    Alcotest.test_case "rejects bad args" `Quick test_simulate_rejects_bad_args;
+  ]
+
+(* --- appended: the 2-D grid collector extension --- *)
+
+let test_grid_collector_counts () =
+  let dm =
+    Demand_map.of_alist 2
+      (List.concat_map (fun x -> List.init 4 (fun y -> (point2 x y, 2)))
+         (List.init 4 (fun x -> x)))
+  in
+  let run = Grid_collector.simulate dm ~cost:(Transfer.Fixed 0.5) ~w:20.0 in
+  Alcotest.(check bool) "succeeds" true run.Grid_collector.success;
+  (* 16 vertices: distance 2·15, transfers 2·16-3. *)
+  Alcotest.(check int) "distance" 30 run.Grid_collector.distance;
+  Alcotest.(check int) "transfers" 29 run.Grid_collector.transfers
+
+let test_grid_collector_matches_closed_form () =
+  List.iter
+    (fun side ->
+      let dm =
+        Demand_map.of_alist 2
+          (List.concat_map
+             (fun x -> List.init side (fun y -> (point2 x y, 5)))
+             (List.init side (fun x -> x)))
+      in
+      let measured = Grid_collector.min_capacity dm (Transfer.Fixed 1.0) in
+      let formula = Grid_collector.closed_form dm ~cost:(Transfer.Fixed 1.0) in
+      Alcotest.(check bool)
+        (Printf.sprintf "side=%d (measured=%g formula=%g)" side measured formula)
+        true
+        (Float.abs (measured -. formula) < 0.01))
+    [ 2; 4; 8 ]
+
+let test_grid_collector_theta_avg_demand () =
+  (* One huge hot spot in a 6x6 field: collector W ~ avg d, while the
+     no-transfer planner needs far more. *)
+  let dm =
+    Demand_map.of_alist 2
+      ((point2 3 3, 720)
+      :: List.concat_map
+           (fun x -> List.init 6 (fun y -> (point2 x y, 1)))
+           (List.init 6 (fun x -> x)))
+  in
+  let collector = Grid_collector.min_capacity dm (Transfer.Fixed 1.0) in
+  let avg = float_of_int (Demand_map.total dm) /. 36.0 in
+  let no_transfer = float_of_int (Planner.max_energy (Planner.plan dm)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "collector (%g) within 2x of avg+overheads (%g)" collector avg)
+    true
+    (collector < (2.0 *. avg) +. 6.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "collector (%g) beats no-transfer (%g)" collector no_transfer)
+    true
+    (collector < no_transfer)
+
+let test_grid_collector_single_cell () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 7) ] in
+  let run = Grid_collector.simulate dm ~cost:(Transfer.Fixed 1.0) ~w:7.0 in
+  Alcotest.(check bool) "self-service" true run.Grid_collector.success;
+  let run' = Grid_collector.simulate dm ~cost:(Transfer.Fixed 1.0) ~w:6.5 in
+  Alcotest.(check bool) "fails below demand" false run'.Grid_collector.success
+
+let test_grid_collector_variable_cost () =
+  let dm =
+    Demand_map.of_alist 2
+      (List.concat_map (fun x -> List.init 5 (fun y -> (point2 x y, 3)))
+         (List.init 5 (fun x -> x)))
+  in
+  let measured = Grid_collector.min_capacity dm (Transfer.Variable 0.01) in
+  let formula = Grid_collector.closed_form dm ~cost:(Transfer.Variable 0.01) in
+  Alcotest.(check bool)
+    (Printf.sprintf "variable (measured=%g formula=%g)" measured formula)
+    true
+    (Float.abs (measured -. formula) /. formula < 0.05)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "grid collector counts" `Quick test_grid_collector_counts;
+      Alcotest.test_case "grid collector closed form" `Quick test_grid_collector_matches_closed_form;
+      Alcotest.test_case "grid collector Θ(avg d)" `Quick test_grid_collector_theta_avg_demand;
+      Alcotest.test_case "grid collector single cell" `Quick test_grid_collector_single_cell;
+      Alcotest.test_case "grid collector variable cost" `Quick test_grid_collector_variable_cost;
+    ]

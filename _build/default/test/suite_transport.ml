@@ -1,0 +1,119 @@
+(* Transportation feasibility and the exact dual identity of Lemma 2.2.2:
+   min uniform supply = max_J D(J)/|N(J)|. *)
+
+let simple_instance () =
+  (* Two suppliers; supplier 0 reaches both demands, supplier 1 only the
+     second.  Demands 3 and 5. *)
+  let t = Transport.create ~n_suppliers:2 ~n_demands:2 in
+  Transport.set_demand t 0 3;
+  Transport.set_demand t 1 5;
+  Transport.add_link t ~supplier:0 ~demand:0;
+  Transport.add_link t ~supplier:0 ~demand:1;
+  Transport.add_link t ~supplier:1 ~demand:1;
+  t
+
+let test_max_served () =
+  let t = simple_instance () in
+  Alcotest.(check int) "unlimited supply serves all" 8
+    (Transport.max_served t ~supply:(fun _ -> 100));
+  Alcotest.(check int) "tight supply" 6 (Transport.max_served t ~supply:(fun _ -> 3));
+  Alcotest.(check int) "no supply" 0 (Transport.max_served t ~supply:(fun _ -> 0))
+
+let test_feasible () =
+  let t = simple_instance () in
+  Alcotest.(check bool) "feasible at 4" true (Transport.feasible t ~supply:(fun _ -> 4));
+  Alcotest.(check bool) "infeasible at 3" false (Transport.feasible t ~supply:(fun _ -> 3))
+
+let test_min_uniform_supply_exact () =
+  let t = simple_instance () in
+  (* Optimal ω: subset {d0} needs 3/1, {d1} needs 5/2, {d0,d1} needs 8/2 = 4. *)
+  match Transport.min_uniform_supply t ~scale:2 with
+  | None -> Alcotest.fail "feasible instance"
+  | Some v -> Alcotest.(check (float 1e-9)) "ω = 4" 4.0 v
+
+let test_min_uniform_supply_fractional () =
+  (* One supplier linked to both demands: ω = (2+3)/1 = 5.
+     Two suppliers sharing: build d=1 with 3 suppliers => ω = 1/3. *)
+  let t = Transport.create ~n_suppliers:3 ~n_demands:1 in
+  Transport.set_demand t 0 1;
+  for i = 0 to 2 do
+    Transport.add_link t ~supplier:i ~demand:0
+  done;
+  match Transport.min_uniform_supply t ~scale:3 with
+  | None -> Alcotest.fail "feasible instance"
+  | Some v -> Alcotest.(check (float 1e-9)) "ω = 1/3" (1.0 /. 3.0) v
+
+let test_min_uniform_supply_none () =
+  let t = Transport.create ~n_suppliers:1 ~n_demands:2 in
+  Transport.set_demand t 0 1;
+  Transport.set_demand t 1 1;
+  Transport.add_link t ~supplier:0 ~demand:0;
+  Alcotest.(check bool) "unlinked demand" true
+    (Transport.min_uniform_supply t ~scale:10 = None)
+
+let test_min_uniform_supply_zero_demand () =
+  let t = Transport.create ~n_suppliers:2 ~n_demands:2 in
+  match Transport.min_uniform_supply t ~scale:10 with
+  | Some v -> Alcotest.(check (float 0.0)) "zero" 0.0 v
+  | None -> Alcotest.fail "zero demand is trivially feasible"
+
+let test_dual_value_exhaustive_known () =
+  let t = simple_instance () in
+  Alcotest.(check (float 1e-9)) "dual = 4" 4.0 (Transport.dual_value_exhaustive t)
+
+let random_instance rng =
+  let s = 1 + Rng.int rng 5 and d = 1 + Rng.int rng 5 in
+  let t = Transport.create ~n_suppliers:s ~n_demands:d in
+  for j = 0 to d - 1 do
+    Transport.set_demand t j (Rng.int rng 7)
+  done;
+  for i = 0 to s - 1 do
+    for j = 0 to d - 1 do
+      if Rng.bool rng then Transport.add_link t ~supplier:i ~demand:j
+    done
+  done;
+  t
+
+let test_primal_equals_dual_random () =
+  (* LP duality (Lemma 2.2.2) checked exhaustively on random tiny
+     instances, at scale lcm(1..6) so every dual denominator divides it. *)
+  let rng = Rng.create 31337 in
+  let scale = 60 in
+  let checked = ref 0 in
+  while !checked < 100 do
+    let t = random_instance rng in
+    let dual = Transport.dual_value_exhaustive t in
+    if dual <> infinity then begin
+      incr checked;
+      match Transport.min_uniform_supply t ~scale with
+      | None -> Alcotest.fail "dual finite but primal infeasible"
+      | Some primal ->
+          Alcotest.(check (float 1e-9)) "primal = dual" dual primal
+    end
+    else
+      Alcotest.(check bool) "dual infinite iff primal infeasible" true
+        (Transport.min_uniform_supply t ~scale = None)
+  done
+
+let test_max_served_monotone_in_supply () =
+  let rng = Rng.create 4242 in
+  for _ = 1 to 50 do
+    let t = random_instance rng in
+    let low = Transport.max_served t ~supply:(fun _ -> 2) in
+    let high = Transport.max_served t ~supply:(fun _ -> 5) in
+    Alcotest.(check bool) "monotone" true (low <= high);
+    Alcotest.(check bool) "bounded by demand" true (high <= Transport.total_demand t)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "max served" `Quick test_max_served;
+    Alcotest.test_case "feasibility" `Quick test_feasible;
+    Alcotest.test_case "min uniform supply exact" `Quick test_min_uniform_supply_exact;
+    Alcotest.test_case "min uniform supply fractional" `Quick test_min_uniform_supply_fractional;
+    Alcotest.test_case "unlinked demand gives None" `Quick test_min_uniform_supply_none;
+    Alcotest.test_case "zero demand" `Quick test_min_uniform_supply_zero_demand;
+    Alcotest.test_case "dual exhaustive known" `Quick test_dual_value_exhaustive_known;
+    Alcotest.test_case "primal = dual (Lemma 2.2.2)" `Quick test_primal_equals_dual_random;
+    Alcotest.test_case "served monotone in supply" `Quick test_max_served_monotone_in_supply;
+  ]

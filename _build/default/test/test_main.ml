@@ -1,0 +1,28 @@
+let () =
+  Alcotest.run "cmvrp"
+    [
+      ("rng", Suite_rng.suite);
+      ("stats", Suite_stats.suite);
+      ("table", Suite_table.suite);
+      ("grid", Suite_grid.suite);
+      ("ball", Suite_ball.suite);
+      ("snake", Suite_snake.suite);
+      ("graph", Suite_graph.suite);
+      ("flow", Suite_flow.suite);
+      ("transport", Suite_transport.suite);
+      ("demand", Suite_demand.suite);
+      ("io", Suite_io.suite);
+      ("des", Suite_des.suite);
+      ("omega", Suite_omega.suite);
+      ("oracle", Suite_oracle.suite);
+      ("alg1", Suite_alg1.suite);
+      ("planner", Suite_planner.suite);
+      ("localsearch", Suite_localsearch.suite);
+      ("fig21", Suite_fig21.suite);
+      ("online", Suite_online.suite);
+      ("breakdown", Suite_breakdown.suite);
+      ("transfer", Suite_transfer.suite);
+      ("baselines", Suite_baselines.suite);
+      ("gcmvrp", Suite_gcmvrp.suite);
+      ("properties", Suite_properties.suite);
+    ]
