@@ -1,7 +1,14 @@
 (* Benchmark harness: one experiment per reproduced artifact of the thesis
    (see DESIGN.md §6 and EXPERIMENTS.md).  Run with no arguments for all
-   tables, with experiment ids ("e1" .. "e12") for a subset, or with
-   "--bechamel" to add the micro-benchmark timing suite. *)
+   tables, with experiment ids ("e1" .. "e17") for a subset, or with
+   "--bechamel" to add the micro-benchmark timing suite.
+
+   Machine-readable mode: "--json FILE" runs the regression scenario
+   suite instead of the tables and writes a BENCH_<rev>.json report
+   (per-scenario wall time + Metrics snapshot; schema in
+   docs/OBSERVABILITY.md).  "--quick" shrinks both the scenario sizes and
+   the bechamel quota for CI smoke runs; "--revision REV" stamps the
+   report (defaults to $GITHUB_SHA, then "dev"). *)
 
 let fl = Table.cell_f
 let it = Table.cell_i
@@ -904,8 +911,10 @@ let e17 () =
 (* Bechamel micro-benchmarks.                                           *)
 (* ------------------------------------------------------------------ *)
 
-let bechamel_suite () =
-  section "Bechamel micro-benchmarks (ns per run, OLS fit)";
+let bechamel_suite ~quick () =
+  section
+    (if quick then "Bechamel micro-benchmarks (ns per run, OLS fit; quick quota)"
+     else "Bechamel micro-benchmarks (ns per run, OLS fit)");
   let open Bechamel in
   let open Toolkit in
   let dm_mid =
@@ -952,7 +961,10 @@ let bechamel_suite () =
             ignore (Snake.pairing (Box.cube_at_origin ~dim:2 ~side:16))));
       ]
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:100 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -980,6 +992,114 @@ let bechamel_suite () =
   Table.print t
 
 (* ------------------------------------------------------------------ *)
+(* JSON regression scenarios.  Each thunk exercises one hot path end to
+   end on a deterministic (seeded) workload; the harness resets the
+   Metrics registry before, and snapshots it after, each run, so every
+   scenario carries its own counter/gauge/timer profile.  The counters
+   are machine-independent, which is what bench-diff leans on in CI.     *)
+(* ------------------------------------------------------------------ *)
+
+let json_scenarios ~quick =
+  let box7 = Box.make ~lo:[| 0; 0 |] ~hi:[| 7; 7 |] in
+  let scale n = if quick then max 1 (n / 3) else n in
+  [
+    ( "oracle/omega_star-uniform",
+      fun () ->
+        let dm =
+          Workload.demand
+            (Workload.uniform ~rng:(Rng.create 99) ~box:box7 ~jobs:(scale 200))
+        in
+        ignore (Oracle.omega_star dm) );
+    ( "oracle/omega_star-clustered",
+      fun () ->
+        let dm =
+          Workload.demand
+            (Workload.clustered ~rng:(Rng.create 5) ~box:box7 ~clusters:3
+               ~jobs_per_cluster:(scale 60) ~spread:1)
+        in
+        ignore (Oracle.omega_star dm) );
+    ( "alg1/two-hotspots",
+      fun () ->
+        let n = if quick then 128 else 512 in
+        let dm =
+          Demand_map.of_alist 2
+            [ ([| n / 2; n / 2 |], 5000); ([| n / 4; n / 4 |], 1000) ]
+        in
+        ignore (Alg1.run ~dim:2 ~n dm) );
+    ( "maxflow/dinic-dense",
+      fun () ->
+        let rng = Rng.create 3 in
+        let n = if quick then 96 else 192 in
+        let net = Maxflow.create n in
+        for _ = 1 to 12 * n do
+          let u = Rng.int rng n and v = Rng.int rng n in
+          if u <> v then
+            ignore (Maxflow.add_edge net ~src:u ~dst:v ~cap:(Rng.int rng 20))
+        done;
+        ignore (Maxflow.max_flow net ~source:0 ~sink:(n - 1)) );
+    ( "planner/uniform",
+      fun () ->
+        let dm =
+          Workload.demand
+            (Workload.uniform ~rng:(Rng.create 42) ~box:box7 ~jobs:(scale 200))
+        in
+        ignore (Planner.plan dm) );
+    ( "localsearch/point",
+      fun () ->
+        let dm = Demand_map.of_alist 2 [ ([| 0; 0 |], scale 500) ] in
+        ignore (Localsearch.solve ~rounds:(if quick then 150 else 600) dm) );
+    ( "online/point",
+      fun () ->
+        let w = Workload.point ~total:(scale 300) () in
+        ignore (Online.run (Online.recommended w) w) );
+    ( "online/silent-initiators",
+      fun () ->
+        let w = Workload.point ~total:(scale 400) () in
+        let base = Online.recommended w in
+        let cfg =
+          {
+            base with
+            Online.faults =
+              {
+                Online.no_faults with
+                Online.silent_initiators = List.init 500 (fun i -> i);
+              };
+          }
+        in
+        ignore (Online.run cfg w) );
+  ]
+
+let run_json_suite ~quick ~revision path =
+  section
+    (Printf.sprintf "JSON regression suite (%s mode) -> %s"
+       (if quick then "quick" else "full")
+       path);
+  let scenarios =
+    List.map
+      (fun (name, f) ->
+        Metrics.reset ();
+        let t0 = Metrics.now_ns () in
+        f ();
+        let wall_ms = (Metrics.now_ns () -. t0) /. 1e6 in
+        Printf.printf "  %-32s %10.2f ms\n%!" name wall_ms;
+        (* zero-valued cells are subsystems this scenario never touched;
+           dropping them keeps reports scenario-relevant *)
+        let touched = function
+          | _, Metrics.Count 0 -> false
+          | _, Metrics.Level { value = 0.0; peak = 0.0 } -> false
+          | _, Metrics.Span { calls = 0; _ } -> false
+          | _ -> true
+        in
+        let metrics = List.filter touched (Metrics.snapshot ()) in
+        { Bench_report.name; wall_ms; metrics })
+      (json_scenarios ~quick)
+  in
+  let report = Bench_report.make ~revision ~quick scenarios in
+  Bench_report.write_file path report;
+  Printf.printf "\nwrote %s: %d scenarios, schema v%d, revision %s\n%!" path
+    (List.length scenarios) Bench_report.schema_version revision
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -990,23 +1110,57 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let want_bechamel = List.mem "--bechamel" args in
-  let wanted = List.filter (fun a -> a <> "--bechamel") args in
+  let want_bechamel = ref false in
+  let quick = ref false in
+  let json_path = ref None in
+  let revision =
+    ref (Option.value ~default:"dev" (Sys.getenv_opt "GITHUB_SHA"))
+  in
+  let wanted = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--bechamel" :: rest ->
+        want_bechamel := true;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse rest
+    | [ "--json" ] ->
+        prerr_endline "--json requires an output path";
+        exit 2
+    | "--revision" :: rev :: rest ->
+        revision := rev;
+        parse rest
+    | [ "--revision" ] ->
+        prerr_endline "--revision requires an argument";
+        exit 2
+    | name :: rest ->
+        wanted := name :: !wanted;
+        parse rest
+  in
+  parse args;
+  let wanted = List.rev !wanted in
   print_endline
     "CMVRP reproduction benchmarks — Gao, \"On a Capacitated Multivehicle \
      Routing Problem\" (Caltech, 2008)";
-  let to_run =
-    match wanted with
-    | [] -> experiments
-    | names ->
-        List.filter_map
-          (fun n ->
-            match List.assoc_opt n experiments with
-            | Some f -> Some (n, f)
-            | None ->
-                Printf.eprintf "unknown experiment %S (known: e1..e17)\n" n;
-                None)
-          names
-  in
-  List.iter (fun (_, f) -> f ()) to_run;
-  if want_bechamel then bechamel_suite ()
+  (match !json_path with
+  | Some path -> run_json_suite ~quick:!quick ~revision:!revision path
+  | None ->
+      let to_run =
+        match wanted with
+        | [] -> experiments
+        | names ->
+            List.filter_map
+              (fun n ->
+                match List.assoc_opt n experiments with
+                | Some f -> Some (n, f)
+                | None ->
+                    Printf.eprintf "unknown experiment %S (known: e1..e17)\n" n;
+                    None)
+              names
+      in
+      List.iter (fun (_, f) -> f ()) to_run);
+  if !want_bechamel then bechamel_suite ~quick:!quick ()

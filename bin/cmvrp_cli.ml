@@ -1,10 +1,12 @@
 (* Command-line interface to the CMVRP library.
 
    Subcommands:
-     workload  — generate an arrival sequence and print it (one "x y" pair
-                 per line, arrival order)
-     solve     — offline analysis of a workload: bounds, plan, Algorithm 1
-     simulate  — run the distributed online strategy and report the audit
+     workload   — generate an arrival sequence and print it (one "x y" pair
+                  per line, arrival order)
+     solve      — offline analysis of a workload: bounds, plan, Algorithm 1
+     simulate   — run the distributed online strategy and report the audit
+     bench-diff — compare two BENCH_<rev>.json reports and fail on
+                  regression (the check CI runs; see docs/OBSERVABILITY.md)
 
    Workloads come either from a generator family (--kind and its
    parameters) or from a file of "x y" lines (--input). *)
@@ -292,7 +294,91 @@ let simulate_cmd =
       const run $ spec_term $ capacity $ cube_side $ kills $ silent $ find_min
       $ trace)
 
+(* --- bench-diff subcommand --- *)
+
+let bench_diff_cmd =
+  let baseline =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE"
+         ~doc:"Baseline BENCH_<rev>.json report.")
+  in
+  let candidate =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE"
+         ~doc:"Candidate BENCH_<rev>.json report to vet against the baseline.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.5
+      & info [ "tolerance" ]
+          ~doc:
+            "Allowed relative growth of wall times and timer spans: a \
+             duration regresses when new > (1 + tolerance) * old + 0.5ms.")
+  in
+  let metric_tolerance =
+    Arg.(
+      value & opt float 0.1
+      & info [ "metric-tolerance" ]
+          ~doc:
+            "Allowed relative growth of counters and gauge peaks (these are \
+             deterministic, so keep it tight even across machines).")
+  in
+  let run baseline_path candidate_path tolerance metric_tolerance =
+    if tolerance < 0.0 || metric_tolerance < 0.0 then begin
+      Printf.eprintf "bench-diff: tolerances must be non-negative\n";
+      exit 2
+    end;
+    let load path =
+      match Bench_report.read_file path with
+      | Ok r -> r
+      | Error e ->
+          Printf.eprintf "bench-diff: %s\n" e;
+          exit 2
+    in
+    let baseline = load baseline_path in
+    let candidate = load candidate_path in
+    let compared =
+      List.length
+        (List.filter
+           (fun (s : Bench_report.scenario) ->
+             List.exists
+               (fun (c : Bench_report.scenario) -> c.Bench_report.name = s.Bench_report.name)
+               candidate.Bench_report.scenarios)
+           baseline.Bench_report.scenarios)
+    in
+    Printf.printf
+      "bench-diff: baseline %s (rev %s) vs candidate %s (rev %s); %d \
+       scenario(s) compared\n"
+      baseline_path baseline.Bench_report.revision candidate_path
+      candidate.Bench_report.revision compared;
+    if baseline.Bench_report.quick <> candidate.Bench_report.quick then
+      Printf.printf
+        "warning: comparing a %s baseline against a %s candidate\n"
+        (if baseline.Bench_report.quick then "quick" else "full")
+        (if candidate.Bench_report.quick then "quick" else "full");
+    match
+      Bench_report.diff ~wall_tolerance:tolerance ~metric_tolerance ~baseline
+        ~candidate ()
+    with
+    | [] ->
+        Printf.printf
+          "OK: no regression (wall tolerance %.0f%%, metric tolerance %.0f%%)\n"
+          (100.0 *. tolerance)
+          (100.0 *. metric_tolerance)
+    | regressions ->
+        List.iter
+          (fun r ->
+            Format.printf "REGRESSION %a@." Bench_report.pp_regression r)
+          regressions;
+        Printf.printf "%d regression(s) found\n" (List.length regressions);
+        exit 1
+  in
+  let doc = "Compare two benchmark reports; exit 1 on regression." in
+  Cmd.v
+    (Cmd.info "bench-diff" ~doc)
+    Term.(const run $ baseline $ candidate $ tolerance $ metric_tolerance)
+
 let () =
   let doc = "CMVRP: capacitated multivehicle routing on the grid (Gao 2008)" in
   let info = Cmd.info "cmvrp" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ workload_cmd; solve_cmd; simulate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ workload_cmd; solve_cmd; simulate_cmd; bench_diff_cmd ]))

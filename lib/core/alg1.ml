@@ -1,5 +1,9 @@
 type result = { value : float; cube_side : int option; cell_ops : int }
 
+let m_cell_ops = Metrics.counter "alg1.cell_ops"
+let m_coarsen_levels = Metrics.counter "alg1.coarsen_levels"
+let m_run = Metrics.timer "alg1.run"
+
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
 let int_pow base e =
@@ -11,7 +15,7 @@ let int_pow base e =
 
 let approximation_factor l = 2.0 *. float_of_int ((2 * int_pow 3 l) + l)
 
-let run ~dim ~n dm =
+let run_raw ~dim ~n dm =
   if dim <= 0 then invalid_arg "Alg1.run: dimension must be positive";
   if not (is_power_of_two n) then invalid_arg "Alg1.run: n must be a power of two";
   if Demand_map.dim dm <> dim then invalid_arg "Alg1.run: dimension mismatch";
@@ -41,6 +45,7 @@ let run ~dim ~n dm =
     let rec loop ~w ~n' ~(coarse : int array) =
       if w = n then { value = fallback; cube_side = None; cell_ops = !ops }
       else begin
+        Metrics.incr m_coarsen_levels;
         let w = 2 * w and n' = n' / 2 in
         let child_box = Box.cube_at_origin ~dim ~side:(2 * n') in
         let parent_box = Box.cube_at_origin ~dim ~side:n' in
@@ -62,3 +67,9 @@ let run ~dim ~n dm =
     in
     loop ~w:1 ~n':n ~coarse:finest
   end
+
+let run ~dim ~n dm =
+  Metrics.time m_run (fun () ->
+      let r = run_raw ~dim ~n dm in
+      Metrics.add m_cell_ops r.cell_ops;
+      r)

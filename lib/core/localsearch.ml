@@ -1,5 +1,9 @@
 type load = { site : Point.t; units : int }
 
+let m_moves_tried = Metrics.counter "localsearch.moves_tried"
+let m_moves_accepted = Metrics.counter "localsearch.moves_accepted"
+let m_rounds = Metrics.counter "localsearch.rounds"
+
 type solution = {
   window : Box.t;
   assignments : (int * load list) list;
@@ -202,6 +206,7 @@ let improve ?(rounds = 400) ?(seed = 0) sol dm =
   let budget = ref rounds in
   while !continue && !budget > 0 do
     decr budget;
+    Metrics.incr m_rounds;
     (* Worst vehicle and the runner-up peak without it. *)
     let worst = ref 0 in
     for v = 1 to n - 1 do
@@ -235,6 +240,7 @@ let improve ?(rounds = 400) ?(seed = 0) sol dm =
                     Point.l1_dist (Box.point_of_index st.window dst) site
                   in
                   if st.energy.(dst) + amount + dist_dst < peak then begin
+                    Metrics.incr m_moves_tried;
                     apply_move st ~src ~dst ~site ~amount;
                     let new_peak =
                       max !others_peak (max st.energy.(src) st.energy.(dst))
@@ -251,7 +257,9 @@ let improve ?(rounds = 400) ?(seed = 0) sol dm =
         st.loads.(src);
       match !best with
       | None -> continue := false
-      | Some (site, amount, dst, _) -> apply_move st ~src ~dst ~site ~amount
+      | Some (site, amount, dst, _) ->
+          Metrics.incr m_moves_accepted;
+          apply_move st ~src ~dst ~site ~amount
     end
   done;
   solution_of_state st

@@ -1,5 +1,9 @@
 let default_scale = 720720 (* lcm(1..14): exact for small dual denominators *)
 
+let m_lp_calls = Metrics.counter "oracle.lp_calls"
+let m_radius_brackets = Metrics.counter "oracle.radius_brackets"
+let m_omega_star = Metrics.timer "oracle.omega_star"
+
 let build_instance dm ~radius =
   let support = Array.of_list (Demand_map.support dm) in
   let suppliers =
@@ -22,6 +26,7 @@ let build_instance dm ~radius =
 
 let lp_value ?(scale = default_scale) ~radius dm =
   if radius < 0 then invalid_arg "Oracle.lp_value: negative radius";
+  Metrics.incr m_lp_calls;
   if Demand_map.total dm = 0 then 0.0
   else begin
     let inst = build_instance dm ~radius in
@@ -34,17 +39,18 @@ let lp_value ?(scale = default_scale) ~radius dm =
 
 let omega_star ?(scale = default_scale) dm =
   if Demand_map.total dm = 0 then 0.0
-  else begin
-    (* ω lives in some bracket [m, m+1); there the admissible radius is m
-       and the minimal capacity is lp_value m, so the bracket's optimum is
-       max(m, lp_value m) when that stays below m+1. *)
-    let rec scan m =
-      let v = lp_value ~scale ~radius:m dm in
-      let candidate = Float.max (float_of_int m) v in
-      if candidate < float_of_int (m + 1) then candidate else scan (m + 1)
-    in
-    scan 0
-  end
+  else
+    Metrics.time m_omega_star (fun () ->
+        (* ω lives in some bracket [m, m+1); there the admissible radius is m
+           and the minimal capacity is lp_value m, so the bracket's optimum is
+           max(m, lp_value m) when that stays below m+1. *)
+        let rec scan m =
+          Metrics.incr m_radius_brackets;
+          let v = lp_value ~scale ~radius:m dm in
+          let candidate = Float.max (float_of_int m) v in
+          if candidate < float_of_int (m + 1) then candidate else scan (m + 1)
+        in
+        scan 0)
 
 let lower_bound_woff = omega_star
 

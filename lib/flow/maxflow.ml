@@ -2,6 +2,11 @@
    residual twin 2k+1 are stored adjacently, so the reverse of edge [e] is
    [e lxor 1]. *)
 
+let m_augmentations = Metrics.counter "maxflow.augmentations"
+let m_bfs_phases = Metrics.counter "maxflow.bfs_phases"
+let m_runs = Metrics.counter "maxflow.runs"
+let m_residual_edges = Metrics.gauge "maxflow.residual_edges"
+
 type t = {
   n : int;
   mutable dst : int array; (* destination per directed edge *)
@@ -108,14 +113,18 @@ let rec augment t v ~sink pushed =
 
 let max_flow t ~source ~sink =
   if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  Metrics.incr m_runs;
+  Metrics.set_gauge m_residual_edges (float_of_int t.m);
   let total = ref 0 in
   while build_levels t ~source ~sink do
+    Metrics.incr m_bfs_phases;
     for v = 0 to t.n - 1 do
       t.iter.(v) <- t.head.(v)
     done;
     let rec push () =
       let got = augment t source ~sink max_int in
       if got > 0 then begin
+        Metrics.incr m_augmentations;
         total := !total + got;
         push ()
       end

@@ -1,3 +1,6 @@
+let m_bisection_steps = Metrics.counter "transport.bisection_steps"
+let m_feasibility_checks = Metrics.counter "transport.feasibility_checks"
+
 type t = {
   n_suppliers : int;
   n_demands : int;
@@ -82,6 +85,7 @@ let min_uniform_supply t ~scale =
        everything). *)
     let target = total * scale in
     let feasible_at u =
+      Metrics.incr m_feasibility_checks;
       max_served_scaled t ~supply:(fun _ -> u) ~demand_scale:scale = target
     in
     let lo = ref 0 and hi = ref (total * scale) in
@@ -89,6 +93,7 @@ let min_uniform_supply t ~scale =
     if feasible_at 0 then Some 0.0
     else begin
       while !hi - !lo > 1 do
+        Metrics.incr m_bisection_steps;
         let mid = !lo + ((!hi - !lo) / 2) in
         if feasible_at mid then hi := mid else lo := mid
       done;

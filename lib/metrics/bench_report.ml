@@ -1,0 +1,202 @@
+type scenario = {
+  name : string;
+  wall_ms : float;
+  metrics : (string * Metrics.sample) list;
+}
+
+type t = {
+  schema_version : int;
+  revision : string;
+  quick : bool;
+  scenarios : scenario list;
+}
+
+let schema_version = 1
+
+let make ~revision ~quick scenarios =
+  { schema_version; revision; quick; scenarios }
+
+(* --- JSON codec (schema documented in docs/OBSERVABILITY.md) --- *)
+
+let json_of_scenario s =
+  Json.Obj
+    [
+      ("name", Json.String s.name);
+      ("wall_ms", Json.Float s.wall_ms);
+      ("metrics", Metrics.json_of_snapshot s.metrics);
+    ]
+
+let to_json r =
+  Json.Obj
+    [
+      ("schema_version", Json.Int r.schema_version);
+      ("revision", Json.String r.revision);
+      ("quick", Json.Bool r.quick);
+      ("scenarios", Json.List (List.map json_of_scenario r.scenarios));
+    ]
+
+let ( let* ) = Result.bind
+
+let field name project j =
+  match Option.bind (Json.member name j) project with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let scenario_of_json j =
+  let* name = field "name" Json.to_string_opt j in
+  let* wall_ms = field "wall_ms" Json.to_float_opt j in
+  let* metric_fields = field "metrics" Json.to_obj_opt j in
+  let* metrics =
+    List.fold_left
+      (fun acc (k, v) ->
+        let* acc = acc in
+        match Metrics.sample_of_json v with
+        | Ok s -> Ok ((k, s) :: acc)
+        | Error e -> Error (Printf.sprintf "metric %S of scenario %S: %s" k name e))
+      (Ok []) metric_fields
+  in
+  Ok { name; wall_ms; metrics = List.rev metrics }
+
+let of_json j =
+  let* version = field "schema_version" Json.to_int_opt j in
+  if version <> schema_version then
+    Error
+      (Printf.sprintf "unsupported schema_version %d (this build reads %d)"
+        version schema_version)
+  else
+    let* revision = field "revision" Json.to_string_opt j in
+    let* quick = field "quick" Json.to_bool_opt j in
+    let* scenario_list = field "scenarios" Json.to_list_opt j in
+    let* scenarios =
+      List.fold_left
+        (fun acc sj ->
+          let* acc = acc in
+          let* s = scenario_of_json sj in
+          Ok (s :: acc))
+        (Ok []) scenario_list
+    in
+    Ok (make ~revision ~quick (List.rev scenarios))
+
+let of_string s =
+  let* j = Json.of_string s in
+  of_json j
+
+let write_file path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (to_json r));
+      output_char oc '\n')
+
+let read_file path =
+  let ic = open_in path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match of_string text with
+  | Ok r -> Ok r
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+(* --- regression detection --- *)
+
+type regression = {
+  scenario : string;
+  subject : string;
+  baseline_value : float;
+  candidate_value : float;
+  limit : float;
+}
+
+(* Thresholds are one-sided with an additive slack so that a candidate
+   identical to its baseline can never regress (at any tolerance >= 0) and
+   sub-millisecond timing noise is ignored. *)
+
+let wall_slack_ms = 0.5
+let span_slack_ns = 0.5e6
+
+let exceeds ~tolerance ~slack ~old_v ~new_v =
+  let limit = ((1.0 +. tolerance) *. old_v) +. slack in
+  if new_v > limit then Some limit else None
+
+let metric_regressions ~metric_tolerance ~wall_tolerance ~scenario old_metrics
+    new_metrics =
+  List.filter_map
+    (fun (name, new_sample) ->
+      match List.assoc_opt name old_metrics with
+      | None -> None (* newly added metric: nothing to compare against *)
+      | Some old_sample ->
+          let flag subject old_v new_v tolerance slack =
+            Option.map
+              (fun limit ->
+                {
+                  scenario;
+                  subject;
+                  baseline_value = old_v;
+                  candidate_value = new_v;
+                  limit;
+                })
+              (exceeds ~tolerance ~slack ~old_v ~new_v)
+          in
+          (match (old_sample, new_sample) with
+          | Metrics.Count o, Metrics.Count n ->
+              flag name (float_of_int o) (float_of_int n) metric_tolerance 0.0
+          | Metrics.Level o, Metrics.Level n ->
+              flag (name ^ ".peak") o.peak n.peak metric_tolerance 0.0
+          | Metrics.Span o, Metrics.Span n ->
+              flag (name ^ ".ns") o.ns n.ns wall_tolerance span_slack_ns
+          | _ -> (* kind changed between revisions: not comparable *) None))
+    new_metrics
+
+let diff ?(wall_tolerance = 0.5) ?(metric_tolerance = 0.1) ~baseline ~candidate
+    () =
+  if wall_tolerance < 0.0 || metric_tolerance < 0.0 then
+    invalid_arg "Bench_report.diff: tolerances must be non-negative";
+  List.concat_map
+    (fun old_s ->
+      match
+        List.find_opt (fun s -> s.name = old_s.name) candidate.scenarios
+      with
+      | None ->
+          [
+            {
+              scenario = old_s.name;
+              subject = "missing";
+              baseline_value = old_s.wall_ms;
+              candidate_value = Float.nan;
+              limit = Float.nan;
+            };
+          ]
+      | Some new_s ->
+          let wall =
+            match
+              exceeds ~tolerance:wall_tolerance ~slack:wall_slack_ms
+                ~old_v:old_s.wall_ms ~new_v:new_s.wall_ms
+            with
+            | Some limit ->
+                [
+                  {
+                    scenario = old_s.name;
+                    subject = "wall_ms";
+                    baseline_value = old_s.wall_ms;
+                    candidate_value = new_s.wall_ms;
+                    limit;
+                  };
+                ]
+            | None -> []
+          in
+          wall
+          @ metric_regressions ~metric_tolerance ~wall_tolerance
+              ~scenario:old_s.name old_s.metrics new_s.metrics)
+    baseline.scenarios
+
+let pp_regression fmt r =
+  if r.subject = "missing" then
+    Format.fprintf fmt
+      "%s: scenario missing from the candidate report (baseline wall %.2f ms)"
+      r.scenario r.baseline_value
+  else
+    Format.fprintf fmt "%s: %s rose %.6g -> %.6g (limit %.6g)" r.scenario
+      r.subject r.baseline_value r.candidate_value r.limit

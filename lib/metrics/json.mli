@@ -1,0 +1,38 @@
+(** Minimal JSON tree with an emitter and a strict parser.
+
+    Written in-repo because the toolchain ships no JSON library; covers
+    exactly what the benchmark reports ({!Bench_report}) and the metrics
+    registry ({!Metrics}) need.  Numbers are split into [Int] and [Float]
+    ([Float nan] prints as [null]); strings are byte sequences with the
+    standard escapes ([\uXXXX] is decoded to UTF-8 on input, surrogate
+    pairs unsupported). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?compact:bool -> t -> string
+(** Serialize; 2-space-indented unless [compact] (default [false]). *)
+
+val to_buffer : ?compact:bool -> Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parse of a complete document; the error carries a byte
+    offset. *)
+
+val member : string -> t -> t option
+(** First field of that name if the value is an [Obj]. *)
+
+val to_float_opt : t -> float option
+(** Numeric projection: accepts both [Int] and [Float]. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option
+val to_obj_opt : t -> (string * t) list option

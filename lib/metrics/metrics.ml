@@ -1,0 +1,155 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float; mutable g_peak : float }
+type timer = { mutable ns : float; mutable calls : int }
+type cell = C of counter | G of gauge | T of timer
+
+let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+let on = ref true
+
+let set_enabled b = on := b
+let enabled () = !on
+
+let register name make project describe =
+  match Hashtbl.find_opt registry name with
+  | Some cell -> (
+      match project cell with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (describe cell)))
+  | None ->
+      let v = make () in
+      Hashtbl.replace registry name v;
+      (match project v with Some v -> v | None -> assert false)
+
+let describe = function C _ -> "counter" | G _ -> "gauge" | T _ -> "timer"
+
+let counter name =
+  register name
+    (fun () -> C { c = 0 })
+    (function C c -> Some c | _ -> None)
+    describe
+
+let gauge name =
+  register name
+    (fun () -> G { g = 0.0; g_peak = 0.0 })
+    (function G g -> Some g | _ -> None)
+    describe
+
+let timer name =
+  register name
+    (fun () -> T { ns = 0.0; calls = 0 })
+    (function T t -> Some t | _ -> None)
+    describe
+
+(* Mutators: a single flag test on the fast path; when disabled they are
+   no-ops so instrumented code pays (almost) nothing. *)
+
+let incr c = if !on then c.c <- c.c + 1
+let add c n = if !on then c.c <- c.c + n
+let count c = c.c
+
+let set_gauge g v =
+  if !on then begin
+    g.g <- v;
+    if v > g.g_peak then g.g_peak <- v
+  end
+
+let gauge_value g = g.g
+let gauge_peak g = g.g_peak
+
+let now_ns () = Int64.to_float (Monotonic_clock.now ())
+
+let add_ns t dt =
+  if !on then begin
+    t.ns <- t.ns +. dt;
+    t.calls <- t.calls + 1
+  end
+
+let time t f =
+  if not !on then f ()
+  else begin
+    let t0 = Monotonic_clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        t.ns <- t.ns +. Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0);
+        t.calls <- t.calls + 1)
+      f
+  end
+
+let timer_ns t = t.ns
+let timer_calls t = t.calls
+
+(* --- registry-wide views --- *)
+
+type sample =
+  | Count of int
+  | Level of { value : float; peak : float }
+  | Span of { ns : float; calls : int }
+
+let sample_of_cell = function
+  | C c -> Count c.c
+  | G g -> Level { value = g.g; peak = g.g_peak }
+  | T t -> Span { ns = t.ns; calls = t.calls }
+
+let snapshot () =
+  Hashtbl.fold (fun name cell acc -> (name, sample_of_cell cell) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let sample name = Option.map sample_of_cell (Hashtbl.find_opt registry name)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell with
+      | C c -> c.c <- 0
+      | G g ->
+          g.g <- 0.0;
+          g.g_peak <- 0.0
+      | T t ->
+          t.ns <- 0.0;
+          t.calls <- 0)
+    registry
+
+let json_of_sample = function
+  | Count n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+  | Level { value; peak } ->
+      Json.Obj
+        [
+          ("type", Json.String "gauge");
+          ("value", Json.Float value);
+          ("peak", Json.Float peak);
+        ]
+  | Span { ns; calls } ->
+      Json.Obj
+        [
+          ("type", Json.String "timer");
+          ("ns", Json.Float ns);
+          ("calls", Json.Int calls);
+        ]
+
+let sample_of_json j =
+  match Json.member "type" j with
+  | Some (Json.String "counter") -> (
+      match Option.bind (Json.member "value" j) Json.to_int_opt with
+      | Some n -> Ok (Count n)
+      | None -> Error "counter sample without integer \"value\"")
+  | Some (Json.String "gauge") -> (
+      match
+        ( Option.bind (Json.member "value" j) Json.to_float_opt,
+          Option.bind (Json.member "peak" j) Json.to_float_opt )
+      with
+      | Some value, Some peak -> Ok (Level { value; peak })
+      | _ -> Error "gauge sample without numeric \"value\"/\"peak\"")
+  | Some (Json.String "timer") -> (
+      match
+        ( Option.bind (Json.member "ns" j) Json.to_float_opt,
+          Option.bind (Json.member "calls" j) Json.to_int_opt )
+      with
+      | Some ns, Some calls -> Ok (Span { ns; calls })
+      | _ -> Error "timer sample without \"ns\"/\"calls\"")
+  | _ -> Error "sample without a known \"type\""
+
+let json_of_snapshot snap =
+  Json.Obj (List.map (fun (name, s) -> (name, json_of_sample s)) snap)

@@ -1,0 +1,77 @@
+(** Process-wide observability registry: named counters, gauges and
+    monotonic-clock timers.
+
+    Instrumented modules create their cells once at load time
+    ([let m = Metrics.counter "maxflow.augmentations"]) and mutate them on
+    the hot path; every mutator is a single flag test plus a field write,
+    and a no-op while disabled ({!set_enabled}), so instrumentation can
+    stay on in production code paths.
+
+    Names are dot-separated, [<subsystem>.<quantity>] — the full list
+    lives in [docs/OBSERVABILITY.md].  The registry is global and
+    single-domain (as is the whole code base); {!reset} zeroes all values
+    but keeps registrations, which is how the benchmark harness isolates
+    per-scenario snapshots. *)
+
+type counter
+type gauge
+type timer
+
+val set_enabled : bool -> unit
+(** Globally enable/disable recording (default: enabled).  Reads remain
+    available either way. *)
+
+val enabled : unit -> bool
+
+(** {1 Cells}
+
+    Creation is get-or-create by name; asking for an existing name with a
+    different kind raises [Invalid_argument]. *)
+
+val counter : string -> counter
+val gauge : string -> gauge
+val timer : string -> timer
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+val set_gauge : gauge -> float -> unit
+(** Sets the current level and maintains the high-water mark. *)
+
+val gauge_value : gauge -> float
+val gauge_peak : gauge -> float
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Runs the thunk, accumulating its monotonic-clock duration and call
+    count (also on exception).  When disabled, exactly [f ()]. *)
+
+val add_ns : timer -> float -> unit
+(** Record an externally measured duration. *)
+
+val now_ns : unit -> float
+(** Monotonic clock reading in nanoseconds ([CLOCK_MONOTONIC]); only
+    differences are meaningful. *)
+
+val timer_ns : timer -> float
+val timer_calls : timer -> int
+
+(** {1 Registry-wide views} *)
+
+type sample =
+  | Count of int
+  | Level of { value : float; peak : float }
+  | Span of { ns : float; calls : int }
+
+val snapshot : unit -> (string * sample) list
+(** All registered cells, sorted by name. *)
+
+val sample : string -> sample option
+val reset : unit -> unit
+
+val json_of_snapshot : (string * sample) list -> Json.t
+(** Object keyed by metric name; see [docs/OBSERVABILITY.md] for the
+    per-kind field layout. *)
+
+val json_of_sample : sample -> Json.t
+val sample_of_json : Json.t -> (sample, string) result

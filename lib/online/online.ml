@@ -1,3 +1,10 @@
+let m_jobs_served = Metrics.counter "online.jobs_served"
+let m_retirements = Metrics.counter "online.retirements"
+let m_computations = Metrics.counter "online.computations"
+let m_replacements = Metrics.counter "online.replacements"
+let m_monitor_timeouts = Metrics.counter "online.monitor_timeouts"
+let m_starved_searches = Metrics.counter "online.starved_searches"
+
 type fault_plan = {
   silent_initiators : int list;
   deaths : (int * int) list;
@@ -262,6 +269,7 @@ let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
 let start_computation w ~initiator ~pair_id =
   let v = initiator in
   w.computations <- w.computations + 1;
+  Metrics.incr m_computations;
   w.seq <- w.seq + 1;
   let init = (v.id, w.seq) in
   v.init <- Some init;
@@ -271,6 +279,7 @@ let start_computation w ~initiator ~pair_id =
   v.num <- List.length ns;
   if v.num = 0 then begin
     w.starved <- w.starved + 1;
+    Metrics.incr m_starved_searches;
     w.observer (Search_starved { pair = pair_id })
   end
   else begin
@@ -294,6 +303,7 @@ let complete_initiator w v =
       end
       else begin
         w.starved <- w.starved + 1;
+        Metrics.incr m_starved_searches;
         w.observer (Search_starved { pair = pair_id })
       end
 
@@ -348,15 +358,18 @@ let handle_move w p init ~dest ~pair_id =
       p.pair <- pair_id;
       w.pairs.(pair_id).active <- p.id;
       w.replacements <- w.replacements + 1;
+      Metrics.incr m_replacements;
       w.observer (Replacement { vehicle = p.id; pair = pair_id; dest });
       maybe_break w p
     end
     else if p.child >= 0 then
       Des.send w.des ~src:p.id ~dst:p.child (Move { init; dest; pair = pair_id })
-    else
+    else begin
       (* Broken relay chain: count as a starved search; the monitor of the
          pair will eventually retry via its timeout. *)
-      w.starved <- w.starved + 1
+      w.starved <- w.starved + 1;
+      Metrics.incr m_starved_searches
+    end
   end
 
 (* --- monitoring ring (§3.2.5, scenarios 2 and 3) --- *)
@@ -382,8 +395,11 @@ let heartbeat_timeout = 50.0
 
 let schedule_monitor_timeout w ~pair_id =
   match monitor_of w ~pair_id with
-  | None -> w.starved <- w.starved + 1
+  | None ->
+      w.starved <- w.starved + 1;
+      Metrics.incr m_starved_searches
   | Some m ->
+      Metrics.incr m_monitor_timeouts;
       Des.send_after w.des ~delay:heartbeat_timeout ~src:m ~dst:m
         (Monitor_timeout { pair = pair_id })
 
@@ -406,6 +422,7 @@ let retire w v =
   (* An active vehicle that can no longer guarantee the next job (walk 1 +
      serve 1) becomes done and triggers its replacement. *)
   v.working <- Done;
+  Metrics.incr m_retirements;
   w.observer (Vehicle_retired { vehicle = v.id; pair = v.pair });
   let pair_id = v.pair in
   w.pairs.(pair_id).active <- -1;
@@ -435,6 +452,7 @@ let process_job w ~index x =
           spend w v cost;
           v.pos <- x;
           w.served <- w.served + 1;
+          Metrics.incr m_jobs_served;
           w.observer (Job_served { job = index; position = x; vehicle = v.id; walk });
           maybe_break w v;
           if v.working = Active && v.energy < 2.0 then retire w v

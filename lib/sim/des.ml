@@ -1,5 +1,9 @@
 type 'msg event = { time : float; seq : int; src : int; dst : int; payload : 'msg }
 
+let m_messages_sent = Metrics.counter "des.messages_sent"
+let m_events_dispatched = Metrics.counter "des.events_dispatched"
+let m_queue_depth = Metrics.gauge "des.queue_depth"
+
 (* Ordered by (time, seq): seq breaks ties deterministically and preserves
    insertion order among simultaneous events. *)
 let compare_events a b =
@@ -13,6 +17,7 @@ type 'msg t = {
   mutable clock : float;
   mutable next_seq : int;
   mutable delivered : int;
+  mutable queue_peak : int;
   (* Last scheduled delivery time per channel, to enforce FIFO order on top
      of random delays. *)
   channel_front : (int * int, float) Hashtbl.t;
@@ -29,6 +34,7 @@ let create ?(min_delay = 0.1) ?(max_delay = 1.0) ~rng () =
     clock = 0.0;
     next_seq = 0;
     delivered = 0;
+    queue_peak = 0;
     channel_front = Hashtbl.create 64;
   }
 
@@ -46,7 +52,11 @@ let schedule t ~time ~src ~dst payload =
   Hashtbl.replace t.channel_front key floor_time;
   let e = { time = floor_time; seq = t.next_seq; src; dst; payload } in
   t.next_seq <- t.next_seq + 1;
-  Heap.push t.heap e
+  Heap.push t.heap e;
+  Metrics.incr m_messages_sent;
+  let depth = Heap.size t.heap in
+  if depth > t.queue_peak then t.queue_peak <- depth;
+  Metrics.set_gauge m_queue_depth (float_of_int depth)
 
 let send_after t ~delay ~src ~dst payload =
   if delay < 0.0 then invalid_arg "Des.send_after: negative delay";
@@ -62,6 +72,7 @@ let run_until_quiescent t ~handler =
     | Some e ->
         t.clock <- Float.max t.clock e.time;
         t.delivered <- t.delivered + 1;
+        Metrics.incr m_events_dispatched;
         handler ~time:t.clock ~src:e.src ~dst:e.dst e.payload;
         drain ()
   in
@@ -70,3 +81,5 @@ let run_until_quiescent t ~handler =
 let pending t = Heap.size t.heap
 
 let messages_delivered t = t.delivered
+
+let queue_peak t = t.queue_peak

@@ -40,3 +40,7 @@ val pending : _ t -> int
 val messages_delivered : _ t -> int
 (** Total messages delivered since creation — the protocol-cost metric of
     experiment E8. *)
+
+val queue_peak : _ t -> int
+(** High-water mark of the event queue since creation (also exported
+    process-wide as the ["des.queue_depth"] gauge peak). *)

@@ -1,0 +1,203 @@
+(* The benchmark-report codec and the bench-diff regression rule:
+   roundtrips, injected slowdowns/counter bloat getting flagged, missing
+   scenarios, and a qcheck property that diffing a report against itself
+   never regresses (the guarantee CI's gate relies on). *)
+
+let sample_report ?(revision = "r0") ?(wall = [ 5.0; 12.0 ]) () =
+  let scen i w =
+    {
+      Bench_report.name = Printf.sprintf "scenario-%d" i;
+      wall_ms = w;
+      metrics =
+        [
+          ("work.counter", Metrics.Count (100 * (i + 1)));
+          ("work.gauge", Metrics.Level { value = 3.0; peak = 7.5 });
+          ("work.timer", Metrics.Span { ns = 2.0e6 *. w; calls = 4 });
+        ];
+    }
+  in
+  Bench_report.make ~revision ~quick:true (List.mapi scen wall)
+
+let test_roundtrip () =
+  let r = sample_report () in
+  match Bench_report.of_json (Bench_report.to_json r) with
+  | Ok r' -> Alcotest.(check bool) "report roundtrips" true (r = r')
+  | Error e -> Alcotest.fail e
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "bench" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let r = sample_report ~revision:"file-test" () in
+      Bench_report.write_file path r;
+      match Bench_report.read_file path with
+      | Ok r' -> Alcotest.(check bool) "file roundtrip" true (r = r')
+      | Error e -> Alcotest.fail e)
+
+let test_identical_reports_clean () =
+  let r = sample_report () in
+  Alcotest.(check int) "self-diff is empty" 0
+    (List.length (Bench_report.diff ~baseline:r ~candidate:r ()))
+
+let test_wall_slowdown_flagged () =
+  let baseline = sample_report ~wall:[ 5.0; 12.0 ] () in
+  let candidate = sample_report ~wall:[ 5.0; 24.0 ] () in
+  let regs = Bench_report.diff ~baseline ~candidate () in
+  (* the 2x scenario trips both its wall time and its (wall-derived)
+     timer span; the untouched scenario stays clean *)
+  Alcotest.(check bool) "2x slowdown flagged" true
+    (List.exists
+       (fun r ->
+         r.Bench_report.scenario = "scenario-1" && r.subject = "wall_ms")
+       regs);
+  Alcotest.(check bool) "untouched scenario clean" true
+    (not (List.exists (fun r -> r.Bench_report.scenario = "scenario-0") regs))
+
+let test_speedup_not_flagged () =
+  let baseline = sample_report ~wall:[ 5.0; 12.0 ] () in
+  let candidate = sample_report ~wall:[ 5.0; 6.0 ] () in
+  Alcotest.(check int) "improvements never flagged" 0
+    (List.length (Bench_report.diff ~baseline ~candidate ()))
+
+let test_counter_bloat_flagged () =
+  let baseline = sample_report () in
+  let bloat s =
+    {
+      s with
+      Bench_report.metrics =
+        List.map
+          (function
+            | n, Metrics.Count c -> (n, Metrics.Count (2 * c))
+            | m -> m)
+          s.Bench_report.metrics;
+    }
+  in
+  let candidate =
+    { baseline with scenarios = List.map bloat baseline.scenarios }
+  in
+  let regs = Bench_report.diff ~baseline ~candidate () in
+  Alcotest.(check int) "one regression per scenario" 2 (List.length regs);
+  List.iter
+    (fun r ->
+      Alcotest.(check string) "counter is the subject" "work.counter"
+        r.Bench_report.subject)
+    regs
+
+let test_missing_scenario_flagged () =
+  let baseline = sample_report () in
+  let candidate =
+    { baseline with scenarios = [ List.hd baseline.scenarios ] }
+  in
+  match Bench_report.diff ~baseline ~candidate () with
+  | [ r ] ->
+      Alcotest.(check string) "subject" "missing" r.Bench_report.subject;
+      Alcotest.(check string) "scenario" "scenario-1" r.scenario
+  | regs ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one regression, got %d"
+           (List.length regs))
+
+let test_new_metric_ignored () =
+  (* adding instrumentation must not fail the gate against an old
+     baseline that predates the metric *)
+  let baseline = sample_report () in
+  let extend s =
+    {
+      s with
+      Bench_report.metrics =
+        ("brand.new", Metrics.Count 999) :: s.Bench_report.metrics;
+    }
+  in
+  let candidate =
+    { baseline with scenarios = List.map extend baseline.scenarios }
+  in
+  Alcotest.(check int) "new metrics ignored" 0
+    (List.length (Bench_report.diff ~baseline ~candidate ()))
+
+let test_negative_tolerance_rejected () =
+  let r = sample_report () in
+  Alcotest.(check bool) "negative tolerance raises" true
+    (try
+       ignore
+         (Bench_report.diff ~wall_tolerance:(-0.1) ~baseline:r ~candidate:r ());
+       false
+     with Invalid_argument _ -> true)
+
+(* qcheck: bench-diff is symmetric-safe — for ANY generated report and
+   ANY non-negative tolerances, diffing the report against itself yields
+   no regressions (otherwise CI would flake on unchanged code). *)
+
+let gen_sample =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun c -> Metrics.Count c) (int_range 0 1_000_000);
+        map2
+          (fun v p -> Metrics.Level { value = v; peak = Float.max v p })
+          (float_range 0.0 1e6) (float_range 0.0 1e6);
+        map2
+          (fun ns calls -> Metrics.Span { ns; calls })
+          (float_range 0.0 1e12) (int_range 0 10_000);
+      ])
+
+let gen_scenario =
+  QCheck.Gen.(
+    map3
+      (fun i wall_ms samples ->
+        {
+          Bench_report.name = Printf.sprintf "s%d" i;
+          wall_ms;
+          metrics = List.mapi (fun j s -> (Printf.sprintf "m%d" j, s)) samples;
+        })
+      (int_range 0 1000) (float_range 0.0 1e4)
+      (list_size (int_range 0 8) gen_sample))
+
+let gen_report =
+  QCheck.Gen.(
+    map
+      (fun scenarios ->
+        (* duplicate names would make self-matching ambiguous; the bench
+           harness never produces them, so neither does the generator *)
+        let seen = Hashtbl.create 8 in
+        let unique =
+          List.filter
+            (fun s ->
+              let fresh = not (Hashtbl.mem seen s.Bench_report.name) in
+              Hashtbl.replace seen s.Bench_report.name ();
+              fresh)
+            scenarios
+        in
+        Bench_report.make ~revision:"prop" ~quick:true unique)
+      (list_size (int_range 0 6) gen_scenario))
+
+let arb_report_and_tols =
+  QCheck.make
+    QCheck.Gen.(
+      triple gen_report (float_range 0.0 2.0) (float_range 0.0 2.0))
+
+let prop_self_diff_empty =
+  QCheck.Test.make ~name:"bench-diff never flags an unchanged report"
+    ~count:200 arb_report_and_tols
+    (fun (r, wall_tolerance, metric_tolerance) ->
+      Bench_report.diff ~wall_tolerance ~metric_tolerance ~baseline:r
+        ~candidate:r ()
+      = [])
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+    Alcotest.test_case "identical reports clean" `Quick
+      test_identical_reports_clean;
+    Alcotest.test_case "2x wall slowdown flagged" `Quick
+      test_wall_slowdown_flagged;
+    Alcotest.test_case "speedup not flagged" `Quick test_speedup_not_flagged;
+    Alcotest.test_case "counter bloat flagged" `Quick test_counter_bloat_flagged;
+    Alcotest.test_case "missing scenario flagged" `Quick
+      test_missing_scenario_flagged;
+    Alcotest.test_case "new metric ignored" `Quick test_new_metric_ignored;
+    Alcotest.test_case "negative tolerance rejected" `Quick
+      test_negative_tolerance_rejected;
+    QCheck_alcotest.to_alcotest prop_self_diff_empty;
+  ]

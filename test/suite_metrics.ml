@@ -1,0 +1,190 @@
+(* The observability registry: counter/gauge/timer semantics, the
+   disabled-mode no-op guarantee, snapshot/reset behavior, and the JSON
+   codec (golden test + roundtrips).
+
+   The registry is global, so every test namespaces its cells under
+   "test." and calls Metrics.reset (the production cells registered by
+   the instrumented libraries are left alone — reset only zeroes). *)
+
+let test_counter_semantics () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.counter" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.count c);
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 40;
+  Alcotest.(check int) "incr + add" 42 (Metrics.count c);
+  let c' = Metrics.counter "test.counter" in
+  Metrics.incr c';
+  Alcotest.(check int) "get-or-create aliases the same cell" 43 (Metrics.count c)
+
+let test_kind_clash_rejected () =
+  let _ = Metrics.counter "test.kind-clash" in
+  Alcotest.(check bool) "re-registering as a gauge raises" true
+    (try
+       let _ = Metrics.gauge "test.kind-clash" in
+       false
+     with Invalid_argument _ -> true)
+
+let test_gauge_peak () =
+  Metrics.reset ();
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set_gauge g 3.0;
+  Metrics.set_gauge g 10.0;
+  Metrics.set_gauge g 4.0;
+  Alcotest.(check (float 0.0)) "current value" 4.0 (Metrics.gauge_value g);
+  Alcotest.(check (float 0.0)) "high-water mark" 10.0 (Metrics.gauge_peak g)
+
+let test_timer_accumulates () =
+  Metrics.reset ();
+  let t = Metrics.timer "test.timer" in
+  let result = Metrics.time t (fun () -> List.init 1000 Fun.id |> List.length) in
+  Alcotest.(check int) "thunk result passes through" 1000 result;
+  ignore (Metrics.time t (fun () -> ()));
+  Alcotest.(check int) "two calls" 2 (Metrics.timer_calls t);
+  Alcotest.(check bool) "non-negative duration" true (Metrics.timer_ns t >= 0.0)
+
+let test_timer_records_on_exception () =
+  Metrics.reset ();
+  let t = Metrics.timer "test.timer-exn" in
+  (try Metrics.time t (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "exceptional call still counted" 1 (Metrics.timer_calls t)
+
+let test_disabled_is_noop () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.disabled-counter" in
+  let g = Metrics.gauge "test.disabled-gauge" in
+  let t = Metrics.timer "test.disabled-timer" in
+  Metrics.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled true)
+    (fun () ->
+      Metrics.incr c;
+      Metrics.add c 10;
+      Metrics.set_gauge g 5.0;
+      let r = Metrics.time t (fun () -> 7) in
+      Alcotest.(check int) "time still runs the thunk" 7 r);
+  Alcotest.(check int) "counter untouched" 0 (Metrics.count c);
+  Alcotest.(check (float 0.0)) "gauge untouched" 0.0 (Metrics.gauge_peak g);
+  Alcotest.(check int) "timer untouched" 0 (Metrics.timer_calls t)
+
+let test_instrumented_maxflow_counts () =
+  (* End-to-end: running Dinic bumps the process-wide flow counters. *)
+  Metrics.reset ();
+  let net = Maxflow.create 4 in
+  ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:2);
+  ignore (Maxflow.add_edge net ~src:1 ~dst:3 ~cap:2);
+  ignore (Maxflow.add_edge net ~src:0 ~dst:2 ~cap:1);
+  ignore (Maxflow.add_edge net ~src:2 ~dst:3 ~cap:1);
+  let flow = Maxflow.max_flow net ~source:0 ~sink:3 in
+  Alcotest.(check int) "flow value" 3 flow;
+  (match Metrics.sample "maxflow.augmentations" with
+  | Some (Metrics.Count n) ->
+      Alcotest.(check bool) "augmentations recorded" true (n >= 2)
+  | _ -> Alcotest.fail "maxflow.augmentations counter missing");
+  match Metrics.sample "maxflow.runs" with
+  | Some (Metrics.Count n) -> Alcotest.(check int) "one run" 1 n
+  | _ -> Alcotest.fail "maxflow.runs counter missing"
+
+let test_snapshot_sorted_and_reset () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.zz-last" in
+  Metrics.incr c;
+  let names = List.map fst (Metrics.snapshot ()) in
+  Alcotest.(check (list string)) "sorted by name" (List.sort compare names) names;
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes but keeps the cell" 0 (Metrics.count c);
+  Alcotest.(check bool) "cell still registered" true
+    (List.mem "test.zz-last" (List.map fst (Metrics.snapshot ())))
+
+let test_json_snapshot_golden () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.golden-counter" in
+  let g = Metrics.gauge "test.golden-gauge" in
+  Metrics.add c 7;
+  Metrics.set_gauge g 2.5;
+  Metrics.set_gauge g 1.5;
+  let keep = [ "test.golden-counter"; "test.golden-gauge" ] in
+  let snap =
+    List.filter (fun (n, _) -> List.mem n keep) (Metrics.snapshot ())
+  in
+  let expected =
+    "{\"test.golden-counter\":{\"type\":\"counter\",\"value\":7},\
+     \"test.golden-gauge\":{\"type\":\"gauge\",\"value\":1.5,\"peak\":2.5}}"
+  in
+  Alcotest.(check string) "golden JSON" expected
+    (Json.to_string ~compact:true (Metrics.json_of_snapshot snap))
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Metrics.Count 42;
+      Metrics.Level { value = 1.25; peak = 8.0 };
+      Metrics.Span { ns = 123456.0; calls = 3 };
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Metrics.sample_of_json (Metrics.json_of_sample s) with
+      | Ok s' -> Alcotest.(check bool) "sample roundtrips" true (s = s')
+      | Error e -> Alcotest.fail e)
+    samples
+
+let test_json_parser () =
+  let ok text expected =
+    match Json.of_string text with
+    | Ok v -> Alcotest.(check bool) (Printf.sprintf "parse %s" text) true (v = expected)
+    | Error e -> Alcotest.fail e
+  in
+  ok "null" Json.Null;
+  ok " [1, 2.5, \"a\\nb\", true, {}] "
+    (Json.List
+       [ Json.Int 1; Json.Float 2.5; Json.String "a\nb"; Json.Bool true; Json.Obj [] ]);
+  ok "{\"k\": [-3e2]}" (Json.Obj [ ("k", Json.List [ Json.Float (-300.0) ]) ]);
+  ok "\"\\u0041\"" (Json.String "A");
+  let fails text =
+    match Json.of_string text with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "accepted %s" text)
+    | Error _ -> ()
+  in
+  fails "{";
+  fails "[1,]";
+  fails "nulll";
+  fails "{\"a\" 1}";
+  fails "1 2"
+
+let test_json_print_parse_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "quote \" backslash \\ newline \n tab \t");
+        ("n", Json.List [ Json.Int 0; Json.Int (-17); Json.Float 0.125 ]);
+        ("b", Json.Bool false);
+        ("z", Json.Null);
+        ("nested", Json.Obj [ ("deep", Json.List [ Json.Obj [] ]) ]);
+      ]
+  in
+  List.iter
+    (fun compact ->
+      match Json.of_string (Json.to_string ~compact v) with
+      | Ok v' -> Alcotest.(check bool) "print/parse identity" true (v = v')
+      | Error e -> Alcotest.fail e)
+    [ true; false ]
+
+let suite =
+  [
+    Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+    Alcotest.test_case "kind clash rejected" `Quick test_kind_clash_rejected;
+    Alcotest.test_case "gauge peak" `Quick test_gauge_peak;
+    Alcotest.test_case "timer accumulates" `Quick test_timer_accumulates;
+    Alcotest.test_case "timer on exception" `Quick test_timer_records_on_exception;
+    Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_is_noop;
+    Alcotest.test_case "instrumented maxflow" `Quick test_instrumented_maxflow_counts;
+    Alcotest.test_case "snapshot sorted, reset keeps cells" `Quick
+      test_snapshot_sorted_and_reset;
+    Alcotest.test_case "json snapshot golden" `Quick test_json_snapshot_golden;
+    Alcotest.test_case "json sample roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parser" `Quick test_json_parser;
+    Alcotest.test_case "json print/parse roundtrip" `Quick
+      test_json_print_parse_roundtrip;
+  ]

@@ -24,5 +24,7 @@ let () =
       ("transfer", Suite_transfer.suite);
       ("baselines", Suite_baselines.suite);
       ("gcmvrp", Suite_gcmvrp.suite);
+      ("metrics", Suite_metrics.suite);
+      ("bench_report", Suite_bench_report.suite);
       ("properties", Suite_properties.suite);
     ]
