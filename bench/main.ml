@@ -988,7 +988,7 @@ let bechamel_suite ~quick () =
         | None -> "-"
       in
       Table.add_row t [ name; ns; r2 ])
-    (List.sort compare rows);
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
   Table.print t
 
 (* ------------------------------------------------------------------ *)

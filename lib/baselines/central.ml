@@ -5,7 +5,7 @@ let vehicles_needed dm ~depot ~capacity =
       (Demand_map.fold dm ~init:0 ~f:(fun acc x d ->
            if d = 0 then acc
            else begin
-             let reach = capacity - Point.l1_dist depot x in
+             let reach = Energy.sub capacity (Point.l1_dist depot x) in
              if reach <= 0 then raise Unreachable
              else acc + ((d + reach - 1) / reach)
            end))

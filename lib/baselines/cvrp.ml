@@ -65,7 +65,7 @@ let clarke_wright ~dm ~depot ~capacity =
     done
   done;
   let savings =
-    List.sort (fun (a, _, _) (b, _, _) -> compare b a) !savings
+    List.sort (fun (a, _, _) (b, _, _) -> Int.compare b a) !savings
   in
   let find_root i = route_of.(i) in
   let endpoints r =
@@ -130,7 +130,7 @@ let sweep ?(improve = true) ~dm ~depot capacity =
     let dy = float_of_int (c.location.(1) - depot.(1)) in
     Float.atan2 dy dx
   in
-  let sorted = List.sort (fun a b -> compare (angle a) (angle b)) customers in
+  let sorted = List.sort (fun a b -> Float.compare (angle a) (angle b)) customers in
   (* Cut the angular order into capacity-respecting clusters. *)
   let clusters = ref [] and current = ref [] and cur_load = ref 0 in
   List.iter

@@ -84,7 +84,7 @@ let tiny_woff ?(max_units = 6) dm ~window =
     let n = Array.length homes in
     let loads = Array.make n [] in
     let energy v =
-      optimal_route_length ~home:homes.(v) loads.(v) + List.length loads.(v)
+      Energy.add (optimal_route_length ~home:homes.(v) loads.(v)) (List.length loads.(v))
     in
     let best = ref max_int in
     (* Branch and bound: assign units one by one; prune on the running

@@ -7,7 +7,7 @@ let line_demand ~len ~d =
 
 let point_demand ~d = Demand_map.of_alist 2 [ ([| 0; 0 |], d) ]
 
-let energy_of m = Point.l1_dist m.from_ m.to_ + m.serve
+let energy_of m = Energy.add (Point.l1_dist m.from_ m.to_) m.serve
 
 let finish moves =
   let capacity_used = List.fold_left (fun acc m -> max acc (energy_of m)) 0 moves in

@@ -77,7 +77,7 @@ let vehicle_energy ~window vehicle loads =
   let home = Box.point_of_index window vehicle in
   let sites = List.map (fun l -> l.site) loads in
   let units = List.fold_left (fun acc l -> acc + l.units) 0 loads in
-  route_length ~home sites + units
+  Energy.add (route_length ~home sites) units
 
 let peak_energy sol =
   List.fold_left
@@ -227,7 +227,7 @@ let improve ?(rounds = 400) ?(seed = 0) sol dm =
       Hashtbl.iter
         (fun site units ->
           let chunks =
-            List.sort_uniq compare [ units; (units + 1) / 2; 1 ]
+            List.sort_uniq Int.compare [ units; (units + 1) / 2; 1 ]
             |> List.filter (fun c -> c > 0)
           in
           for dst = 0 to n - 1 do
@@ -239,7 +239,7 @@ let improve ?(rounds = 400) ?(seed = 0) sol dm =
                   let dist_dst =
                     Point.l1_dist (Box.point_of_index st.window dst) site
                   in
-                  if st.energy.(dst) + amount + dist_dst < peak then begin
+                  if Energy.sum [ st.energy.(dst); amount; dist_dst ] < peak then begin
                     Metrics.incr m_moves_tried;
                     apply_move st ~src ~dst ~site ~amount;
                     let new_peak =

@@ -13,13 +13,6 @@ type t = {
   assignments : assignment list;
 }
 
-let int_pow base e =
-  let v = ref 1 in
-  for _ = 1 to e do
-    v := !v * base
-  done;
-  !v
-
 let window_for bbox ~side =
   (* Expand the bounding box so that each axis is an exact multiple of
      [side]: the partition then consists of full cubes only, which is what
@@ -100,7 +93,7 @@ let plan dm =
       }
   | Some bbox ->
       let budget =
-        max 1 (int_of_float (Float.ceil (float_of_int (int_pow 3 dim) *. omega)))
+        max 1 (int_of_float (Float.ceil (float_of_int (Energy.pow 3 dim) *. omega)))
       in
       let window = window_for bbox ~side in
       let cubes = Box.partition_cubes window ~side in
@@ -112,7 +105,7 @@ let plan dm =
 let energy_of a =
   let travel = match a.target with None -> 0 | Some (p, _) -> Point.l1_dist a.home p in
   let remote = match a.target with None -> 0 | Some (_, k) -> k in
-  a.serve_at_home + travel + remote
+  Energy.sum [ a.serve_at_home; travel; remote ]
 
 let max_energy t =
   List.fold_left (fun acc a -> max acc (energy_of a)) 0 t.assignments
@@ -121,7 +114,7 @@ let energy_bound t =
   float_of_int (2 * t.budget) +. float_of_int (t.dim * (t.side - 1))
 
 let theorem_bound ~dim omega =
-  float_of_int ((2 * int_pow 3 dim) + dim) *. omega
+  float_of_int (Energy.add (Energy.scale 2 (Energy.pow 3 dim)) dim) *. omega
 
 let validate t dm =
   let ( let* ) r f = Result.bind r f in

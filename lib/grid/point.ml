@@ -9,7 +9,22 @@ let equal (a : t) (b : t) =
   let rec loop i = i = n || (a.(i) = b.(i) && loop (i + 1)) in
   loop 0
 
-let compare (a : t) (b : t) = Stdlib.compare a b
+(* Explicit lexicographic order (length first, then coordinates), matching
+   what the polymorphic compare did on int arrays but without ever going
+   through the polymorphic runtime path — the L1 bookkeeping of
+   Thm 1.4.1/1.4.2 must not depend on representation tricks. *)
+let compare_points (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Int.compare la lb
+  else begin
+    let rec loop i =
+      if i = la then 0
+      else match Int.compare a.(i) b.(i) with 0 -> loop (i + 1) | c -> c
+    in
+    loop 0
+  end
+
+let compare = compare_points
 
 let hash (a : t) =
   Array.fold_left (fun h x -> (h * 1000003) lxor (x * 2654435761)) 17 a
@@ -67,7 +82,7 @@ let to_string p = Format.asprintf "%a" pp p
 module Ord = struct
   type nonrec t = t
 
-  let compare = compare
+  let compare = compare_points
 end
 
 module Hashed = struct

@@ -143,7 +143,7 @@ let of_string s =
                  pos := !pos + 4;
                  let code =
                    try int_of_string ("0x" ^ hex)
-                   with _ -> fail "bad \\u escape"
+                   with Failure _ -> fail "bad \\u escape"
                  in
                  (* UTF-8 encode the BMP code point (surrogates unsupported). *)
                  if code < 0x80 then Buffer.add_char buf (Char.chr code)

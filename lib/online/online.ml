@@ -482,14 +482,8 @@ let dispatch w ~time:_ ~src ~dst msg =
   | Move { init; dest; pair } -> handle_move w p init ~dest ~pair_id:pair
   | Monitor_timeout { pair } -> handle_monitor_timeout w dst ~pair_id:pair
 
-let int_pow base e =
-  let v = ref 1 in
-  for _ = 1 to e do
-    v := !v * base
-  done;
-  !v
-
-let capacity_bound ~dim omega = float_of_int ((4 * int_pow 3 dim) + dim) *. omega
+let capacity_bound ~dim omega =
+  float_of_int (Energy.add (Energy.scale 4 (Energy.pow 3 dim)) dim) *. omega
 
 let empty_outcome =
   {
@@ -523,7 +517,10 @@ let run ?observer cfg workload =
     in
     let w = build ?observer cfg ~dim ~jobs_box in
     let quiesce () = Des.run_until_quiescent w.des ~handler:(dispatch w) in
-    let deaths = List.sort compare cfg.faults.deaths in
+    let compare_deaths (k1, id1) (k2, id2) =
+      match Int.compare k1 k2 with 0 -> Int.compare id1 id2 | c -> c
+    in
+    let deaths = List.sort compare_deaths cfg.faults.deaths in
     let remaining = ref deaths in
     let apply_deaths upto =
       let rec loop () =

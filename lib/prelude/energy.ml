@@ -1,0 +1,35 @@
+exception Overflow of string
+
+let overflow op a b =
+  raise (Overflow (Printf.sprintf "Energy.%s: %d %s %d does not fit in int" op a op b))
+
+(* Raw operators are deliberate here: this module implements the checks
+   the rest of the tree delegates to, so the [energy-arith] lint exempts
+   [energy.ml] by name. *)
+
+let add a b =
+  let r = a + b in
+  (* Overflow iff the operands agree in sign and the result does not. *)
+  if (a >= 0) = (b >= 0) && (r >= 0) <> (a >= 0) then overflow "add" a b else r
+
+let sub a b =
+  let r = a - b in
+  if (a >= 0) <> (b >= 0) && (r >= 0) <> (a >= 0) then overflow "sub" a b else r
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else if (a = -1 && b = min_int) || (b = -1 && a = min_int) then
+    overflow "mul" a b
+  else begin
+    let r = a * b in
+    if r / a <> b then overflow "mul" a b else r
+  end
+
+let scale k e = mul k e
+
+let pow base e =
+  if e < 0 then invalid_arg "Energy.pow: negative exponent";
+  let rec go acc i = if i = 0 then acc else go (mul acc base) (i - 1) in
+  go 1 e
+
+let sum xs = List.fold_left add 0 xs

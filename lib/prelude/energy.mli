@@ -1,0 +1,40 @@
+(** Checked integer arithmetic for energy/capacity bookkeeping.
+
+    The paper's bounds ([Woff = Theta(omega_star)], [Won = Theta(Woff)])
+    are proved with
+    exact integer accounting of travel and service costs; a silent
+    [int] overflow in an energy or capacity expression would corrupt a
+    bound without any visible failure.  Every arithmetic step on
+    energy-like quantities therefore goes through this module, which
+    raises {!Overflow} instead of wrapping around.  The project lint
+    ([tools/lint], rule [energy-arith]) flags raw [+]/[-]/[*] on
+    identifiers that look like energies or capacities and points here.
+
+    All functions are identities on the mathematical result whenever it
+    is representable in [int]; the checks are a compare-and-branch and
+    are safe to keep on hot paths. *)
+
+exception Overflow of string
+(** Raised when a result does not fit in [int]; the payload names the
+    operation and its operands. *)
+
+val add : int -> int -> int
+(** [add a b] is [a + b], or raises {!Overflow}. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [a - b], or raises {!Overflow}. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b], or raises {!Overflow}. *)
+
+val scale : int -> int -> int
+(** [scale k e] is [k * e]; synonym of {!mul} with the conventional
+    scalar-first argument order. *)
+
+val pow : int -> int -> int
+(** [pow base e] is [base{^e}] for [e >= 0], via checked multiplication.
+    Raises [Invalid_argument] on a negative exponent and {!Overflow}
+    when the result does not fit. *)
+
+val sum : int list -> int
+(** Checked left fold of {!add} over the list; [sum [] = 0]. *)

@@ -75,7 +75,7 @@ module Segment = struct
     let transfers = ref 0 and distance = ref 0 in
     let check () = if !tank < -1e-9 then ok := false in
     let walk steps =
-      distance := !distance + steps;
+      distance := Energy.add !distance steps;
       tank := !tank -. float_of_int steps;
       check ()
     in

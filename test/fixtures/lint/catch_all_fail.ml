@@ -1,0 +1,3 @@
+(* One catch-all violation. *)
+
+let parse s = try int_of_string s with _ -> 0

@@ -1,0 +1,6 @@
+(* Specific exception matches are fine, including constructor payload
+   wildcards. *)
+
+let parse s = try int_of_string s with Failure _ -> 0
+
+let guarded f = try f () with Not_found | Invalid_argument _ -> -1

@@ -1,0 +1,16 @@
+(* A file cmvrp_lint accepts untouched: dedicated comparators, checked
+   energy arithmetic, handler that returns a variant, specific exception
+   match, well-formed metric name. *)
+
+let total xs = List.fold_left Energy.add 0 xs
+
+let ordered ps = List.sort Point.compare ps
+
+let same v other = Point.equal v.pos other.pos
+
+let handle_query w msg =
+  match msg with Some m -> Ok (w m) | None -> Error `No_message
+
+let parse s = try Some (int_of_string s) with Failure _ -> None
+
+let m_ok = Metrics.counter "fixture.clean_metric"

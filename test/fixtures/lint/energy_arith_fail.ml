@@ -1,0 +1,8 @@
+(* Three energy-arith violations: raw int +/-/* touching energy- or
+   capacity-named state. *)
+
+let spend v cost = v.energy - cost
+
+let reserve t = t.capacity + 1
+
+let scaled cap_units k = cap_units * k

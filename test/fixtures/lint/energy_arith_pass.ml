@@ -1,0 +1,8 @@
+(* Checked arithmetic via Energy, and raw arithmetic on quantities that
+   are not energy-like. *)
+
+let spend v cost = Energy.sub v.energy cost
+
+let reserve t = Energy.add t.capacity 1
+
+let distance a b = a + b

@@ -1,0 +1,9 @@
+(* Three handler-raise violations: failwith / raise / assert false
+   inside bindings following the handler naming convention. *)
+
+let handle_query w msg =
+  match msg with Some m -> w m | None -> failwith "no message"
+
+let dispatch w ev = if ev < 0 then raise Exit else w ev
+
+let on_timeout _w = assert false

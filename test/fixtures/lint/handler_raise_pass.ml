@@ -1,0 +1,9 @@
+(* Handlers returning results/variants, and a raise that is fine
+   because it is not inside a handler-convention binding. *)
+
+let handle_query w msg =
+  match msg with Some m -> Ok (w m) | None -> Error `No_message
+
+let dispatch w ev = if ev < 0 then Error `Negative else Ok (w ev)
+
+let helper_outside_handlers () = failwith "allowed here"

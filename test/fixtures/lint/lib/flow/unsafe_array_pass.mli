@@ -1,0 +1,1 @@
+val get : 'a array -> int -> 'a

@@ -1,0 +1,4 @@
+(* Lives under a lib/ component but ships no .mli: one missing-mli
+   violation. *)
+
+let answer = 42

@@ -1,0 +1,5 @@
+(* Two print-in-lib violations: console printing from library code. *)
+
+let announce msg = print_endline msg
+
+let report n = Printf.printf "n = %d\n" n

@@ -1,0 +1,3 @@
+val announce : string -> unit
+
+val report : int -> unit

@@ -1,0 +1,8 @@
+(* Writing to an explicit channel, building strings, and formatting to a
+   caller-supplied formatter are all fine in library code. *)
+
+let announce oc msg = output_string oc msg
+
+let describe n = Printf.sprintf "n = %d" n
+
+let pp ppf n = Format.fprintf ppf "n = %d" n

@@ -1,0 +1,5 @@
+val announce : out_channel -> string -> unit
+
+val describe : int -> string
+
+val pp : Format.formatter -> int -> unit

@@ -1,0 +1,6 @@
+(* One metric-name violation: the second registration duplicates the
+   first one's name. *)
+
+let m_a = Metrics.counter "fixture.dup_metric"
+
+let m_b = Metrics.counter "fixture.dup_metric"

@@ -1,0 +1,8 @@
+(* Three metric-name violations: no subsystem segment, uppercase, and a
+   non-literal name. *)
+
+let m_bad1 = Metrics.counter "nodots"
+
+let m_bad2 = Metrics.gauge "Bad.Case"
+
+let m_bad3 = Metrics.timer ("dyn" ^ ".name")

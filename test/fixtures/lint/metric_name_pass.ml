@@ -1,0 +1,3 @@
+let m_ok = Metrics.counter "fixture.good_metric"
+
+let m_ok2 = Metrics.timer "fixture.sub.timer_ns"

@@ -1,0 +1,10 @@
+(* Four poly-compare violations: bare compare, Stdlib.compare,
+   Hashtbl.hash, and structural equality on a Point-typed field. *)
+
+let sort_points ps = List.sort compare ps
+
+let cmp = Stdlib.compare
+
+let h p = Hashtbl.hash p
+
+let same v other = v.pos = other.pos

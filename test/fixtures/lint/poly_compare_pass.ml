@@ -1,0 +1,13 @@
+(* The allowed forms: dedicated comparators, Point.equal on point
+   fields, and label/record punning of a *local* [compare] (which never
+   denotes Stdlib.compare). *)
+
+type 'a t = { compare : 'a -> 'a -> int; data : 'a list }
+
+let make ~compare data = { compare; data }
+
+let of_list ~compare xs = make ~compare xs
+
+let same v other = Point.equal v.pos other.pos
+
+let cmp = Int.compare

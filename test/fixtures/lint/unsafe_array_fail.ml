@@ -1,0 +1,5 @@
+(* Two unsafe-array violations: this file is not under lib/flow. *)
+
+let get a i = Array.unsafe_get a i
+
+let set b i c = Bytes.unsafe_set b i c

@@ -1,0 +1,8 @@
+(* Both waiver placements: same line and the line above.  The two
+   List.sort calls are deliberate poly-compare violations that the
+   waivers suppress, so this file lints clean. *)
+
+let sorted xs = List.sort compare xs (* lint: allow poly-compare *)
+
+(* lint: allow poly-compare *)
+let also_sorted xs = List.sort compare xs

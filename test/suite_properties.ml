@@ -117,7 +117,7 @@ let prop_greedy_vs_protocol_both_bounded =
       ours +. 0.5 >= star && greedy +. 0.5 >= star)
 
 let suite =
-  List.map QCheck_alcotest.to_alcotest
+  List.map (fun t -> QCheck_alcotest.to_alcotest t)
     [
       prop_lower_bounds_chain;
       prop_lp_value_monotone_radius;

@@ -1,0 +1,70 @@
+(* cmvrp_lint — static enforcement of the project's domain invariants.
+
+   Usage: cmvrp_lint [--json] [--out FILE] [PATH ...]
+
+   Lints every .ml under the given files/directories (default:
+   lib bin bench).  Human-readable diagnostics go to stdout; [--json]
+   switches stdout to the machine-readable report, and [--out FILE]
+   additionally writes that report to FILE (CI uploads it as an
+   artifact).  Exit codes: 0 clean, 1 violations found, 2 usage or I/O
+   error.  Rules and waiver syntax: docs/LINT.md. *)
+
+let usage () =
+  print_string
+    "cmvrp_lint [--json] [--out FILE] [PATH ...]\n\
+     Checks .ml sources (default scope: lib bin bench) against the\n\
+     project rules; see docs/LINT.md.  Exit 0 = clean, 1 = violations,\n\
+     2 = bad invocation.\n"
+
+let () =
+  let json = ref false and out = ref None and paths = ref [] in
+  let bad m =
+    prerr_endline ("cmvrp_lint: " ^ m);
+    exit 2
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse_args rest
+    | "--out" :: file :: rest ->
+        out := Some file;
+        parse_args rest
+    | [ "--out" ] -> bad "--out needs a file argument"
+    | ("-h" | "--help") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        bad ("unknown option " ^ arg)
+    | path :: rest ->
+        paths := path :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+  in
+  match Lint_rules.run paths with
+  | exception Invalid_argument m -> bad m
+  | exception Sys_error m -> bad m
+  | checked_files, diags ->
+      let report = Lint_rules.json_report ~checked_files diags in
+      (match !out with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Json.to_string report);
+          output_char oc '\n';
+          close_out oc);
+      if !json then print_endline (Json.to_string report)
+      else begin
+        List.iter
+          (fun d -> Format.printf "%a@." Lint_rules.pp_diagnostic d)
+          diags;
+        Format.printf "cmvrp_lint: %d file%s checked, %d violation%s@."
+          checked_files
+          (if checked_files = 1 then "" else "s")
+          (List.length diags)
+          (if List.length diags = 1 then "" else "s")
+      end;
+      match diags with [] -> exit 0 | _ -> exit 1
