@@ -951,6 +951,21 @@ let bechamel_suite ~quick () =
         Test.make ~name:"dinic_64v_400e" (Staged.stage (fun () ->
             let net = flow_net () in
             ignore (Maxflow.max_flow net ~source:0 ~sink:63)));
+        (* Arena kernels introduced by the incremental-oracle work: the
+           warm-started uniform-supply search, frontier-based shell
+           dilation vs re-dilating from scratch, and direct L1-sphere
+           enumeration.  Future PRs track these individually. *)
+        Test.make ~name:"min_uniform_supply_r2_200jobs" (Staged.stage (fun () ->
+            let inst = Oracle.build_instance dm_mid ~radius:2 in
+            ignore (Transport.min_uniform_supply inst ~scale:720720)));
+        Test.make ~name:"dilate_shells_r6_200jobs" (Staged.stage (fun () ->
+            ignore (Ball.dilate_shells (Demand_map.support dm_mid) ~max_radius:6)));
+        Test.make ~name:"dilate_set_r6_200jobs" (Staged.stage (fun () ->
+            ignore (Ball.dilate_set (Demand_map.support dm_mid) ~radius:6)));
+        Test.make ~name:"iter_sphere_r6" (Staged.stage (fun () ->
+            let n = ref 0 in
+            Ball.iter_sphere ~center:[| 0; 0 |] ~radius:6 (fun _ -> incr n);
+            ignore !n));
         Test.make ~name:"planner_200jobs" (Staged.stage (fun () ->
             ignore (Planner.plan dm_mid)));
         Test.make ~name:"online_point100" (Staged.stage (fun () ->
@@ -1018,6 +1033,13 @@ let json_scenarios ~quick =
                ~jobs_per_cluster:(scale 60) ~spread:1)
         in
         ignore (Oracle.omega_star dm) );
+    ( "oracle/witness-uniform",
+      fun () ->
+        let dm =
+          Workload.demand
+            (Workload.uniform ~rng:(Rng.create 99) ~box:box7 ~jobs:(scale 200))
+        in
+        ignore (Oracle.witness dm) );
     ( "alg1/two-hotspots",
       fun () ->
         let n = if quick then 128 else 512 in
@@ -1069,30 +1091,56 @@ let json_scenarios ~quick =
         ignore (Online.run cfg w) );
   ]
 
-let run_json_suite ~quick ~revision path =
+let run_json_suite ~quick ~jobs ~revision path =
   section
-    (Printf.sprintf "JSON regression suite (%s mode) -> %s"
+    (Printf.sprintf "JSON regression suite (%s mode%s) -> %s"
        (if quick then "quick" else "full")
+       (if jobs > 1 then Printf.sprintf ", %d jobs" jobs else "")
        path);
   let scenarios =
-    List.map
-      (fun (name, f) ->
-        Metrics.reset ();
-        let t0 = Metrics.now_ns () in
-        f ();
-        let wall_ms = (Metrics.now_ns () -. t0) /. 1e6 in
-        Printf.printf "  %-32s %10.2f ms\n%!" name wall_ms;
-        (* zero-valued cells are subsystems this scenario never touched;
-           dropping them keeps reports scenario-relevant *)
-        let touched = function
-          | _, Metrics.Count 0 -> false
-          | _, Metrics.Level { value = 0.0; peak = 0.0 } -> false
-          | _, Metrics.Span { calls = 0; _ } -> false
-          | _ -> true
-        in
-        let metrics = List.filter touched (Metrics.snapshot ()) in
-        { Bench_report.name; wall_ms; metrics })
-      (json_scenarios ~quick)
+    if jobs <= 1 then
+      List.map
+        (fun (name, f) ->
+          Metrics.reset ();
+          let t0 = Metrics.now_ns () in
+          f ();
+          let wall_ms = (Metrics.now_ns () -. t0) /. 1e6 in
+          Printf.printf "  %-32s %10.2f ms\n%!" name wall_ms;
+          (* zero-valued cells are subsystems this scenario never touched;
+             dropping them keeps reports scenario-relevant *)
+          let touched = function
+            | _, Metrics.Count 0 -> false
+            | _, Metrics.Level { value = 0.0; peak = 0.0 } -> false
+            | _, Metrics.Span { calls = 0; _ } -> false
+            | _ -> true
+          in
+          let metrics = List.filter touched (Metrics.snapshot ()) in
+          { Bench_report.name; wall_ms; metrics })
+        (json_scenarios ~quick)
+    else begin
+      (* Parallel fan-out through the Domain pool: wall clocks only.  The
+         registry is shared process-wide, so per-scenario snapshots would
+         interleave; metrics are left empty (bench-diff ignores metrics
+         absent from the candidate).  CI keeps jobs = 1. *)
+      Pool.set_workers jobs;
+      Metrics.set_enabled false;
+      let results =
+        Pool.map
+          (fun (name, f) ->
+            let t0 = Metrics.now_ns () in
+            f ();
+            let wall_ms = (Metrics.now_ns () -. t0) /. 1e6 in
+            { Bench_report.name; wall_ms; metrics = [] })
+          (Array.of_list (json_scenarios ~quick))
+      in
+      Metrics.set_enabled true;
+      Array.iter
+        (fun s ->
+          Printf.printf "  %-32s %10.2f ms\n%!" s.Bench_report.name
+            s.Bench_report.wall_ms)
+        results;
+      Array.to_list results
+    end
   in
   let report = Bench_report.make ~revision ~quick scenarios in
   Bench_report.write_file path report;
@@ -1112,6 +1160,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let want_bechamel = ref false in
   let quick = ref false in
+  let jobs = ref 1 in
   let json_path = ref None in
   let revision =
     ref (Option.value ~default:"dev" (Sys.getenv_opt "GITHUB_SHA"))
@@ -1131,6 +1180,17 @@ let () =
     | [ "--json" ] ->
         prerr_endline "--json requires an output path";
         exit 2
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ ->
+            prerr_endline "--jobs requires a positive integer";
+            exit 2)
+    | [ "--jobs" ] ->
+        prerr_endline "--jobs requires a positive integer";
+        exit 2
     | "--revision" :: rev :: rest ->
         revision := rev;
         parse rest
@@ -1147,7 +1207,7 @@ let () =
     "CMVRP reproduction benchmarks — Gao, \"On a Capacitated Multivehicle \
      Routing Problem\" (Caltech, 2008)";
   (match !json_path with
-  | Some path -> run_json_suite ~quick:!quick ~revision:!revision path
+  | Some path -> run_json_suite ~quick:!quick ~jobs:!jobs ~revision:!revision path
   | None ->
       let to_run =
         match wanted with

@@ -321,7 +321,16 @@ let bench_diff_cmd =
             "Allowed relative growth of counters and gauge peaks (these are \
              deterministic, so keep it tight even across machines).")
   in
-  let run baseline_path candidate_path tolerance metric_tolerance =
+  let scenario_prefix =
+    Arg.(
+      value & opt (some string) None
+      & info [ "scenario" ] ~docv:"PREFIX"
+          ~doc:
+            "Restrict the comparison to scenarios whose name starts with \
+             \\$(docv) (e.g. oracle/).  Lets CI hold a hot subsystem to a \
+             tighter tolerance than the rest of the suite.")
+  in
+  let run baseline_path candidate_path tolerance metric_tolerance scenario_prefix =
     if tolerance < 0.0 || metric_tolerance < 0.0 then begin
       Printf.eprintf "bench-diff: tolerances must be non-negative\n";
       exit 2
@@ -333,8 +342,27 @@ let bench_diff_cmd =
           Printf.eprintf "bench-diff: %s\n" e;
           exit 2
     in
-    let baseline = load baseline_path in
-    let candidate = load candidate_path in
+    let restrict (r : Bench_report.t) =
+      match scenario_prefix with
+      | None -> r
+      | Some prefix ->
+          {
+            r with
+            Bench_report.scenarios =
+              List.filter
+                (fun (s : Bench_report.scenario) ->
+                  String.starts_with ~prefix s.Bench_report.name)
+                r.Bench_report.scenarios;
+          }
+    in
+    let baseline = restrict (load baseline_path) in
+    let candidate = restrict (load candidate_path) in
+    (match (scenario_prefix, baseline.Bench_report.scenarios) with
+    | Some prefix, [] ->
+        Printf.eprintf
+          "bench-diff: no baseline scenario matches prefix %S\n" prefix;
+        exit 2
+    | _ -> ());
     let compared =
       List.length
         (List.filter
@@ -374,7 +402,9 @@ let bench_diff_cmd =
   let doc = "Compare two benchmark reports; exit 1 on regression." in
   Cmd.v
     (Cmd.info "bench-diff" ~doc)
-    Term.(const run $ baseline $ candidate $ tolerance $ metric_tolerance)
+    Term.(
+      const run $ baseline $ candidate $ tolerance $ metric_tolerance
+      $ scenario_prefix)
 
 let () =
   let doc = "CMVRP: capacitated multivehicle routing on the grid (Gao 2008)" in

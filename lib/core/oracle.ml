@@ -4,38 +4,88 @@ let m_lp_calls = Metrics.counter "oracle.lp_calls"
 let m_radius_brackets = Metrics.counter "oracle.radius_brackets"
 let m_omega_star = Metrics.timer "oracle.omega_star"
 
-let build_instance dm ~radius =
+(* Incremental transport-instance builder.  Suppliers are the grid points
+   within the current radius of the demand support; rather than re-running
+   the all-pairs L1 scan at every radius, the builder keeps a BFS frontier
+   over the support and, per radius step, registers only the new shell of
+   suppliers and adds only the links at exactly the new distance (by
+   enumerating each demand's L1 sphere).  The link set at radius m is a
+   strict prefix of the set at radius m+1, so one builder serves the whole
+   bracket scan of [omega_star]. *)
+type builder = {
+  b_support : Point.t array;
+  b_inst : Transport.t;
+  b_frontier : Ball.frontier;
+  b_index : int Point.Tbl.t; (* supplier point -> supplier index *)
+  mutable b_radius : int;
+}
+
+let builder_create dm ~demand_scale =
   let support = Array.of_list (Demand_map.support dm) in
-  let suppliers =
-    Ball.dilate_set (Array.to_list support) ~radius |> Point.Set.elements
-    |> Array.of_list
-  in
-  let inst =
-    Transport.create ~n_suppliers:(Array.length suppliers)
-      ~n_demands:(Array.length support)
-  in
-  Array.iteri (fun j p -> Transport.set_demand inst j (Demand_map.value dm p)) support;
+  let inst = Transport.create ~n_suppliers:0 ~n_demands:(Array.length support) in
   Array.iteri
-    (fun i s ->
-      Array.iteri
-        (fun j p ->
-          if Point.l1_dist s p <= radius then Transport.add_link inst ~supplier:i ~demand:j)
-        support)
-    suppliers;
-  inst
+    (fun j p ->
+      Transport.set_demand inst j (Energy.mul (Demand_map.value dm p) demand_scale))
+    support;
+  let fr = Ball.frontier (Array.to_list support) in
+  let index = Point.Tbl.create 1024 in
+  List.iter
+    (fun p -> Point.Tbl.add index p (Transport.add_supplier inst))
+    (Ball.frontier_shell fr);
+  (* Radius 0: every demand site is served by the supplier at its own
+     position. *)
+  Array.iteri
+    (fun j p ->
+      match Point.Tbl.find_opt index p with
+      | Some i -> Transport.add_link inst ~supplier:i ~demand:j
+      | None -> assert false)
+    support;
+  { b_support = support; b_inst = inst; b_frontier = fr; b_index = index; b_radius = 0 }
+
+let builder_extend b =
+  (* New suppliers first, so shell points at exactly the new distance from
+     some demand are linkable below. *)
+  let shell = Ball.expand b.b_frontier in
+  List.iter
+    (fun p -> Point.Tbl.add b.b_index p (Transport.add_supplier b.b_inst))
+    shell;
+  let r = b.b_radius + 1 in
+  b.b_radius <- r;
+  (* Link delta: the pairs at L1 distance exactly r.  Every such supplier
+     is already registered (its distance to the support set is <= r). *)
+  Array.iteri
+    (fun j p ->
+      Ball.iter_sphere ~center:p ~radius:r (fun q ->
+          match Point.Tbl.find_opt b.b_index q with
+          | Some i -> Transport.add_link b.b_inst ~supplier:i ~demand:j
+          | None -> ()))
+    b.b_support
+
+let builder_to_radius b radius =
+  while b.b_radius < radius do
+    builder_extend b
+  done
+
+let build_instance dm ~radius =
+  let b = builder_create dm ~demand_scale:1 in
+  builder_to_radius b radius;
+  b.b_inst
+
+let lp_value_of_inst inst ~scale =
+  Metrics.incr m_lp_calls;
+  match Transport.min_uniform_supply inst ~scale with
+  | Some v -> v
+  | None ->
+      (* Impossible: every demand site is its own supplier at radius >= 0. *)
+      assert false
 
 let lp_value ?(scale = default_scale) ~radius dm =
   if radius < 0 then invalid_arg "Oracle.lp_value: negative radius";
-  Metrics.incr m_lp_calls;
-  if Demand_map.total dm = 0 then 0.0
-  else begin
-    let inst = build_instance dm ~radius in
-    match Transport.min_uniform_supply inst ~scale with
-    | Some v -> v
-    | None ->
-        (* Impossible: every demand site is its own supplier at radius >= 0. *)
-        assert false
+  if Demand_map.total dm = 0 then begin
+    Metrics.incr m_lp_calls;
+    0.0
   end
+  else lp_value_of_inst (build_instance dm ~radius) ~scale
 
 let omega_star ?(scale = default_scale) dm =
   if Demand_map.total dm = 0 then 0.0
@@ -43,10 +93,14 @@ let omega_star ?(scale = default_scale) dm =
     Metrics.time m_omega_star (fun () ->
         (* ω lives in some bracket [m, m+1); there the admissible radius is m
            and the minimal capacity is lp_value m, so the bracket's optimum is
-           max(m, lp_value m) when that stays below m+1. *)
+           max(m, lp_value m) when that stays below m+1.  The incremental
+           builder carries the radius-m instance into bracket m+1 as a
+           delta. *)
+        let b = builder_create dm ~demand_scale:1 in
         let rec scan m =
           Metrics.incr m_radius_brackets;
-          let v = lp_value ~scale ~radius:m dm in
+          builder_to_radius b m;
+          let v = lp_value_of_inst b.b_inst ~scale in
           let candidate = Float.max (float_of_int m) v in
           if candidate < float_of_int (m + 1) then candidate else scan (m + 1)
         in
@@ -62,41 +116,31 @@ let witness ?(scale = default_scale) dm =
     (* If ω* sits strictly inside the bracket [m, m+1), the binding
        constraint is the radius-m transport; if ω* = m exactly, it is the
        bracket floor and the violator lives at radius m-1 and supply just
-       below m (the previous bracket is infeasible throughout). *)
-    let radius, supply_just_below =
-      if star > float_of_int m +. 1e-9 || m = 0 then (m, star)
-      else (m - 1, float_of_int m)
+       below m (the previous bracket is infeasible throughout).  Both
+       bracket configurations are probed (through the Domain pool when
+       workers are available); the binding one is preferred and the other
+       serves as a fallback when the 1/scale resolution is too coarse. *)
+    let configs =
+      if star > float_of_int m +. 1e-9 || m = 0 then [| (m, star) |]
+      else [| (m - 1, float_of_int m); (m, star) |]
     in
-    let inst = build_instance dm ~radius in
-    let u = max 0 (int_of_float (Float.ceil (supply_just_below *. float_of_int scale)) - 1) in
-    (* Scale demands to match the scaled supplies. *)
-    let scaled = Transport.create
-        ~n_suppliers:(Transport.n_suppliers inst)
-        ~n_demands:(Transport.n_demands inst)
+    let try_config (radius, supply_just_below) =
+      let b = builder_create dm ~demand_scale:scale in
+      builder_to_radius b radius;
+      let u =
+        max 0 (int_of_float (Float.ceil (supply_just_below *. float_of_int scale)) - 1)
+      in
+      match Transport.infeasibility_witness b.b_inst ~supply:(fun _ -> u) with
+      | None -> None (* resolution too coarse to exhibit infeasibility *)
+      | Some demand_indices ->
+          let points = List.map (fun j -> b.b_support.(j)) demand_indices in
+          let total =
+            List.fold_left (fun acc p -> acc + Demand_map.value dm p) 0 points
+          in
+          Some (points, Omega.of_points points ~total)
     in
-    for j = 0 to Transport.n_demands inst - 1 do
-      Transport.set_demand scaled j (Transport.demand inst j * scale)
-    done;
-    (* Replay the same links. *)
-    let support = Array.of_list (Demand_map.support dm) in
-    let suppliers =
-      Ball.dilate_set (Array.to_list support) ~radius |> Point.Set.elements
-      |> Array.of_list
-    in
-    Array.iteri
-      (fun i s ->
-        Array.iteri
-          (fun j p ->
-            if Point.l1_dist s p <= radius then
-              Transport.add_link scaled ~supplier:i ~demand:j)
-          support)
-      suppliers;
-    match Transport.infeasibility_witness scaled ~supply:(fun _ -> u) with
-    | None -> None (* resolution too coarse to exhibit infeasibility *)
-    | Some demand_indices ->
-        let points = List.map (fun j -> support.(j)) demand_indices in
-        let total =
-          List.fold_left (fun acc p -> acc + Demand_map.value dm p) 0 points
-        in
-        Some (points, Omega.of_points points ~total)
+    let results = Pool.map try_config configs in
+    Array.fold_left
+      (fun acc r -> match acc with Some _ -> acc | None -> r)
+      None results
   end

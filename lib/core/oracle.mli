@@ -14,6 +14,12 @@
     Suppliers are the grid vertices within distance [r] of the demand
     support — the only vehicles that can participate. *)
 
+val build_instance : Demand_map.t -> radius:int -> Transport.t
+(** The transport instance of program (2.1) at the given radius: demand
+    sites as demands, the grid points within L1 distance [radius] of the
+    support as suppliers, links between pairs at distance [<= radius].
+    Built incrementally by shell dilation (see [docs/PERF.md]). *)
+
 val lp_value : ?scale:int -> radius:int -> Demand_map.t -> float
 (** Value of program (2.1) at the given integer radius, resolved to
     [1/scale] (default [720720 = lcm(1..14)], exact whenever the optimal

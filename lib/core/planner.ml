@@ -97,8 +97,12 @@ let plan dm =
       in
       let window = window_for bbox ~side in
       let cubes = Box.partition_cubes window ~side in
+      (* Cubes are independent (plan_cube only reads the demand map), so
+         they fan out through the Domain pool; results come back in cube
+         order, keeping the plan deterministic. *)
       let assignments =
-        List.concat_map (fun cube -> plan_cube dm ~budget cube) cubes
+        Pool.map (fun cube -> plan_cube dm ~budget cube) (Array.of_list cubes)
+        |> Array.to_list |> List.concat
       in
       { dim; omega; side; budget; window; assignments }
 

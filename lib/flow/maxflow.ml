@@ -1,6 +1,9 @@
 (* Dinic's algorithm with an edge-array representation: edge 2k and its
    residual twin 2k+1 are stored adjacently, so the reverse of edge [e] is
-   [e lxor 1]. *)
+   [e lxor 1].  Adjacency is CSR-style — edge ids grouped by source vertex
+   in one flat array with a prefix-sum index — rebuilt lazily after edge
+   insertions, so the hot loops (BFS, current-arc DFS) touch nothing but
+   int arrays. *)
 
 let m_augmentations = Metrics.counter "maxflow.augmentations"
 let m_bfs_phases = Metrics.counter "maxflow.bfs_phases"
@@ -11,11 +14,19 @@ type t = {
   n : int;
   mutable dst : int array; (* destination per directed edge *)
   mutable cap : int array; (* remaining capacity per directed edge *)
-  head : int list array; (* edge ids leaving each vertex, reversed *)
   mutable m : int; (* number of directed edges (including twins) *)
   level : int array;
-  iter : int list array;
+  queue : int array; (* BFS ring buffer, length n *)
+  mutable adj : int array; (* CSR payload: edge ids grouped by source *)
+  adj_start : int array; (* CSR index, length n+1 *)
+  cur : int array; (* current-arc pointer per vertex *)
+  mutable csr_valid : bool;
   mutable initial_cap : int array; (* original capacity of even edges *)
+  (* [mark]/[rewind] scratch: capacity snapshot for warm-started probing *)
+  mutable saved_cap : int array;
+  mutable saved_initial : int array;
+  mutable saved_m : int;
+  mutable marked : bool;
 }
 
 let create n =
@@ -24,11 +35,18 @@ let create n =
     n;
     dst = Array.make 16 0;
     cap = Array.make 16 0;
-    head = Array.make (max n 1) [];
     m = 0;
     level = Array.make (max n 1) (-1);
-    iter = Array.make (max n 1) [];
+    queue = Array.make (max n 1) 0;
+    adj = [||];
+    adj_start = Array.make (n + 1) 0;
+    cur = Array.make (max n 1) 0;
+    csr_valid = false;
     initial_cap = Array.make 8 0;
+    saved_cap = [||];
+    saved_initial = [||];
+    saved_m = 0;
+    marked = false;
   }
 
 let n_vertices t = t.n
@@ -61,54 +79,82 @@ let add_edge t ~src ~dst ~cap =
   t.cap.(id) <- cap;
   t.dst.(id + 1) <- src;
   t.cap.(id + 1) <- 0;
-  t.head.(src) <- id :: t.head.(src);
-  t.head.(dst) <- (id + 1) :: t.head.(dst);
   t.initial_cap.(id / 2) <- cap;
   t.m <- t.m + 2;
+  t.csr_valid <- false;
   id
+
+(* Counting sort of edge ids by source vertex.  The source of edge [e] is
+   the destination of its twin, so no separate src array is stored. *)
+let build_csr t =
+  let start = t.adj_start in
+  Array.fill start 0 (t.n + 1) 0;
+  for e = 0 to t.m - 1 do
+    let src = t.dst.(e lxor 1) in
+    start.(src + 1) <- start.(src + 1) + 1
+  done;
+  for v = 1 to t.n do
+    start.(v) <- start.(v) + start.(v - 1)
+  done;
+  if Array.length t.adj < t.m then t.adj <- Array.make (Array.length t.dst) 0;
+  Array.blit start 0 t.cur 0 t.n;
+  for e = 0 to t.m - 1 do
+    let src = t.dst.(e lxor 1) in
+    t.adj.(t.cur.(src)) <- e;
+    t.cur.(src) <- t.cur.(src) + 1
+  done;
+  t.csr_valid <- true
+
+let ensure_csr t = if not t.csr_valid then build_csr t
 
 let build_levels t ~source ~sink =
   Array.fill t.level 0 t.n (-1);
-  let queue = Queue.create () in
+  let q = t.queue in
+  q.(0) <- source;
   t.level.(source) <- 0;
-  Queue.add source queue;
-  while not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
-    List.iter
-      (fun e ->
-        let w = t.dst.(e) in
-        if t.cap.(e) > 0 && t.level.(w) = -1 then begin
-          t.level.(w) <- t.level.(v) + 1;
-          Queue.add w queue
-        end)
-      t.head.(v)
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let v = q.(!head) in
+    incr head;
+    for i = t.adj_start.(v) to t.adj_start.(v + 1) - 1 do
+      let e = t.adj.(i) in
+      let w = t.dst.(e) in
+      if t.cap.(e) > 0 && t.level.(w) = -1 then begin
+        t.level.(w) <- t.level.(v) + 1;
+        q.(!tail) <- w;
+        incr tail
+      end
+    done
   done;
   t.level.(sink) >= 0
 
 let rec augment t v ~sink pushed =
   if v = sink then pushed
   else begin
+    let limit = t.adj_start.(v + 1) in
     let rec try_edges () =
-      match t.iter.(v) with
-      | [] -> 0
-      | e :: rest -> (
-          let w = t.dst.(e) in
-          if t.cap.(e) > 0 && t.level.(w) = t.level.(v) + 1 then begin
-            let got = augment t w ~sink (min pushed t.cap.(e)) in
-            if got > 0 then begin
-              t.cap.(e) <- Energy.sub t.cap.(e) got;
-              t.cap.(e lxor 1) <- Energy.add t.cap.(e lxor 1) got;
-              got
-            end
-            else begin
-              t.iter.(v) <- rest;
-              try_edges ()
-            end
+      let i = t.cur.(v) in
+      if i >= limit then 0
+      else begin
+        let e = t.adj.(i) in
+        let w = t.dst.(e) in
+        if t.cap.(e) > 0 && t.level.(w) = t.level.(v) + 1 then begin
+          let got = augment t w ~sink (min pushed t.cap.(e)) in
+          if got > 0 then begin
+            t.cap.(e) <- Energy.sub t.cap.(e) got;
+            t.cap.(e lxor 1) <- Energy.add t.cap.(e lxor 1) got;
+            got
           end
           else begin
-            t.iter.(v) <- rest;
+            t.cur.(v) <- i + 1;
             try_edges ()
-          end)
+          end
+        end
+        else begin
+          t.cur.(v) <- i + 1;
+          try_edges ()
+        end
+      end
     in
     try_edges ()
   end
@@ -117,12 +163,11 @@ let max_flow t ~source ~sink =
   if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
   Metrics.incr m_runs;
   Metrics.set_gauge m_residual_edges (float_of_int t.m);
+  ensure_csr t;
   let total = ref 0 in
   while build_levels t ~source ~sink do
     Metrics.incr m_bfs_phases;
-    for v = 0 to t.n - 1 do
-      t.iter.(v) <- t.head.(v)
-    done;
+    Array.blit t.adj_start 0 t.cur 0 t.n;
     let rec push () =
       let got = augment t source ~sink max_int in
       if got > 0 then begin
@@ -140,20 +185,62 @@ let flow_on t id =
     invalid_arg "Maxflow.flow_on: bad edge id";
   Energy.sub t.initial_cap.(id / 2) t.cap.(id)
 
+let reset t =
+  for k = 0 to (t.m / 2) - 1 do
+    t.cap.(2 * k) <- t.initial_cap.(k);
+    t.cap.((2 * k) + 1) <- 0
+  done
+
+let set_even_caps t ids c =
+  if c < 0 then invalid_arg "Maxflow.set_even_caps: negative capacity";
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= t.m || id mod 2 <> 0 then
+        invalid_arg "Maxflow.set_even_caps: bad edge id";
+      let flow = Energy.sub t.initial_cap.(id / 2) t.cap.(id) in
+      let residual = Energy.sub c flow in
+      if residual < 0 then
+        invalid_arg "Maxflow.set_even_caps: capacity below current flow";
+      t.cap.(id) <- residual;
+      t.initial_cap.(id / 2) <- c)
+    ids
+
+let mark t =
+  let half = t.m / 2 in
+  if Array.length t.saved_cap < t.m then
+    t.saved_cap <- Array.make (Array.length t.dst) 0;
+  if Array.length t.saved_initial < half then
+    t.saved_initial <- Array.make (Array.length t.initial_cap) 0;
+  Array.blit t.cap 0 t.saved_cap 0 t.m;
+  Array.blit t.initial_cap 0 t.saved_initial 0 half;
+  t.saved_m <- t.m;
+  t.marked <- true
+
+let rewind t =
+  if not t.marked then invalid_arg "Maxflow.rewind: no mark set";
+  if t.saved_m <> t.m then
+    invalid_arg "Maxflow.rewind: edges added since mark";
+  Array.blit t.saved_cap 0 t.cap 0 t.m;
+  Array.blit t.saved_initial 0 t.initial_cap 0 (t.m / 2)
+
 let min_cut_side t ~source =
+  ensure_csr t;
   let side = Array.make t.n false in
-  let queue = Queue.create () in
+  let q = t.queue in
+  q.(0) <- source;
   side.(source) <- true;
-  Queue.add source queue;
-  while not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
-    List.iter
-      (fun e ->
-        let w = t.dst.(e) in
-        if t.cap.(e) > 0 && not side.(w) then begin
-          side.(w) <- true;
-          Queue.add w queue
-        end)
-      t.head.(v)
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let v = q.(!head) in
+    incr head;
+    for i = t.adj_start.(v) to t.adj_start.(v + 1) - 1 do
+      let e = t.adj.(i) in
+      let w = t.dst.(e) in
+      if t.cap.(e) > 0 && not side.(w) then begin
+        side.(w) <- true;
+        q.(!tail) <- w;
+        incr tail
+      end
+    done
   done;
   side

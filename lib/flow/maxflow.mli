@@ -3,7 +3,15 @@
     This is the combinatorial engine behind the paper's linear program
     (2.1): for a fixed supply [ω] and radius [r], feasibility of the
     supply-demand transport is a bipartite max-flow question, and the exact
-    LP value is recovered by a search over [ω] (see {!Transport}). *)
+    LP value is recovered by a search over [ω] (see {!Transport}).
+
+    The network is an {e arena}: one allocation serves a whole family of
+    related flow problems.  After a [max_flow] run the residual state is
+    kept, and {!set_even_caps} can raise or lower edge capacities while
+    preserving the routed flow, so a monotone parameter search (the supply
+    bisection in [Transport.min_uniform_supply]) re-augments incrementally
+    instead of rebuilding.  {!mark}/{!rewind} snapshot and restore the
+    capacity state so an over-shooting probe can be undone in O(m). *)
 
 type t
 
@@ -16,13 +24,31 @@ val add_edge : t -> src:int -> dst:int -> cap:int -> int
     must be non-negative. *)
 
 val max_flow : t -> source:int -> sink:int -> int
-(** Runs Dinic to completion and returns the max-flow value.  The network
-    keeps its residual state: subsequent calls continue from the current
-    flow (useful for incremental capacity probing is NOT supported —
-    rebuild instead; this is only documented behaviour). *)
+(** Runs Dinic to completion and returns the flow value {e pushed by this
+    call}.  The network keeps its residual state: after raising capacities
+    with {!set_even_caps}, a subsequent call continues from the current
+    flow and returns only the increment. *)
 
 val flow_on : t -> int -> int
 (** Flow currently routed through the edge with the given id. *)
+
+val reset : t -> unit
+(** Drops all routed flow: every edge returns to its most recently set
+    capacity, every twin to 0.  The edge structure is kept. *)
+
+val set_even_caps : t -> int array -> int -> unit
+(** [set_even_caps t ids c] sets the capacity of each (even) edge id in
+    [ids] to [c], preserving the flow currently routed through it — the
+    new residual is [c - flow].  Raises [Invalid_argument] if any edge
+    carries more than [c] flow (lower below current flow by {!rewind}ing
+    or {!reset}ting first). *)
+
+val mark : t -> unit
+(** Snapshots the capacity state (residuals and nominal capacities). *)
+
+val rewind : t -> unit
+(** Restores the state of the last {!mark}.  Raises [Invalid_argument] if
+    no mark was set or edges were added since. *)
 
 val n_vertices : t -> int
 

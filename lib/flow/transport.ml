@@ -2,20 +2,33 @@ let m_bisection_steps = Metrics.counter "transport.bisection_steps"
 let m_feasibility_checks = Metrics.counter "transport.feasibility_checks"
 
 type t = {
-  n_suppliers : int;
+  mutable n_suppliers : int;
   n_demands : int;
   demands : int array;
-  mutable links : (int * int) list; (* (supplier, demand), reversed *)
+  mutable links : int array; (* flattened pairs: 2k = supplier, 2k+1 = demand *)
   mutable n_links : int;
+  linked : bool array; (* demand j has at least one link *)
 }
 
 let create ~n_suppliers ~n_demands =
   if n_suppliers < 0 || n_demands < 0 then
     invalid_arg "Transport.create: negative size";
-  { n_suppliers; n_demands; demands = Array.make n_demands 0; links = []; n_links = 0 }
+  {
+    n_suppliers;
+    n_demands;
+    demands = Array.make n_demands 0;
+    links = [||];
+    n_links = 0;
+    linked = Array.make n_demands false;
+  }
 
 let n_suppliers t = t.n_suppliers
 let n_demands t = t.n_demands
+
+let add_supplier t =
+  let i = t.n_suppliers in
+  t.n_suppliers <- i + 1;
+  i
 
 let set_demand t j d =
   if d < 0 then invalid_arg "Transport.set_demand: negative demand";
@@ -28,8 +41,22 @@ let add_link t ~supplier ~demand =
     invalid_arg "Transport.add_link: supplier out of range";
   if demand < 0 || demand >= t.n_demands then
     invalid_arg "Transport.add_link: demand out of range";
-  t.links <- (supplier, demand) :: t.links;
-  t.n_links <- t.n_links + 1
+  if (2 * t.n_links) + 2 > Array.length t.links then begin
+    let bigger = Array.make (max 16 (2 * Array.length t.links)) 0 in
+    Array.blit t.links 0 bigger 0 (2 * t.n_links);
+    t.links <- bigger
+  end;
+  t.links.(2 * t.n_links) <- supplier;
+  t.links.((2 * t.n_links) + 1) <- demand;
+  t.n_links <- t.n_links + 1;
+  t.linked.(demand) <- true
+
+let n_links t = t.n_links
+
+let iter_links t f =
+  for k = 0 to t.n_links - 1 do
+    f ~supplier:t.links.(2 * k) ~demand:t.links.((2 * k) + 1)
+  done
 
 let total_demand t = Array.fold_left ( + ) 0 t.demands
 
@@ -48,12 +75,10 @@ let max_served_scaled t ~supply ~demand_scale =
   let inf = ref 0 in
   Array.iter (fun d -> inf := !inf + (d * demand_scale)) t.demands;
   let inf = max 1 !inf in
-  List.iter
-    (fun (i, j) ->
+  iter_links t (fun ~supplier:i ~demand:j ->
       ignore
         (Maxflow.add_edge net ~src:(supplier_vertex i) ~dst:(demand_vertex t j)
-           ~cap:inf))
-    t.links;
+           ~cap:inf));
   for j = 0 to t.n_demands - 1 do
     if t.demands.(j) > 0 then
       ignore
@@ -67,10 +92,8 @@ let max_served t ~supply = max_served_scaled t ~supply ~demand_scale:1
 let feasible t ~supply = max_served t ~supply = total_demand t
 
 let every_demand_linked t =
-  let linked = Array.make t.n_demands false in
-  List.iter (fun (_, j) -> linked.(j) <- true) t.links;
   let rec loop j =
-    j = t.n_demands || ((t.demands.(j) = 0 || linked.(j)) && loop (j + 1))
+    j = t.n_demands || ((t.demands.(j) = 0 || t.linked.(j)) && loop (j + 1))
   in
   loop 0
 
@@ -82,23 +105,66 @@ let min_uniform_supply t ~scale =
   else begin
     (* Scaled problem: demands d*scale, integer uniform capacity u; answer
        u/scale.  Feasible at u = total*scale (one linked supplier can carry
-       everything). *)
-    let target = total * scale in
-    let feasible_at u =
-      Metrics.incr m_feasibility_checks;
-      max_served_scaled t ~supply:(fun _ -> u) ~demand_scale:scale = target
+       everything).
+
+       The flow network is an arena built ONCE.  Source edges start at
+       capacity 0; between probes only their capacities change
+       (Maxflow.set_even_caps preserves routed flow), so each probe pushes
+       only the flow *increment* over the previous level.
+
+       The search itself is a discrete Newton iteration on the parametric
+       min cut rather than a blind bisection: at an infeasible level u the
+       min cut is crossed by k >= 1 source edges (never by an "infinite"
+       link edge), so its capacity is the line k*u + b with
+       b = maxflow(u) - k*u, and ANY feasible integer level must be at
+       least u + ceil((target - maxflow(u)) / k).  Jumping straight there
+       keeps every probe infeasible until the last, which lands exactly on
+       the minimal feasible u — the same value a bisection returns — after
+       at most one probe per distinct cut slope. *)
+    let target = Energy.mul total scale in
+    let net = Maxflow.create (2 + t.n_suppliers + t.n_demands) in
+    let src_edges =
+      Array.init t.n_suppliers (fun i ->
+          Maxflow.add_edge net ~src:0 ~dst:(supplier_vertex i) ~cap:0)
     in
-    let lo = ref 0 and hi = ref (total * scale) in
-    (* Invariant: infeasible at lo (unless lo = 0 feasible), feasible at hi. *)
-    if feasible_at 0 then Some 0.0
-    else begin
-      while !hi - !lo > 1 do
+    let inf = max 1 target in
+    iter_links t (fun ~supplier:i ~demand:j ->
+        ignore
+          (Maxflow.add_edge net ~src:(supplier_vertex i)
+             ~dst:(demand_vertex t j) ~cap:inf));
+    for j = 0 to t.n_demands - 1 do
+      if t.demands.(j) > 0 then
+        ignore
+          (Maxflow.add_edge net ~src:(demand_vertex t j) ~dst:1
+             ~cap:(Energy.mul t.demands.(j) scale))
+    done;
+    (* Flow currently routed in the arena = max-flow at the last probed
+       level; levels only increase, so it is never discarded. *)
+    let routed = ref 0 in
+    let u = ref 0 in
+    let result = ref None in
+    while Option.is_none !result do
+      Metrics.incr m_feasibility_checks;
+      Maxflow.set_even_caps net src_edges !u;
+      let pushed = Maxflow.max_flow net ~source:0 ~sink:1 in
+      routed := !routed + pushed;
+      if !routed = target then
+        result := Some (float_of_int !u /. float_of_int scale)
+      else begin
         Metrics.incr m_bisection_steps;
-        let mid = !lo + ((!hi - !lo) / 2) in
-        if feasible_at mid then hi := mid else lo := mid
-      done;
-      Some (float_of_int !hi /. float_of_int scale)
-    end
+        let side = Maxflow.min_cut_side net ~source:0 in
+        let k = ref 0 in
+        for i = 0 to t.n_suppliers - 1 do
+          if not side.(supplier_vertex i) then incr k
+        done;
+        (* k = 0 would mean a cut of constant capacity < target, i.e. no
+           finite level is feasible — excluded by every_demand_linked. *)
+        assert (!k > 0);
+        let deficit = target - !routed in
+        u := !u + ((deficit + !k - 1) / !k)
+      end
+    done;
+    !result
   end
 
 let dual_value_exhaustive t =
@@ -106,9 +172,8 @@ let dual_value_exhaustive t =
     invalid_arg "Transport.dual_value_exhaustive: too many demand sites";
   (* Neighborhood of a demand subset = set of suppliers linked to it. *)
   let links_of_demand = Array.make t.n_demands [] in
-  List.iter
-    (fun (i, j) -> links_of_demand.(j) <- i :: links_of_demand.(j))
-    t.links;
+  iter_links t (fun ~supplier:i ~demand:j ->
+      links_of_demand.(j) <- i :: links_of_demand.(j));
   let best = ref 0.0 in
   let n_subsets = 1 lsl t.n_demands in
   let suppliers_seen = Array.make t.n_suppliers (-1) in
@@ -142,11 +207,10 @@ let infeasibility_witness t ~supply =
     if cap > 0 then ignore (Maxflow.add_edge net ~src:0 ~dst:(supplier_vertex i) ~cap)
   done;
   let inf = max 1 (total_demand t) in
-  List.iter
-    (fun (i, j) ->
+  iter_links t (fun ~supplier:i ~demand:j ->
       ignore
-        (Maxflow.add_edge net ~src:(supplier_vertex i) ~dst:(demand_vertex t j) ~cap:inf))
-    t.links;
+        (Maxflow.add_edge net ~src:(supplier_vertex i) ~dst:(demand_vertex t j)
+           ~cap:inf));
   for j = 0 to t.n_demands - 1 do
     if t.demands.(j) > 0 then
       ignore (Maxflow.add_edge net ~src:(demand_vertex t j) ~dst:1 ~cap:t.demands.(j))

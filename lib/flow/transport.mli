@@ -16,6 +16,11 @@ val create : n_suppliers:int -> n_demands:int -> t
 val n_suppliers : t -> int
 val n_demands : t -> int
 
+val add_supplier : t -> int
+(** Registers one more supply site and returns its index.  Incremental
+    instance builders (the oracle's radius scan) grow the supplier set as
+    the coverage radius dilates. *)
+
 val set_demand : t -> int -> int -> unit
 (** [set_demand t j d] with [d >= 0]; demands default to 0. *)
 
@@ -23,7 +28,13 @@ val demand : t -> int -> int
 
 val add_link : t -> supplier:int -> demand:int -> unit
 (** Declares that the supplier may serve the demand site.  Duplicate links
-    are harmless. *)
+    are harmless.  Links are stored in one growable flat int array — no
+    per-link allocation. *)
+
+val n_links : t -> int
+
+val iter_links : t -> (supplier:int -> demand:int -> unit) -> unit
+(** Iterates links in insertion order. *)
 
 val total_demand : t -> int
 
@@ -38,7 +49,15 @@ val min_uniform_supply : t -> scale:int -> float option
 (** Smallest [ω], a multiple of [1/scale], such that uniform per-supplier
     capacity [ω] is feasible.  [None] when no finite capacity suffices
     (some positive demand has no link).  Exact whenever the true optimum
-    [max_J D(J)/|N(J)|] has a denominator dividing [scale]. *)
+    [max_J D(J)/|N(J)|] has a denominator dividing [scale].
+
+    Internally one {!Maxflow} arena serves the whole search: only the
+    source-edge capacities mutate between probes and each probe
+    warm-starts from the previous flow.  The level sequence is a discrete
+    Newton iteration on the parametric min cut (monotonically increasing,
+    so no flow is ever discarded) that lands exactly on the minimal
+    feasible grid level — the same value a rebuild-per-probe bisection
+    returns, in far fewer probes and a fraction of the flow work. *)
 
 val dual_value_exhaustive : t -> float
 (** [max_J Σ_{j∈J} d(j) / |N(J)|] by enumerating all demand subsets.

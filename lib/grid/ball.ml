@@ -2,9 +2,13 @@ let binomial n k =
   if k < 0 || k > n then 0
   else begin
     let k = min k (n - k) in
+    (* Multiplicative formula with exact intermediate divisibility:
+       acc * (n-k+i) is always divisible by i.  The product is checked —
+       C(n,k) can exceed [max_int] long before n does, and a silently
+       wrapped count corrupts every volume bound built on it. *)
     let acc = ref 1 in
     for i = 1 to k do
-      acc := !acc * (n - k + i) / i
+      acc := Energy.mul !acc (n - k + i) / i
     done;
     !acc
   end
@@ -14,7 +18,11 @@ let ball_volume ~dim ~radius =
   else begin
     let acc = ref 0 in
     for k = 0 to min dim radius do
-      acc := !acc + ((1 lsl k) * binomial dim k * binomial radius k)
+      acc :=
+        Energy.add !acc
+          (Energy.mul
+             (Energy.mul (Energy.pow 2 k) (binomial dim k))
+             (binomial radius k))
     done;
     !acc
   end
@@ -23,17 +31,15 @@ let cube_ball_volume ~dim ~side ~radius =
   if side <= 0 then invalid_arg "Ball.cube_ball_volume: side must be positive";
   if radius < 0 then 0
   else begin
-    let int_pow base e =
-      let v = ref 1 in
-      for _ = 1 to e do
-        v := !v * base
-      done;
-      !v
-    in
     let acc = ref 0 in
     for k = 0 to dim do
       acc :=
-        !acc + (binomial dim k * int_pow side (dim - k) * (1 lsl k) * binomial radius k)
+        Energy.add !acc
+          (Energy.mul
+             (Energy.mul
+                (Energy.mul (binomial dim k) (Energy.pow side (dim - k)))
+                (Energy.pow 2 k))
+             (binomial radius k))
     done;
     !acc
   end
@@ -55,13 +61,15 @@ let box_ball_volume box ~radius =
     for i = 0 to n - 1 do
       let s = Box.side box i in
       for k = i + 1 downto 1 do
-        dp.(k) <- (dp.(k) * s) + dp.(k - 1)
+        dp.(k) <- Energy.add (Energy.mul dp.(k) s) dp.(k - 1)
       done;
-      dp.(0) <- dp.(0) * s
+      dp.(0) <- Energy.mul dp.(0) s
     done;
     let acc = ref 0 in
     for k = 0 to n do
-      acc := !acc + (dp.(k) * (1 lsl k) * binomial radius k)
+      acc :=
+        Energy.add !acc
+          (Energy.mul (Energy.mul dp.(k) (Energy.pow 2 k)) (binomial radius k))
     done;
     !acc
   end
@@ -69,7 +77,10 @@ let box_ball_volume box ~radius =
 let segment_ball_volume_2d ~len ~radius =
   if len <= 0 then invalid_arg "Ball.segment_ball_volume_2d: len must be positive";
   if radius < 0 then 0
-  else (((2 * radius) + 1) * len) + (2 * radius * radius)
+  else
+    Energy.add
+      (Energy.mul ((2 * radius) + 1) len)
+      (Energy.mul 2 (Energy.mul radius radius))
 
 let dilate_set points ~radius =
   if radius < 0 then invalid_arg "Ball.dilate_set: negative radius";
@@ -100,6 +111,90 @@ let dilate_set points ~radius =
             (Point.neighbors p)
       done;
       Point.Tbl.fold (fun p _ acc -> Point.Set.add p acc) seen Point.Set.empty
+
+(* --- incremental (frontier-based) dilation --- *)
+
+type frontier = {
+  f_seen : unit Point.Tbl.t;
+  mutable f_shell : Point.t list; (* points at distance exactly f_radius *)
+  mutable f_radius : int;
+}
+
+let frontier points =
+  let f_seen = Point.Tbl.create 1024 in
+  let shell =
+    List.filter
+      (fun p ->
+        if Point.Tbl.mem f_seen p then false
+        else begin
+          Point.Tbl.add f_seen p ();
+          true
+        end)
+      points
+  in
+  { f_seen; f_shell = shell; f_radius = 0 }
+
+let frontier_radius f = f.f_radius
+let frontier_shell f = f.f_shell
+let frontier_size f = Point.Tbl.length f.f_seen
+
+let expand f =
+  let next = ref [] in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if not (Point.Tbl.mem f.f_seen q) then begin
+            Point.Tbl.add f.f_seen q ();
+            next := q :: !next
+          end)
+        (Point.neighbors p))
+    f.f_shell;
+  f.f_shell <- List.rev !next;
+  f.f_radius <- f.f_radius + 1;
+  f.f_shell
+
+let dilate_shells points ~max_radius =
+  if max_radius < 0 then invalid_arg "Ball.dilate_shells: negative radius";
+  let shells = Array.make (max_radius + 1) [] in
+  let f = frontier points in
+  shells.(0) <- frontier_shell f;
+  for r = 1 to max_radius do
+    shells.(r) <- expand f
+  done;
+  shells
+
+let iter_sphere ~center ~radius f =
+  if radius < 0 then invalid_arg "Ball.iter_sphere: negative radius";
+  let n = Point.dim center in
+  if n = 0 then begin
+    if radius = 0 then f [||]
+  end
+  else begin
+    let buf = Array.copy center in
+    (* Distribute the remaining L1 budget over coordinates i..n-1; the
+       last coordinate must absorb exactly what is left, so every point
+       of the sphere is visited exactly once. *)
+    let rec go i remaining =
+      if i = n - 1 then begin
+        buf.(i) <- center.(i) + remaining;
+        f buf;
+        if remaining > 0 then begin
+          buf.(i) <- center.(i) - remaining;
+          f buf
+        end;
+        buf.(i) <- center.(i)
+      end
+      else begin
+        for v = -remaining to remaining do
+          buf.(i) <- center.(i) + v;
+          go (i + 1) (remaining - abs v)
+        done;
+        buf.(i) <- center.(i)
+      end
+    in
+    go 0 radius
+  end
 
 let as_box points =
   (* Recognise a set of points that exactly fills its bounding box. *)

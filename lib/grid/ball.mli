@@ -10,8 +10,11 @@
       test suite. *)
 
 val binomial : int -> int -> int
-(** [binomial n k] = C(n,k); 0 when [k < 0] or [k > n].  Exact in native
-    [int] for all arguments used here. *)
+(** [binomial n k] = C(n,k); 0 when [k < 0] or [k > n].  Overflow-checked:
+    raises [Energy.Overflow] instead of silently wrapping.  Note the check
+    applies to the multiplicative formula's intermediates
+    [C(n,i)·(n-k+i)], which can overflow slightly before the result
+    itself would. *)
 
 val ball_volume : dim:int -> radius:int -> int
 (** Number of lattice points of [Z^dim] at L1 distance [<= radius] from a
@@ -32,6 +35,44 @@ val segment_ball_volume_2d : len:int -> radius:int -> int
 val dilate_set : Point.t list -> radius:int -> Point.Set.t
 (** [N_radius(T)] by multi-source BFS; exact for any finite [T].
     Cost is proportional to the volume of the result. *)
+
+(** {1 Incremental dilation}
+
+    A {!frontier} is a paused multi-source BFS: it remembers everything
+    reached so far and the current outermost shell, so growing the
+    neighborhood from radius [r] to [r+1] costs only the new shell — the
+    delta the oracle's radius scan needs, instead of re-dilating from
+    scratch at every radius. *)
+
+type frontier
+
+val frontier : Point.t list -> frontier
+(** A frontier at radius 0; its shell is the input set with duplicates
+    removed (first occurrence kept, input order preserved). *)
+
+val expand : frontier -> Point.t list
+(** Advances the frontier one radius step and returns the new shell: the
+    points at L1 distance exactly [frontier_radius] (after the call) from
+    the seed set, in deterministic discovery order.  The union of the
+    shells up to radius [r] equals [dilate_set ~radius:r]. *)
+
+val frontier_radius : frontier -> int
+val frontier_shell : frontier -> Point.t list
+(** The current shell (radius 0: the deduplicated seed set). *)
+
+val frontier_size : frontier -> int
+(** Total points reached so far, [|N_radius(T)|]. *)
+
+val dilate_shells : Point.t list -> max_radius:int -> Point.t list array
+(** [dilate_shells t ~max_radius].(r) = the shell at L1 distance exactly
+    [r] from [T] (index 0: [T] deduplicated).  One BFS pass; the
+    concatenation of entries [0..r] enumerates [dilate_set t ~radius:r]. *)
+
+val iter_sphere : center:Point.t -> radius:int -> (Point.t -> unit) -> unit
+(** Enumerates the L1 sphere [{x : ‖x − center‖₁ = radius}] directly
+    (no hashing, no BFS), calling the function once per point.  The point
+    array passed to the callback is {e reused between calls} — copy it if
+    it must be retained. *)
 
 val neighborhood_size : Point.t list -> radius:int -> int
 (** [|N_radius(T)|].  Uses the closed form when [T] is recognised as a box,

@@ -1,33 +1,47 @@
-type counter = { mutable c : int }
+(* Domain-safety: counters are Atomic cells (lock-free increments on the
+   hot path), while gauges, timers and the registry itself are guarded by
+   one mutex — their mutation sites are orders of magnitude colder than
+   counter increments, so a lock there costs nothing measurable.  This
+   module and lib/prelude/pool.ml are the only places allowed to touch
+   Atomic/Mutex (cmvrp_lint rule [domain-confine]). *)
+
+type counter = int Atomic.t
 type gauge = { mutable g : float; mutable g_peak : float }
 type timer = { mutable ns : float; mutable calls : int }
 type cell = C of counter | G of gauge | T of timer
 
 let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let on = ref true
 
 let set_enabled b = on := b
 let enabled () = !on
 
 let register name make project describe =
-  match Hashtbl.find_opt registry name with
-  | Some cell -> (
-      match project cell with
-      | Some v -> v
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some cell -> (
+          match project cell with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %S already registered as a %s" name
+                   (describe cell)))
       | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %S already registered as a %s" name
-               (describe cell)))
-  | None ->
-      let v = make () in
-      Hashtbl.replace registry name v;
-      (match project v with Some v -> v | None -> assert false)
+          let v = make () in
+          Hashtbl.replace registry name v;
+          (match project v with Some v -> v | None -> assert false))
 
 let describe = function C _ -> "counter" | G _ -> "gauge" | T _ -> "timer"
 
 let counter name =
   register name
-    (fun () -> C { c = 0 })
+    (fun () -> C (Atomic.make 0))
     (function C c -> Some c | _ -> None)
     describe
 
@@ -44,17 +58,18 @@ let timer name =
     describe
 
 (* Mutators: a single flag test on the fast path; when disabled they are
-   no-ops so instrumented code pays (almost) nothing. *)
+   no-ops so instrumented code pays (almost) nothing.  Counter updates
+   are atomic fetch-and-adds and stay lock-free under Pool fan-out. *)
 
-let incr c = if !on then c.c <- c.c + 1
-let add c n = if !on then c.c <- c.c + n
-let count c = c.c
+let incr c = if !on then Atomic.incr c
+let add c n = if !on then ignore (Atomic.fetch_and_add c n)
+let count c = Atomic.get c
 
 let set_gauge g v =
-  if !on then begin
-    g.g <- v;
-    if v > g.g_peak then g.g_peak <- v
-  end
+  if !on then
+    locked (fun () ->
+        g.g <- v;
+        if v > g.g_peak then g.g_peak <- v)
 
 let gauge_value g = g.g
 let gauge_peak g = g.g_peak
@@ -62,10 +77,10 @@ let gauge_peak g = g.g_peak
 let now_ns () = Int64.to_float (Monotonic_clock.now ())
 
 let add_ns t dt =
-  if !on then begin
-    t.ns <- t.ns +. dt;
-    t.calls <- t.calls + 1
-  end
+  if !on then
+    locked (fun () ->
+        t.ns <- t.ns +. dt;
+        t.calls <- t.calls + 1)
 
 let time t f =
   if not !on then f ()
@@ -73,8 +88,7 @@ let time t f =
     let t0 = Monotonic_clock.now () in
     Fun.protect
       ~finally:(fun () ->
-        t.ns <- t.ns +. Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0);
-        t.calls <- t.calls + 1)
+        add_ns t (Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0)))
       f
   end
 
@@ -89,28 +103,33 @@ type sample =
   | Span of { ns : float; calls : int }
 
 let sample_of_cell = function
-  | C c -> Count c.c
+  | C c -> Count (Atomic.get c)
   | G g -> Level { value = g.g; peak = g.g_peak }
   | T t -> Span { ns = t.ns; calls = t.calls }
 
 let snapshot () =
-  Hashtbl.fold (fun name cell acc -> (name, sample_of_cell cell) :: acc) registry []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name cell acc -> (name, sample_of_cell cell) :: acc)
+        registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let sample name = Option.map sample_of_cell (Hashtbl.find_opt registry name)
+let sample name =
+  locked (fun () -> Option.map sample_of_cell (Hashtbl.find_opt registry name))
 
 let reset () =
-  Hashtbl.iter
-    (fun _ cell ->
-      match cell with
-      | C c -> c.c <- 0
-      | G g ->
-          g.g <- 0.0;
-          g.g_peak <- 0.0
-      | T t ->
-          t.ns <- 0.0;
-          t.calls <- 0)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ cell ->
+          match cell with
+          | C c -> Atomic.set c 0
+          | G g ->
+              g.g <- 0.0;
+              g.g_peak <- 0.0
+          | T t ->
+              t.ns <- 0.0;
+              t.calls <- 0)
+        registry)
 
 let json_of_sample = function
   | Count n -> Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]

@@ -9,9 +9,11 @@
 
     Names are dot-separated, [<subsystem>.<quantity>] — the full list
     lives in [docs/OBSERVABILITY.md].  The registry is global and
-    single-domain (as is the whole code base); {!reset} zeroes all values
-    but keeps registrations, which is how the benchmark harness isolates
-    per-scenario snapshots. *)
+    domain-safe: counter updates are lock-free atomics, while gauge/timer
+    mutation and the registry itself are mutex-guarded, so instrumented
+    code can run under [Pool] fan-out without races.  {!reset} zeroes all
+    values but keeps registrations, which is how the benchmark harness
+    isolates per-scenario snapshots. *)
 
 type counter
 type gauge

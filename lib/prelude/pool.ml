@@ -1,0 +1,70 @@
+(* A small fixed-size Domain work pool.  This module is the only place in
+   the tree (outside lib/metrics) allowed to touch Domain/Atomic — the
+   cmvrp_lint rule [domain-confine] enforces that, so every parallel code
+   path in the solvers goes through this deterministic-order facade. *)
+
+let default_workers =
+  (* One worker per recommended domain, capped: the fan-outs this pool
+     serves (oracle probes, per-cube plans, bench scenarios) are
+     coarse-grained, so a handful of domains already saturates them. *)
+  let r = Domain.recommended_domain_count () in
+  if r < 1 then 1 else if r > 8 then 8 else r
+
+let workers_ref = ref default_workers
+
+let set_workers n =
+  if n < 1 then invalid_arg "Pool.set_workers: need at least one worker";
+  workers_ref := n
+
+let workers () = !workers_ref
+
+(* Each task's outcome is written to its own slot, so result order is the
+   input order no matter which domain ran what.  Tasks are handed out by
+   an atomic cursor: domains race for indices, never for slots. *)
+type 'a outcome = Pending | Done of 'a | Raised of exn
+
+let run_tasks n f =
+  let w = min (workers ()) n in
+  if n = 0 then [||]
+  else if w <= 1 then Array.init n (fun i -> Done (f i))
+  else begin
+    let slots = Array.make n Pending in
+    let cursor = Atomic.make 0 in
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (slots.(i) <- (try Done (f i) with e -> Raised e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (w - 1) (fun _ -> Domain.spawn work) in
+    (* The calling domain is worker zero; it joins the rest afterwards so
+       a raising task can never leave a domain running. *)
+    work ();
+    Array.iter Domain.join spawned;
+    slots
+  end
+
+let reraise_first slots =
+  (* Deterministic failure: the lowest-index raising task wins, matching
+     what a sequential left-to-right run would have thrown first. *)
+  Array.iter (function Raised e -> raise e | _ -> ()) slots
+
+let map f xs =
+  let slots = run_tasks (Array.length xs) (fun i -> f xs.(i)) in
+  reraise_first slots;
+  Array.map (function Done v -> v | Pending | Raised _ -> assert false) slots
+
+let init n f =
+  if n < 0 then invalid_arg "Pool.init: negative size";
+  let slots = run_tasks n f in
+  reraise_first slots;
+  Array.map (function Done v -> v | Pending | Raised _ -> assert false) slots
+
+let both f g =
+  match init 2 (fun i -> if i = 0 then Either.Left (f ()) else Either.Right (g ())) with
+  | [| Either.Left a; Either.Right b |] -> (a, b)
+  | _ -> assert false

@@ -1,0 +1,35 @@
+(** Fixed-size [Domain] work pool with deterministic result order.
+
+    The solvers fan out coarse independent units of work — oracle
+    feasibility probes, per-cube planning, benchmark scenarios — through
+    this module instead of touching [Domain]/[Atomic] directly (the
+    cmvrp_lint rule [domain-confine] reserves those for here and for
+    [lib/metrics]).  Results always come back in input order, and with a
+    single worker every function degrades to a plain sequential loop in
+    the calling domain, so output (and [Metrics]) determinism is
+    preserved by construction at [workers () = 1].
+
+    Exceptions: if any task raises, the pool finishes or hands back all
+    in-flight work, joins every domain, and re-raises the exception of
+    the {e lowest-indexed} failing task — the same exception a
+    sequential left-to-right run would have thrown first. *)
+
+val default_workers : int
+(** [Domain.recommended_domain_count ()] clamped to [1..8]. *)
+
+val set_workers : int -> unit
+(** Sets the pool width for subsequent calls (at least 1).  Width 1
+    means strictly sequential execution in the calling domain. *)
+
+val workers : unit -> int
+
+val map : ('a -> 'b) -> 'a array -> 'b array
+(** [map f xs] applies [f] to every element, possibly in parallel;
+    [(map f xs).(i) = f xs.(i)] always. *)
+
+val init : int -> (int -> 'a) -> 'a array
+(** Parallel [Array.init] with the same ordering guarantee. *)
+
+val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [both f g] runs the two thunks (in parallel when workers allow) and
+    returns both results. *)

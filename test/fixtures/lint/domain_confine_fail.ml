@@ -1,0 +1,7 @@
+(* Raw concurrency primitives outside the sanctioned modules: all three
+   uses below must be flagged. *)
+
+let cell = Atomic.make 0
+let lock = Mutex.create ()
+let compute () = ignore (Domain.spawn (fun () -> cell))
+let use () = ignore lock

@@ -1,0 +1,9 @@
+(* lib/metrics may lock and use atomics for its registry. *)
+
+let lock = Mutex.create ()
+let hits = Atomic.make 0
+
+let bump () =
+  Mutex.lock lock;
+  Atomic.incr hits;
+  Mutex.unlock lock

@@ -1,0 +1,1 @@
+val bump : unit -> unit

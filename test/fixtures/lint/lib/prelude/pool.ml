@@ -1,0 +1,8 @@
+(* The real lib/prelude/pool.ml is the sanctioned home of Domain/Atomic;
+   this fixture mirrors its shape and must produce no diagnostics. *)
+
+let cursor = Atomic.make 0
+
+let run f =
+  let d = Domain.spawn (fun () -> f (Atomic.fetch_and_add cursor 1)) in
+  Domain.join d

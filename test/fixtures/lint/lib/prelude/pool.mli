@@ -1,0 +1,1 @@
+val run : (int -> 'a) -> 'a

@@ -11,6 +11,27 @@ let test_binomial () =
   Alcotest.(check int) "negative k" 0 (Ball.binomial 4 (-1));
   Alcotest.(check int) "C(20,10)" 184756 (Ball.binomial 20 10)
 
+let test_binomial_overflow_boundary () =
+  (* C(34,17) is the largest central coefficient whose multiplicative
+     recurrence stays within 63-bit ints on this path; it must come out
+     exact, while a clearly out-of-range request must raise instead of
+     silently wrapping. *)
+  Alcotest.(check int) "C(34,17)" 2333606220 (Ball.binomial 34 17);
+  (match Ball.binomial 100 50 with
+  | exception Energy.Overflow _ -> ()
+  | v -> Alcotest.failf "C(100,50) returned %d instead of raising" v)
+
+let test_ball_volume_symmetry () =
+  (* Σ_k 2^k C(d,k) C(r,k) is symmetric in (dim, radius). *)
+  for a = 1 to 6 do
+    for b = 0 to 6 do
+      Alcotest.(check int)
+        (Printf.sprintf "dim=%d r=%d" a b)
+        (Ball.ball_volume ~dim:a ~radius:b)
+        (Ball.ball_volume ~dim:b ~radius:a)
+    done
+  done
+
 let test_ball_volume_known () =
   (* 1-D: 2r+1; 2-D diamond: 2r^2+2r+1. *)
   Alcotest.(check int) "1d r=3" 7 (Ball.ball_volume ~dim:1 ~radius:3);
@@ -105,6 +126,73 @@ let test_neighborhood_size_non_box () =
       (Ball.neighborhood_size l_shape ~radius:r)
   done
 
+let test_frontier_matches_shells () =
+  let pts = [ point2 0 0; point2 2 1; point2 0 0 ] in
+  let shells = Ball.dilate_shells pts ~max_radius:4 in
+  let f = Ball.frontier pts in
+  Alcotest.(check int) "starts at radius 0" 0 (Ball.frontier_radius f);
+  Alcotest.(check (list (list int)))
+    "shell 0 is the deduplicated seed"
+    (List.map Array.to_list shells.(0))
+    (List.map Array.to_list (Ball.frontier_shell f));
+  for r = 1 to 4 do
+    let shell = Ball.expand f in
+    Alcotest.(check int) "radius advanced" r (Ball.frontier_radius f);
+    Alcotest.(check (list (list int)))
+      (Printf.sprintf "shell %d" r)
+      (List.map Array.to_list shells.(r))
+      (List.map Array.to_list shell);
+    Alcotest.(check int)
+      (Printf.sprintf "size %d" r)
+      (Point.Set.cardinal (Ball.dilate_set pts ~radius:r))
+      (Ball.frontier_size f)
+  done
+
+let test_iter_sphere_matches_shell () =
+  let center = [| 1; -2 |] in
+  for r = 0 to 4 do
+    let collected = ref [] in
+    Ball.iter_sphere ~center ~radius:r (fun p ->
+        collected := Array.copy p :: !collected);
+    let set = Point.Set.of_list !collected in
+    Alcotest.(check int)
+      (Printf.sprintf "no duplicates r=%d" r)
+      (List.length !collected) (Point.Set.cardinal set);
+    let expected =
+      if r = 0 then Point.Set.singleton center
+      else
+        Point.Set.diff
+          (Ball.dilate_set [ center ] ~radius:r)
+          (Ball.dilate_set [ center ] ~radius:(r - 1))
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "sphere = shell r=%d" r)
+      true
+      (Point.Set.equal set expected)
+  done;
+  let count = ref 0 in
+  Ball.iter_sphere ~center:[| 0; 0; 0 |] ~radius:3 (fun _ -> incr count);
+  Alcotest.(check int) "3d sphere cardinality"
+    (Ball.ball_volume ~dim:3 ~radius:3 - Ball.ball_volume ~dim:3 ~radius:2)
+    !count
+
+let prop_dilate_shells_accumulate =
+  QCheck.Test.make
+    ~name:"dilate_shells accumulated to r = dilate_set at r" ~count:60
+    QCheck.(
+      pair
+        (list_of_size Gen.(1 -- 5)
+           (pair (int_range (-3) 3) (int_range (-3) 3)))
+        (int_range 0 4))
+    (fun (coords, r) ->
+      let pts = List.map (fun (x, y) -> point2 x y) coords in
+      let shells = Ball.dilate_shells pts ~max_radius:r in
+      let acc = List.concat (Array.to_list shells) in
+      let acc_set = Point.Set.of_list acc in
+      (* shells partition the ball: no duplicates across (or within) shells *)
+      List.length acc = Point.Set.cardinal acc_set
+      && Point.Set.equal acc_set (Ball.dilate_set pts ~radius:r))
+
 let prop_closed_form_matches_bfs =
   QCheck.Test.make ~name:"box_ball_volume = BFS dilation (random 2d boxes)"
     ~count:60
@@ -125,6 +213,10 @@ let prop_dilation_monotone =
 let suite =
   [
     Alcotest.test_case "binomial" `Quick test_binomial;
+    Alcotest.test_case "binomial overflow boundary" `Quick
+      test_binomial_overflow_boundary;
+    Alcotest.test_case "ball volume (dim,radius) symmetry" `Quick
+      test_ball_volume_symmetry;
     Alcotest.test_case "ball volume known values" `Quick test_ball_volume_known;
     Alcotest.test_case "ball volume vs BFS" `Quick test_ball_volume_vs_bfs;
     Alcotest.test_case "cube ball vs BFS (2d)" `Quick test_cube_ball_volume_vs_bfs;
@@ -134,6 +226,11 @@ let suite =
     Alcotest.test_case "shells sum to dilation" `Quick test_shell_sizes_sum_to_ball;
     Alcotest.test_case "rectangle closed form" `Quick test_box_ball_volume_rectangle;
     Alcotest.test_case "non-box falls back to BFS" `Quick test_neighborhood_size_non_box;
+    Alcotest.test_case "frontier matches dilate_shells" `Quick
+      test_frontier_matches_shells;
+    Alcotest.test_case "iter_sphere matches shell" `Quick
+      test_iter_sphere_matches_shell;
+    QCheck_alcotest.to_alcotest prop_dilate_shells_accumulate;
     QCheck_alcotest.to_alcotest prop_closed_form_matches_bfs;
     QCheck_alcotest.to_alcotest prop_dilation_monotone;
   ]

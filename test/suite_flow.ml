@@ -119,6 +119,85 @@ let test_flow_conservation () =
     done
   done
 
+(* Arena semantics: reset, warm-started capacity raises, mark/rewind. *)
+
+let test_arena_reset () =
+  let net = Maxflow.create 4 in
+  ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:4);
+  ignore (Maxflow.add_edge net ~src:1 ~dst:3 ~cap:4);
+  ignore (Maxflow.add_edge net ~src:0 ~dst:2 ~cap:2);
+  ignore (Maxflow.add_edge net ~src:2 ~dst:3 ~cap:5);
+  Alcotest.(check int) "first run" 6 (Maxflow.max_flow net ~source:0 ~sink:3);
+  Alcotest.(check int) "saturated" 0 (Maxflow.max_flow net ~source:0 ~sink:3);
+  Maxflow.reset net;
+  Alcotest.(check int) "after reset" 6 (Maxflow.max_flow net ~source:0 ~sink:3)
+
+let test_set_even_caps_warm_start () =
+  let net = Maxflow.create 2 in
+  let e = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:3 in
+  Alcotest.(check int) "cold run" 3 (Maxflow.max_flow net ~source:0 ~sink:1);
+  Maxflow.set_even_caps net [| e |] 5;
+  Alcotest.(check int) "flow preserved across raise" 3 (Maxflow.flow_on net e);
+  Alcotest.(check int) "increment only" 2 (Maxflow.max_flow net ~source:0 ~sink:1);
+  Alcotest.(check int) "total routed" 5 (Maxflow.flow_on net e);
+  (match Maxflow.set_even_caps net [| e |] 2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "lowering below the routed flow must raise")
+
+let test_mark_rewind () =
+  let net = Maxflow.create 3 in
+  let a = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:2 in
+  ignore (Maxflow.add_edge net ~src:1 ~dst:2 ~cap:4);
+  Alcotest.(check int) "cold run" 2 (Maxflow.max_flow net ~source:0 ~sink:2);
+  Maxflow.mark net;
+  Maxflow.set_even_caps net [| a |] 4;
+  Alcotest.(check int) "probe pushes more" 2 (Maxflow.max_flow net ~source:0 ~sink:2);
+  Maxflow.rewind net;
+  Alcotest.(check int) "flow restored" 2 (Maxflow.flow_on net a);
+  Alcotest.(check int) "nothing left to push" 0
+    (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_rewind_guards () =
+  let net = Maxflow.create 2 in
+  ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:1);
+  (match Maxflow.rewind net with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rewind without mark must raise");
+  let net2 = Maxflow.create 3 in
+  ignore (Maxflow.add_edge net2 ~src:0 ~dst:1 ~cap:1);
+  Maxflow.mark net2;
+  ignore (Maxflow.add_edge net2 ~src:1 ~dst:2 ~cap:1);
+  (match Maxflow.rewind net2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "rewind after add_edge must raise")
+
+let test_warm_start_matches_cold () =
+  (* Raising a parametric source edge level by level and summing the
+     warm-started increments must land on the same value a cold run at
+     the final level computes. *)
+  let rng = Rng.create 90210 in
+  for _ = 1 to 40 do
+    let n, edges = random_network rng in
+    let warm = Maxflow.create (n + 1) in
+    let cold = Maxflow.create (n + 1) in
+    let src_w = Maxflow.add_edge warm ~src:n ~dst:0 ~cap:0 in
+    let src_c = Maxflow.add_edge cold ~src:n ~dst:0 ~cap:0 in
+    List.iter
+      (fun (u, v, c) ->
+        ignore (Maxflow.add_edge warm ~src:u ~dst:v ~cap:c);
+        ignore (Maxflow.add_edge cold ~src:u ~dst:v ~cap:c))
+      edges;
+    let total = ref 0 in
+    for level = 1 to 4 do
+      Maxflow.set_even_caps warm [| src_w |] (level * 3);
+      total := !total + Maxflow.max_flow warm ~source:n ~sink:(n - 1)
+    done;
+    Maxflow.set_even_caps cold [| src_c |] 12;
+    Alcotest.(check int) "warm increments sum to cold value"
+      (Maxflow.max_flow cold ~source:n ~sink:(n - 1))
+      !total
+  done
+
 let suite =
   [
     Alcotest.test_case "single edge" `Quick test_single_edge;
@@ -130,4 +209,11 @@ let suite =
     Alcotest.test_case "matches brute force" `Quick test_matches_brute_force;
     Alcotest.test_case "min cut certifies" `Quick test_min_cut_side_certifies;
     Alcotest.test_case "flow conservation" `Quick test_flow_conservation;
+    Alcotest.test_case "arena reset" `Quick test_arena_reset;
+    Alcotest.test_case "set_even_caps warm start" `Quick
+      test_set_even_caps_warm_start;
+    Alcotest.test_case "mark/rewind" `Quick test_mark_rewind;
+    Alcotest.test_case "rewind guards" `Quick test_rewind_guards;
+    Alcotest.test_case "warm start matches cold" `Quick
+      test_warm_start_matches_cold;
   ]

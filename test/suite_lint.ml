@@ -54,6 +54,12 @@ let test_catch_all () =
   check_rules "catch_all_fail.ml" [ "catch-all" ];
   check_rules "catch_all_pass.ml" []
 
+let test_domain_confine () =
+  check_rules "domain_confine_fail.ml"
+    [ "domain-confine"; "domain-confine"; "domain-confine" ];
+  check_rules "lib/prelude/pool.ml" [];
+  check_rules "lib/metrics/locking_pass.ml" []
+
 let test_waiver () = check_rules "waiver.ml" []
 let test_clean () = check_rules "clean.ml" []
 
@@ -62,7 +68,7 @@ let test_clean () = check_rules "clean.ml" []
    broken fixture would surface as a [parse-error] diagnostic). *)
 let test_fixture_tree () =
   let _, diags = Lint_rules.run [ fixture "" ] in
-  Alcotest.(check int) "total violations" 20 (List.length diags);
+  Alcotest.(check int) "total violations" 23 (List.length diags);
   let seen =
     List.sort_uniq String.compare
       (List.map (fun d -> d.Lint_rules.rule) diags)
@@ -141,6 +147,7 @@ let suite =
     Alcotest.test_case "unsafe-array fixtures" `Quick test_unsafe_array;
     Alcotest.test_case "energy-arith fixtures" `Quick test_energy_arith;
     Alcotest.test_case "catch-all fixtures" `Quick test_catch_all;
+    Alcotest.test_case "domain-confine fixtures" `Quick test_domain_confine;
     Alcotest.test_case "waivers suppress diagnostics" `Quick test_waiver;
     Alcotest.test_case "clean fixture" `Quick test_clean;
     Alcotest.test_case "whole fixture tree" `Quick test_fixture_tree;

@@ -1,0 +1,78 @@
+(* The Domain pool facade: results in input order at any width,
+   sequential degradation at one worker, and the sequential
+   left-to-right exception choice even under parallel execution. *)
+
+let with_workers n f =
+  let saved = Pool.workers () in
+  Pool.set_workers n;
+  Fun.protect ~finally:(fun () -> Pool.set_workers saved) f
+
+exception Boom of int
+
+let test_map_order () =
+  List.iter
+    (fun w ->
+      with_workers w (fun () ->
+          let xs = Array.init 37 (fun i -> i) in
+          let ys = Pool.map (fun x -> (x * x) + 1) xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "order at %d workers" w)
+            (Array.init 37 (fun i -> (i * i) + 1))
+            ys))
+    [ 1; 2; 4 ]
+
+let test_map_empty () =
+  with_workers 2 (fun () ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map (fun x -> x) [||]))
+
+let test_init () =
+  with_workers 3 (fun () ->
+      Alcotest.(check (array int))
+        "init" [| 0; 1; 4; 9 |]
+        (Pool.init 4 (fun i -> i * i));
+      Alcotest.(check (array int)) "empty" [||] (Pool.init 0 (fun i -> i));
+      match Pool.init (-1) (fun i -> i) with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "negative size must raise")
+
+let test_both () =
+  with_workers 2 (fun () ->
+      let a, b = Pool.both (fun () -> 6 * 7) (fun () -> "ok") in
+      Alcotest.(check int) "left" 42 a;
+      Alcotest.(check string) "right" "ok" b)
+
+let test_lowest_exception_wins () =
+  List.iter
+    (fun w ->
+      with_workers w (fun () ->
+          match
+            Pool.map
+              (fun i -> if i = 2 || i = 5 then raise (Boom i) else i)
+              (Array.init 8 (fun i -> i))
+          with
+          | exception Boom i ->
+              Alcotest.(check int)
+                (Printf.sprintf "lowest index at %d workers" w)
+                2 i
+          | _ -> Alcotest.fail "expected Boom"))
+    [ 1; 3 ]
+
+let test_set_workers_validation () =
+  (match Pool.set_workers 0 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "zero workers must raise");
+  Alcotest.(check bool) "default at least one" true (Pool.default_workers >= 1);
+  with_workers 5 (fun () ->
+      Alcotest.(check int) "width is what was set" 5 (Pool.workers ()))
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_order;
+    Alcotest.test_case "map on empty input" `Quick test_map_empty;
+    Alcotest.test_case "init" `Quick test_init;
+    Alcotest.test_case "both" `Quick test_both;
+    Alcotest.test_case "lowest-index exception wins" `Quick
+      test_lowest_exception_wins;
+    Alcotest.test_case "set_workers validation" `Quick
+      test_set_workers_validation;
+  ]

@@ -95,6 +95,80 @@ let test_primal_equals_dual_random () =
         (Transport.min_uniform_supply t ~scale = None)
   done
 
+let test_add_supplier_and_links () =
+  let t = Transport.create ~n_suppliers:1 ~n_demands:2 in
+  Alcotest.(check int) "initial suppliers" 1 (Transport.n_suppliers t);
+  Alcotest.(check int) "first grown index" 1 (Transport.add_supplier t);
+  Alcotest.(check int) "second grown index" 2 (Transport.add_supplier t);
+  Alcotest.(check int) "grown count" 3 (Transport.n_suppliers t);
+  Alcotest.(check int) "no links yet" 0 (Transport.n_links t);
+  Transport.add_link t ~supplier:2 ~demand:1;
+  Transport.add_link t ~supplier:0 ~demand:0;
+  Transport.add_link t ~supplier:1 ~demand:1;
+  Alcotest.(check int) "three links" 3 (Transport.n_links t);
+  let seen = ref [] in
+  Transport.iter_links t (fun ~supplier ~demand ->
+      seen := (supplier, demand) :: !seen);
+  Alcotest.(check (list (pair int int)))
+    "insertion order"
+    [ (2, 1); (0, 0); (1, 1) ]
+    (List.rev !seen);
+  (* Grown suppliers behave like constructor-declared ones. *)
+  Transport.set_demand t 0 2;
+  Transport.set_demand t 1 4;
+  Alcotest.(check int) "served via grown suppliers" 6
+    (Transport.max_served t ~supply:(fun _ -> 2))
+
+(* A naive reference for [min_uniform_supply], built from the public API:
+   copy the instance with demands multiplied by [scale], then bisect the
+   smallest integer uniform supply that is feasible.  This is exactly the
+   search the warm-started Newton iteration replaced, so the two must
+   agree bit for bit. *)
+let reference_min_uniform_supply t ~scale =
+  let s = Transport.n_suppliers t and d = Transport.n_demands t in
+  let c = Transport.create ~n_suppliers:s ~n_demands:d in
+  let linked = Array.make (max d 1) false in
+  for j = 0 to d - 1 do
+    Transport.set_demand c j (Transport.demand t j * scale)
+  done;
+  Transport.iter_links t (fun ~supplier ~demand ->
+      Transport.add_link c ~supplier ~demand;
+      linked.(demand) <- true);
+  let unlinked = ref false in
+  for j = 0 to d - 1 do
+    if Transport.demand t j > 0 && not linked.(j) then unlinked := true
+  done;
+  if !unlinked then None
+  else begin
+    let lo = ref 0 and hi = ref (max 1 (Transport.total_demand c)) in
+    while not (Transport.feasible c ~supply:(fun _ -> !hi)) do
+      hi := !hi * 2
+    done;
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Transport.feasible c ~supply:(fun _ -> mid) then hi := mid
+      else lo := mid + 1
+    done;
+    Some (float_of_int !lo /. float_of_int scale)
+  end
+
+let prop_newton_matches_reference_bisection =
+  QCheck.Test.make
+    ~name:"min_uniform_supply = reference bisection (random instances)"
+    ~count:150
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let t = random_instance rng in
+      let scale = 60 in
+      match
+        ( Transport.min_uniform_supply t ~scale,
+          reference_min_uniform_supply t ~scale )
+      with
+      | None, None -> true
+      | Some a, Some b -> a = b
+      | Some _, None | None, Some _ -> false)
+
 let test_max_served_monotone_in_supply () =
   let rng = Rng.create 4242 in
   for _ = 1 to 50 do
@@ -116,4 +190,7 @@ let suite =
     Alcotest.test_case "dual exhaustive known" `Quick test_dual_value_exhaustive_known;
     Alcotest.test_case "primal = dual (Lemma 2.2.2)" `Quick test_primal_equals_dual_random;
     Alcotest.test_case "served monotone in supply" `Quick test_max_served_monotone_in_supply;
+    Alcotest.test_case "add_supplier and link iteration" `Quick
+      test_add_supplier_and_links;
+    QCheck_alcotest.to_alcotest prop_newton_matches_reference_bisection;
   ]

@@ -4,6 +4,7 @@ let () =
       ("rng", Suite_rng.suite);
       ("stats", Suite_stats.suite);
       ("table", Suite_table.suite);
+      ("pool", Suite_pool.suite);
       ("grid", Suite_grid.suite);
       ("ball", Suite_ball.suite);
       ("snake", Suite_snake.suite);

@@ -18,6 +18,7 @@ let rule_ids =
     "unsafe-array";
     "energy-arith";
     "catch-all";
+    "domain-confine";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -99,6 +100,10 @@ type ctx = {
   in_lib : bool;  (** a [lib] path component is present *)
   in_lib_metrics : bool;
   in_lib_flow : bool;
+  domain_ok : bool;
+      (** [lib/prelude/pool.ml] and [lib/metrics/] may use Domain/Atomic
+          (and the mutexes Metrics locks with); everyone else goes through
+          the [Pool] facade. *)
   energy_impl : bool;  (** [energy.ml] itself implements the checks *)
   waivers : (int, string list) Hashtbl.t;
   diags : diagnostic list ref;
@@ -264,6 +269,16 @@ let check_ident ctx lid loc =
               the max-flow hot path"
              (dotted lid))
   | _ -> ());
+  (* Rule: domain-confine. *)
+  (match comps with
+  | ("Domain" | "Atomic" | "Mutex" | "Condition") :: _ :: _ when not ctx.domain_ok ->
+      emit ctx ~rule:"domain-confine" ~loc
+        (Printf.sprintf
+           "`%s` outside lib/prelude/pool.ml and lib/metrics — parallelism \
+            goes through the deterministic Pool facade, and only Metrics \
+            carries its own locking"
+           (dotted lid))
+  | _ -> ());
   (* Rule: print-in-lib. *)
   if ctx.in_lib && not ctx.in_lib_metrics && List.mem comps console_printers then
     emit ctx ~rule:"print-in-lib" ~loc
@@ -418,6 +433,10 @@ let lint_one ~diags ~metric_regs path =
       in_lib = has_component comps "lib";
       in_lib_metrics = has_component_pair comps "lib" "metrics";
       in_lib_flow = has_component_pair comps "lib" "flow";
+      domain_ok =
+        has_component_pair comps "lib" "metrics"
+        || (has_component_pair comps "lib" "prelude"
+           && Filename.basename path = "pool.ml");
       energy_impl = Filename.basename path = "energy.ml";
       waivers = waivers_of_source src;
       diags;
