@@ -386,9 +386,12 @@ let e8 () =
               Online.faults =
                 {
                   Online.no_faults with
-                  Online.silent_initiators = List.init 500 (fun i -> i);
+                  Online.silent_initiators =
+                    List.init (Online.fleet_size base w) (fun i -> i);
                 };
             } );
+          ( "chaos: drop 0.2 dup 0.1",
+            { base with Online.chaos = Des.faults ~drop_p:0.2 ~dup_p:0.1 () } );
           ( "3: two deaths",
             {
               base with
@@ -1084,9 +1087,18 @@ let json_scenarios ~quick =
             Online.faults =
               {
                 Online.no_faults with
-                Online.silent_initiators = List.init 500 (fun i -> i);
+                Online.silent_initiators =
+                  List.init (Online.fleet_size base w) (fun i -> i);
               };
           }
+        in
+        ignore (Online.run cfg w) );
+    ( "online/chaos",
+      fun () ->
+        let w = Workload.point ~total:(scale 400) () in
+        let base = Online.recommended w in
+        let cfg =
+          { base with Online.chaos = Des.faults ~drop_p:0.2 ~dup_p:0.1 () }
         in
         ignore (Online.run cfg w) );
   ]

@@ -229,16 +229,63 @@ let simulate_cmd =
       & info [ "trace" ] ~doc:"Print every protocol event (retirements, \
                                diffusing computations, replacements).")
   in
-  let run spec capacity cube_side kills silent find_min trace =
+  let drop_p =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-p" ]
+          ~doc:"Probability that a channel silently drops each message.")
+  in
+  let dup_p =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup-p" ]
+          ~doc:"Probability that a channel delivers each message twice.")
+  in
+  let partition =
+    Arg.(
+      value
+      & opt (list (pair ~sep:':' int int)) []
+      & info [ "partition" ]
+          ~doc:"Vehicle pairs a:b whose link is cut for the whole run.")
+  in
+  let no_retries =
+    Arg.(
+      value & flag
+      & info [ "no-retries" ]
+          ~doc:
+            "Disable the ack/retry reliable-delivery layer.  Under a lossy \
+             channel this is how to watch the livelock guard fire.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 100_000
+      & info [ "budget" ]
+          ~doc:"Events dispatched per network drain before declaring a livelock.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Exit 1 unless every job was served (for CI smoke jobs).")
+  in
+  let run spec capacity cube_side kills silent find_min trace drop_p dup_p
+      partition no_retries budget check =
     let w = realize spec in
     let recommended = Online.recommended ~seed:spec.seed w in
     let cfg =
-      {
-        recommended with
-        Online.capacity = Option.value ~default:recommended.Online.capacity capacity;
-        side = Option.value ~default:recommended.Online.side cube_side;
-        faults = { Online.silent_initiators = silent; deaths = kills; longevity = [] };
-      }
+      try
+        Online.config ~comm_radius:recommended.Online.comm_radius
+          ~seed:spec.seed
+          ~faults:
+            { Online.silent_initiators = silent; deaths = kills; longevity = [] }
+          ~chaos:(Des.faults ~drop_p ~dup_p ())
+          ~partitions:partition ~retries:(not no_retries) ~quiesce_budget:budget
+          ~capacity:(Option.value ~default:recommended.Online.capacity capacity)
+          ~side:(Option.value ~default:recommended.Online.side cube_side)
+          ()
+      with Invalid_argument m ->
+        Printf.eprintf "simulate: %s\n" m;
+        exit 2
     in
     if find_min then begin
       let m = Online.min_feasible_capacity ~seed:spec.seed ~side:cfg.Online.side w in
@@ -269,7 +316,12 @@ let simulate_cmd =
             | Online.Search_starved { pair } ->
                 Printf.printf "  [starved]     no idle vehicle for pair %d\n" pair)
       in
-      let o = Online.run ?observer cfg w in
+      let o =
+        try Online.run ?observer cfg w
+        with Invalid_argument m ->
+          Printf.eprintf "simulate: %s\n" m;
+          exit 2
+      in
       Printf.printf "workload      : %s\n" w.Workload.name;
       Printf.printf "capacity/side : %.2f / %d\n" cfg.Online.capacity cfg.Online.side;
       Printf.printf "served        : %d/%d\n" o.Online.served
@@ -277,6 +329,13 @@ let simulate_cmd =
       Printf.printf "peak energy   : %.2f\n" o.Online.max_energy_used;
       Printf.printf "replacements  : %d (%d diffusing computations, %d messages)\n"
         o.Online.replacements o.Online.computations o.Online.messages;
+      if drop_p > 0.0 || dup_p > 0.0 || partition <> [] || o.Online.livelocks > 0
+      then
+        Printf.printf
+          "channel chaos : %d dropped, %d duplicated, %d retransmissions, %d \
+           livelock(s)\n"
+          o.Online.drops o.Online.dups o.Online.retries_sent o.Online.livelocks;
+      Printf.printf "trace digest  : %016x\n" o.Online.trace_digest;
       List.iter
         (fun f ->
           Printf.printf "FAILED job %d at %s: %s\n" f.Online.job
@@ -284,7 +343,10 @@ let simulate_cmd =
             f.Online.reason)
         o.Online.failures;
       if Online.succeeded o then print_endline "outcome       : SUCCESS"
-      else print_endline "outcome       : FAILURE"
+      else begin
+        print_endline "outcome       : FAILURE";
+        if check then exit 1
+      end
     end
   in
   let doc = "Run the Chapter 3 distributed online strategy." in
@@ -292,7 +354,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ spec_term $ capacity $ cube_side $ kills $ silent $ find_min
-      $ trace)
+      $ trace $ drop_p $ dup_p $ partition $ no_retries $ budget $ check)
 
 (* --- bench-diff subcommand --- *)
 

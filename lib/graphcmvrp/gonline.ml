@@ -350,7 +350,10 @@ let dispatch w ~time:_ ~src ~dst msg =
 let run inst ~jobs cfg =
   if cfg.capacity <= 0.0 then invalid_arg "Gonline.run: capacity must be positive";
   let w = build inst cfg in
-  let quiesce () = Des.run_until_quiescent w.des ~handler:(dispatch w) in
+  let quiesce () =
+    let (_ : Des.outcome) = Des.run_until_quiescent w.des ~handler:(dispatch w) in
+    ()
+  in
   Array.iter
     (fun x ->
       if x < 0 || x >= Gcmvrp.n_vertices inst then

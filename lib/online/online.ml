@@ -4,6 +4,9 @@ let m_computations = Metrics.counter "online.computations"
 let m_replacements = Metrics.counter "online.replacements"
 let m_monitor_timeouts = Metrics.counter "online.monitor_timeouts"
 let m_starved_searches = Metrics.counter "online.starved_searches"
+let m_heartbeats = Metrics.counter "online.heartbeats"
+let m_retries = Metrics.counter "online.retries"
+let m_retry_exhausted = Metrics.counter "online.retry_exhausted"
 
 type fault_plan = {
   silent_initiators : int list;
@@ -19,13 +22,41 @@ type config = {
   comm_radius : int;
   seed : int;
   faults : fault_plan;
+  chaos : Des.faults;
+  partitions : (int * int) list;
+  retries : bool;
+  quiesce_budget : int;
 }
 
-let config ?(comm_radius = 2) ?(seed = 0) ?(faults = no_faults) ~capacity ~side () =
+(* Shape checks that need no fleet size; id ranges are checked in [build]
+   once the window (and hence the fleet) is known. *)
+let validate_plan plan =
+  List.iter
+    (fun (k, id) ->
+      if k < 0 then
+        invalid_arg
+          (Printf.sprintf "Online: death of vehicle %d at negative job index %d"
+             id k))
+    plan.deaths;
+  List.iter
+    (fun (id, p) ->
+      if not (p >= 0.0 && p <= 1.0) then
+        invalid_arg
+          (Printf.sprintf
+             "Online: longevity fraction %g of vehicle %d outside [0,1]" p id))
+    plan.longevity
+
+let config ?(comm_radius = 2) ?(seed = 0) ?(faults = no_faults)
+    ?(chaos = Des.reliable) ?(partitions = []) ?(retries = true)
+    ?(quiesce_budget = 100_000) ~capacity ~side () =
   if capacity <= 0.0 then invalid_arg "Online.config: capacity must be positive";
   if side <= 0 then invalid_arg "Online.config: side must be positive";
   if comm_radius <= 0 then invalid_arg "Online.config: comm_radius must be positive";
-  { capacity; side; comm_radius; seed; faults }
+  if quiesce_budget <= 0 then
+    invalid_arg "Online.config: quiesce_budget must be positive";
+  validate_plan faults;
+  { capacity; side; comm_radius; seed; faults; chaos; partitions; retries;
+    quiesce_budget }
 
 type failure = { job : int; position : Point.t; reason : string }
 
@@ -40,12 +71,40 @@ type outcome = {
   starved_searches : int;
   vehicles : int;
   vehicles_still_serviceable : int;
+  drops : int;
+  dups : int;
+  retries_sent : int;
+  livelocks : int;
+  trace_digest : int;
 }
 
-let succeeded o = o.failures = []
+let succeeded o = match o.failures with [] -> true | _ :: _ -> false
 
-(* --- protocol messages (§3.2.3.1 plus the Move of phase II and the
-   heartbeat-timeout abstraction of §3.2.5) --- *)
+(* --- protocol messages --- *)
+
+(* The algorithmic payload (§3.2.3.1 plus the Move of phase II) travels
+   inside a reliable-delivery envelope: every [Payload] carries a
+   globally unique [msg_id], the receiver acknowledges and deduplicates
+   by it, and the sender retransmits on a backoff timer until acked (or
+   gives up).  A retransmission therefore re-delivers the same logical
+   message at most once, which is what keeps the Dijkstra–Scholten
+   [num]/[par] bookkeeping exact under drops and duplicates.
+
+   [Heartbeat]/[Deadline] realize §3.2.5's monitoring ring with real
+   messages: the active vehicle of a pair beats to its monitor, and a
+   weak self-timer per pair checks on it — see docs/ROBUSTNESS.md. *)
+
+type body =
+  | Query of { init : int * int }
+  | Reply of { init : int * int; flag : bool }
+  | Move of { init : int * int; dest : Point.t; pair : int }
+
+type msg =
+  | Payload of { msg_id : int; body : body }
+  | Ack of { msg_id : int }
+  | Heartbeat of { pair : int }
+  | Deadline of { pair : int }
+  | Retry of { msg_id : int }
 
 type event =
   | Job_served of { job : int; position : Point.t; vehicle : int; walk : int }
@@ -55,12 +114,6 @@ type event =
   | Candidate_found of { initiator : int; pair : int }
   | Replacement of { vehicle : int; pair : int; dest : Point.t }
   | Search_starved of { pair : int }
-
-type msg =
-  | Query of { init : int * int }
-  | Reply of { init : int * int; flag : bool }
-  | Move of { init : int * int; dest : Point.t; pair : int }
-  | Monitor_timeout of { pair : int }
 
 (* --- vehicle state (§3.2.1) --- *)
 
@@ -90,6 +143,24 @@ type pair_state = {
   mutable active : int; (* vehicle id, or -1 while a replacement is pending *)
 }
 
+(* Per-pair monitoring-ring state.  [anchor] hosts the pair's deadline
+   self-timer (timers are fault-exempt, so any fixed vehicle works). *)
+type watch = {
+  w_pair : int;
+  anchor : int;
+  mutable beats : int; (* heartbeats received for this pair *)
+  mutable beats_at_arm : int;
+  mutable armed : bool;
+  mutable interval : float;
+  mutable searching : bool; (* a replacement computation is in flight *)
+  mutable stalls : int; (* deadline fires while a search was in flight *)
+  mutable starves : int; (* consecutive starved searches *)
+  mutable hopeless : bool; (* stop searching; the pair stays uncovered *)
+}
+
+(* In-flight reliable message awaiting its ack. *)
+type pending = { p_src : int; p_dst : int; p_body : body; mutable attempts : int }
+
 type world = {
   cfg : config;
   observer : event -> unit;
@@ -100,10 +171,14 @@ type world = {
   pair_of_cell : int Point.Tbl.t;
   neighbors : int list array;
   cube_pairs : int array array;
+  watches : watch array;
   des : msg Des.t;
   silent : (int, unit) Hashtbl.t;
   break_at : float array; (* used-energy threshold per vehicle (Ch. 4) *)
   phase2 : (int, int) Hashtbl.t; (* pending initiator id -> pair id *)
+  rel_pending : (int, pending) Hashtbl.t;
+  rel_seen : (int, unit) Hashtbl.t;
+  mutable next_msg_id : int;
   mutable seq : int;
   mutable served : int;
   mutable failures : failure list;
@@ -111,7 +186,20 @@ type world = {
   mutable replacements : int;
   mutable starved : int;
   mutable violations : int;
+  mutable retries_count : int;
+  mutable livelocks : int;
+  mutable livelocked : bool;
 }
+
+(* Protocol constants: the heartbeat deadline of §3.2.5, the idle backoff
+   cap for deadline re-arming, and the retry schedule of the reliable
+   layer (base * 2^k, at most [max_attempts] transmissions). *)
+let heartbeat_timeout = 50.0
+let max_deadline_interval = 1600.0
+let retry_delay = 4.0
+let max_attempts = 6
+let stall_limit = 3
+let starve_limit = 3
 
 let alive v = v.working <> Dead
 
@@ -127,27 +215,21 @@ let spend w v cost =
       :: w.failures
   end
 
-(* Shared by scenario-3 kills and scenario-4 longevity breaks; the
-   monitor-timeout scheduling lives below and is wired in by [run]. *)
-let on_break = ref (fun (_ : world) (_ : int) -> ())
-
 (* A vehicle whose longevity fraction is exhausted breaks down right after
-   the operation that crossed the threshold (Chapter 4 semantics). *)
+   the operation that crossed the threshold (Chapter 4 semantics).  No
+   notification is sent: its pair's deadline notices the missing
+   heartbeats and drives the replacement. *)
 let maybe_break w v =
   if alive v && w.cfg.capacity -. v.energy >= w.break_at.(v.id) -. 1e-9 then begin
     let was_active = v.working = Active in
     v.working <- Dead;
     w.observer (Vehicle_died { vehicle = v.id });
-    if was_active then begin
-      w.pairs.(v.pair).active <- -1;
-      !on_break w v.pair
-    end
+    if was_active then w.pairs.(v.pair).active <- -1
   end
 
 (* --- world construction --- *)
 
-let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
-  let side = cfg.side in
+let window_of ~side ~dim jobs_box =
   let lo = jobs_box.Box.lo in
   let hi =
     Array.init dim (fun i ->
@@ -155,17 +237,69 @@ let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
         let tiles = (extent + side - 1) / side in
         lo.(i) + (tiles * side) - 1)
   in
-  let window = Box.make ~lo ~hi in
+  Box.make ~lo ~hi
+
+let jobs_box_of workload =
+  let jobs = workload.Workload.jobs in
+  let dim = workload.Workload.dim in
+  let lo = Array.copy jobs.(0) and hi = Array.copy jobs.(0) in
+  Array.iter
+    (fun p ->
+      for i = 0 to dim - 1 do
+        if p.(i) < lo.(i) then lo.(i) <- p.(i);
+        if p.(i) > hi.(i) then hi.(i) <- p.(i)
+      done)
+    jobs;
+  Box.make ~lo ~hi
+
+let fleet_size cfg workload =
+  if Array.length workload.Workload.jobs = 0 then 0
+  else
+    Box.volume
+      (window_of ~side:cfg.side ~dim:workload.Workload.dim
+         (jobs_box_of workload))
+
+let validate_ids ~n plan partitions =
+  let check what id =
+    if id < 0 || id >= n then
+      invalid_arg
+        (Printf.sprintf "Online: %s names vehicle %d outside the fleet [0,%d)"
+           what id n)
+  in
+  List.iter (check "silent_initiators") plan.silent_initiators;
+  List.iter (fun (_, id) -> check "deaths" id) plan.deaths;
+  List.iter (fun (id, _) -> check "longevity" id) plan.longevity;
+  List.iter
+    (fun (a, b) ->
+      check "partitions" a;
+      check "partitions" b)
+    partitions
+
+let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
+  let side = cfg.side in
+  let window = window_of ~side ~dim jobs_box in
+  let lo = window.Box.lo in
   let cubes = Array.of_list (Box.partition_cubes window ~side) in
+  (* Tile counts per axis, axis 0 most significant — the mixed-radix
+     order [Box.partition_cubes] lists cubes in. *)
+  let counts =
+    Array.init dim (fun i -> (Box.side window i + side - 1) / side)
+  in
   let cube_of_point p =
-    let c = Box.containing_cube window ~side p in
-    (* Cubes are listed in partition order; find by anchor. *)
-    let rec locate i =
-      if Point.equal cubes.(i).Box.lo c.Box.lo then i else locate (i + 1)
-    in
-    locate 0
+    let k = ref 0 in
+    for i = 0 to dim - 1 do
+      let off = p.(i) - lo.(i) in
+      if off < 0 || p.(i) > window.Box.hi.(i) then
+        invalid_arg
+          (Format.asprintf "Online.build: point %a outside the window %a"
+             Point.pp p Box.pp window);
+      k := (!k * counts.(i)) + (off / side)
+    done;
+    !k
   in
   let n = Box.volume window in
+  validate_plan cfg.faults;
+  validate_ids ~n cfg.faults cfg.partitions;
   let vehicles =
     Array.init n (fun id ->
         let home = Box.point_of_index window id in
@@ -233,143 +367,84 @@ let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
         List.rev !out)
       vehicles
   in
+  let watches =
+    Array.map
+      (fun pr ->
+        {
+          w_pair = pr.pair_id;
+          anchor = Box.index window pr.cells.(0);
+          beats = 0;
+          beats_at_arm = 0;
+          armed = false;
+          interval = heartbeat_timeout;
+          searching = false;
+          stalls = 0;
+          starves = 0;
+          hopeless = false;
+        })
+      pairs
+  in
   let silent = Hashtbl.create 8 in
   List.iter (fun id -> Hashtbl.replace silent id ()) cfg.faults.silent_initiators;
   let break_at = Array.make n infinity in
   List.iter
-    (fun (id, p) ->
-      if id >= 0 && id < n then
-        break_at.(id) <- Float.max 0.0 (Float.min 1.0 p) *. cfg.capacity)
+    (fun (id, p) -> break_at.(id) <- p *. cfg.capacity)
     cfg.faults.longevity;
-  {
-    cfg;
-    observer;
-    dim;
-    window;
-    vehicles;
-    pairs;
-    pair_of_cell;
-    neighbors;
-    cube_pairs;
-    des = Des.create ~rng:(Rng.create cfg.seed) ();
-    silent;
-    break_at;
-    phase2 = Hashtbl.create 8;
-    seq = 0;
-    served = 0;
-    failures = [];
-    computations = 0;
-    replacements = 0;
-    starved = 0;
-    violations = 0;
-  }
+  let des = Des.create ~rng:(Rng.create cfg.seed) ~faults:cfg.chaos () in
+  List.iter (fun (a, b) -> Des.partition des a b) cfg.partitions;
+  let w =
+    {
+      cfg;
+      observer;
+      dim;
+      window;
+      vehicles;
+      pairs;
+      pair_of_cell;
+      neighbors;
+      cube_pairs;
+      watches;
+      des;
+      silent;
+      break_at;
+      phase2 = Hashtbl.create 8;
+      rel_pending = Hashtbl.create 32;
+      rel_seen = Hashtbl.create 64;
+      next_msg_id = 0;
+      seq = 0;
+      served = 0;
+      failures = [];
+      computations = 0;
+      replacements = 0;
+      starved = 0;
+      violations = 0;
+      retries_count = 0;
+      livelocks = 0;
+      livelocked = false;
+    }
+  in
+  (* Bootstrap the monitoring ring: every pair starts with one armed
+     deadline, so even a death before the first job is detected. *)
+  Array.iter
+    (fun wt ->
+      wt.armed <- true;
+      wt.beats_at_arm <- wt.beats;
+      Des.send_after ~weak:true des ~delay:heartbeat_timeout ~src:wt.anchor
+        ~dst:wt.anchor (Deadline { pair = wt.w_pair }))
+    watches;
+  w
 
-(* --- diffusing computation (Algorithm 2) --- *)
+(* --- reliable send layer --- *)
 
-let start_computation w ~initiator ~pair_id =
-  let v = initiator in
-  w.computations <- w.computations + 1;
-  Metrics.incr m_computations;
-  w.seq <- w.seq + 1;
-  let init = (v.id, w.seq) in
-  v.init <- Some init;
-  v.par <- -1;
-  v.child <- -1;
-  let ns = alive_neighbors w v in
-  v.num <- List.length ns;
-  if v.num = 0 then begin
-    w.starved <- w.starved + 1;
-    Metrics.incr m_starved_searches;
-    w.observer (Search_starved { pair = pair_id })
-  end
-  else begin
-    w.observer (Computation_started { initiator = v.id; pair = pair_id });
-    v.transfer <- Initiator;
-    Hashtbl.replace w.phase2 v.id pair_id;
-    List.iter (fun q -> Des.send w.des ~src:v.id ~dst:q (Query { init })) ns
-  end
-
-let complete_initiator w v =
-  v.transfer <- Waiting;
-  match Hashtbl.find_opt w.phase2 v.id with
-  | None -> ()
-  | Some pair_id ->
-      Hashtbl.remove w.phase2 v.id;
-      if v.child >= 0 then begin
-        w.observer (Candidate_found { initiator = v.id; pair = pair_id });
-        let dest = w.pairs.(pair_id).cells.(0) in
-        Des.send w.des ~src:v.id ~dst:v.child
-          (Move { init = Option.get v.init; dest; pair = pair_id })
-      end
-      else begin
-        w.starved <- w.starved + 1;
-        Metrics.incr m_starved_searches;
-        w.observer (Search_starved { pair = pair_id })
-      end
-
-let handle_query w p ~src init =
-  if alive p then begin
-    if p.transfer = Waiting && p.init <> Some init then begin
-      p.par <- src;
-      p.init <- Some init;
-      p.child <- -1;
-      if p.working = Idle then
-        Des.send w.des ~src:p.id ~dst:src (Reply { init; flag = true })
-      else begin
-        let ns = alive_neighbors w p in
-        p.num <- List.length ns;
-        if p.num = 0 then
-          Des.send w.des ~src:p.id ~dst:src (Reply { init; flag = false })
-        else begin
-          p.transfer <- Searching;
-          List.iter (fun q -> Des.send w.des ~src:p.id ~dst:q (Query { init })) ns
-        end
-      end
-    end
-    else Des.send w.des ~src:p.id ~dst:src (Reply { init; flag = false })
-  end
-
-let handle_reply w p ~src init flag =
-  if alive p && p.init = Some init && p.transfer <> Waiting then begin
-    p.num <- p.num - 1;
-    if flag && p.child < 0 then begin
-      p.child <- src;
-      if p.par >= 0 then
-        Des.send w.des ~src:p.id ~dst:p.par (Reply { init; flag = true })
-    end;
-    if p.num = 0 then begin
-      match p.transfer with
-      | Initiator -> complete_initiator w p
-      | Searching ->
-          p.transfer <- Waiting;
-          if p.child < 0 && p.par >= 0 then
-            Des.send w.des ~src:p.id ~dst:p.par (Reply { init; flag = false })
-      | Waiting -> ()
-    end
-  end
-
-let handle_move w p init ~dest ~pair_id =
-  if alive p then begin
-    if p.working = Idle then begin
-      (* Phase II terminus: the candidate relocates and takes over. *)
-      spend w p (float_of_int (Point.l1_dist p.pos dest));
-      p.pos <- dest;
-      p.working <- Active;
-      p.pair <- pair_id;
-      w.pairs.(pair_id).active <- p.id;
-      w.replacements <- w.replacements + 1;
-      Metrics.incr m_replacements;
-      w.observer (Replacement { vehicle = p.id; pair = pair_id; dest });
-      maybe_break w p
-    end
-    else if p.child >= 0 then
-      Des.send w.des ~src:p.id ~dst:p.child (Move { init; dest; pair = pair_id })
-    else begin
-      (* Broken relay chain: count as a starved search; the monitor of the
-         pair will eventually retry via its timeout. *)
-      w.starved <- w.starved + 1;
-      Metrics.incr m_starved_searches
-    end
+let send_reliable w ~src ~dst body =
+  let msg_id = w.next_msg_id in
+  w.next_msg_id <- w.next_msg_id + 1;
+  Des.send w.des ~src ~dst (Payload { msg_id; body });
+  if w.cfg.retries then begin
+    Hashtbl.replace w.rel_pending msg_id
+      { p_src = src; p_dst = dst; p_body = body; attempts = 1 };
+    Des.send_after ~weak:true w.des ~delay:retry_delay ~src ~dst:src
+      (Retry { msg_id })
   end
 
 (* --- monitoring ring (§3.2.5, scenarios 2 and 3) --- *)
@@ -391,43 +466,251 @@ let monitor_of w ~pair_id =
   in
   scan 1
 
-let heartbeat_timeout = 50.0
+let arm_deadline w ~pair_id ~delay =
+  let wt = w.watches.(pair_id) in
+  wt.armed <- true;
+  wt.beats_at_arm <- wt.beats;
+  wt.interval <- delay;
+  Des.send_after ~weak:true w.des ~delay ~src:wt.anchor ~dst:wt.anchor
+    (Deadline { pair = pair_id })
 
-let schedule_monitor_timeout w ~pair_id =
-  match monitor_of w ~pair_id with
-  | None ->
-      w.starved <- w.starved + 1;
-      Metrics.incr m_starved_searches
-  | Some m ->
-      Metrics.incr m_monitor_timeouts;
-      Des.send_after w.des ~delay:heartbeat_timeout ~src:m ~dst:m
-        (Monitor_timeout { pair = pair_id })
+let send_heartbeat w v =
+  if v.working = Active && v.pair >= 0 then
+    match monitor_of w ~pair_id:v.pair with
+    | None -> ()
+    | Some m ->
+        Metrics.incr m_heartbeats;
+        Des.send ~weak:true w.des ~src:v.id ~dst:m (Heartbeat { pair = v.pair })
 
-let () = on_break := fun w pair_id -> schedule_monitor_timeout w ~pair_id
+let on_heartbeat w ~pair_id =
+  let wt = w.watches.(pair_id) in
+  wt.beats <- wt.beats + 1;
+  if (not wt.armed) && not wt.hopeless then
+    arm_deadline w ~pair_id ~delay:heartbeat_timeout
 
-let handle_monitor_timeout w m ~pair_id =
-  let pr = w.pairs.(pair_id) in
-  if pr.active < 0 then begin
-    let mv = w.vehicles.(m) in
-    if alive mv && mv.transfer = Waiting then
-      start_computation w ~initiator:mv ~pair_id
-    else
-      (* This monitor is busy or gone; re-delegate along the ring. *)
-      schedule_monitor_timeout w ~pair_id
+let note_starved w ~pair_id =
+  w.starved <- w.starved + 1;
+  Metrics.incr m_starved_searches;
+  w.observer (Search_starved { pair = pair_id });
+  let wt = w.watches.(pair_id) in
+  wt.searching <- false;
+  wt.starves <- wt.starves + 1;
+  if wt.starves >= starve_limit then wt.hopeless <- true
+
+(* --- diffusing computation (Algorithm 2) --- *)
+
+let start_computation w ~initiator ~pair_id =
+  let v = initiator in
+  w.computations <- w.computations + 1;
+  Metrics.incr m_computations;
+  w.seq <- w.seq + 1;
+  let init = (v.id, w.seq) in
+  v.init <- Some init;
+  v.par <- -1;
+  v.child <- -1;
+  let ns = alive_neighbors w v in
+  v.num <- List.length ns;
+  if v.num = 0 then note_starved w ~pair_id
+  else begin
+    w.observer (Computation_started { initiator = v.id; pair = pair_id });
+    v.transfer <- Initiator;
+    w.watches.(pair_id).searching <- true;
+    Hashtbl.replace w.phase2 v.id pair_id;
+    List.iter (fun q -> send_reliable w ~src:v.id ~dst:q (Query { init })) ns
   end
+
+let complete_initiator w v =
+  v.transfer <- Waiting;
+  match Hashtbl.find_opt w.phase2 v.id with
+  | None -> ()
+  | Some pair_id ->
+      Hashtbl.remove w.phase2 v.id;
+      if v.child >= 0 then begin
+        w.observer (Candidate_found { initiator = v.id; pair = pair_id });
+        let dest = w.pairs.(pair_id).cells.(0) in
+        send_reliable w ~src:v.id ~dst:v.child
+          (Move { init = Option.get v.init; dest; pair = pair_id })
+      end
+      else note_starved w ~pair_id
+
+let handle_query w p ~src init =
+  if alive p then begin
+    if p.transfer = Waiting && p.init <> Some init then begin
+      p.par <- src;
+      p.init <- Some init;
+      p.child <- -1;
+      if p.working = Idle then
+        send_reliable w ~src:p.id ~dst:src (Reply { init; flag = true })
+      else begin
+        let ns = alive_neighbors w p in
+        p.num <- List.length ns;
+        if p.num = 0 then
+          send_reliable w ~src:p.id ~dst:src (Reply { init; flag = false })
+        else begin
+          p.transfer <- Searching;
+          List.iter (fun q -> send_reliable w ~src:p.id ~dst:q (Query { init })) ns
+        end
+      end
+    end
+    else send_reliable w ~src:p.id ~dst:src (Reply { init; flag = false })
+  end
+
+let handle_reply w p ~src init flag =
+  if alive p && p.init = Some init && p.transfer <> Waiting then begin
+    p.num <- p.num - 1;
+    if flag && p.child < 0 then begin
+      p.child <- src;
+      if p.par >= 0 then
+        send_reliable w ~src:p.id ~dst:p.par (Reply { init; flag = true })
+    end;
+    if p.num = 0 then begin
+      match p.transfer with
+      | Initiator -> complete_initiator w p
+      | Searching ->
+          p.transfer <- Waiting;
+          if p.child < 0 && p.par >= 0 then
+            send_reliable w ~src:p.id ~dst:p.par (Reply { init; flag = false })
+      | Waiting -> ()
+    end
+  end
+
+let handle_move w p init ~dest ~pair_id =
+  if alive p then begin
+    if p.working = Idle then begin
+      (* Phase II terminus: the candidate relocates and takes over. *)
+      spend w p (float_of_int (Point.l1_dist p.pos dest));
+      p.pos <- dest;
+      p.working <- Active;
+      p.pair <- pair_id;
+      w.pairs.(pair_id).active <- p.id;
+      w.replacements <- w.replacements + 1;
+      Metrics.incr m_replacements;
+      w.observer (Replacement { vehicle = p.id; pair = pair_id; dest });
+      let wt = w.watches.(pair_id) in
+      wt.searching <- false;
+      wt.stalls <- 0;
+      wt.starves <- 0;
+      wt.hopeless <- false;
+      send_heartbeat w p;
+      if not wt.armed then arm_deadline w ~pair_id ~delay:heartbeat_timeout;
+      maybe_break w p
+    end
+    else if p.child >= 0 then
+      send_reliable w ~src:p.id ~dst:p.child (Move { init; dest; pair = pair_id })
+    else
+      (* Broken relay chain: the search failed; the pair's deadline will
+         restart it. *)
+      note_starved w ~pair_id
+  end
+
+(* Abandon a computation stuck on lost messages: reset its initiator so
+   the pair's deadline can start a fresh one under a new (init, seq) —
+   stale replies to the old identifier are then ignored. *)
+let force_clear w ~pair_id =
+  let stuck =
+    Hashtbl.fold
+      (fun init_id pid acc -> if pid = pair_id then init_id :: acc else acc)
+      w.phase2 []
+  in
+  List.iter
+    (fun init_id ->
+      Hashtbl.remove w.phase2 init_id;
+      let v = w.vehicles.(init_id) in
+      if v.transfer = Initiator then v.transfer <- Waiting)
+    stuck
+
+let on_deadline w ~pair_id =
+  let wt = w.watches.(pair_id) in
+  wt.armed <- false;
+  if not wt.hopeless then begin
+    let pr = w.pairs.(pair_id) in
+    if pr.active >= 0 && alive w.vehicles.(pr.active) then begin
+      (* Healthy pair.  Heartbeats since arming mean traffic: keep the
+         base deadline.  A quiet pair backs off exponentially so an idle
+         fleet re-arms only O(log T) times, yet a later death is still
+         caught. *)
+      let delay =
+        if wt.beats > wt.beats_at_arm then heartbeat_timeout
+        else Float.min max_deadline_interval (2.0 *. wt.interval)
+      in
+      arm_deadline w ~pair_id ~delay
+    end
+    else begin
+      Metrics.incr m_monitor_timeouts;
+      if wt.searching then begin
+        (* A search is already in flight; give it a little longer, then
+           assume its messages are gone and clear the way for a fresh
+           one. *)
+        wt.stalls <- wt.stalls + 1;
+        if wt.stalls >= stall_limit then begin
+          wt.stalls <- 0;
+          wt.searching <- false;
+          force_clear w ~pair_id
+        end;
+        arm_deadline w ~pair_id ~delay:heartbeat_timeout
+      end
+      else begin
+        (match monitor_of w ~pair_id with
+        | None -> note_starved w ~pair_id
+        | Some m ->
+            let mv = w.vehicles.(m) in
+            if alive mv && mv.transfer = Waiting then
+              start_computation w ~initiator:mv ~pair_id);
+        if not wt.hopeless then arm_deadline w ~pair_id ~delay:heartbeat_timeout
+      end
+    end
+  end
+
+(* Retry exhaustion: recover per message kind without breaking the
+   Dijkstra–Scholten invariants. *)
+let give_up w p =
+  match p.p_body with
+  | Query { init } ->
+      (* Account the unreachable neighbor as a negative reply so [num]
+         still reaches zero and the computation terminates. *)
+      handle_reply w w.vehicles.(p.p_src) ~src:p.p_dst init false
+  | Reply _ ->
+      (* The parent's own retry/stall machinery recovers. *)
+      ()
+  | Move { pair; _ } ->
+      (* The relocation order is lost; let the pair's deadline restart
+         the search from scratch. *)
+      w.watches.(pair).searching <- false
+
+let on_retry w msg_id =
+  match Hashtbl.find_opt w.rel_pending msg_id with
+  | None -> () (* acked in the meantime *)
+  | Some p ->
+      if p.attempts >= max_attempts then begin
+        Hashtbl.remove w.rel_pending msg_id;
+        Metrics.incr m_retry_exhausted;
+        give_up w p
+      end
+      else begin
+        p.attempts <- p.attempts + 1;
+        w.retries_count <- w.retries_count + 1;
+        Metrics.incr m_retries;
+        Des.send w.des ~src:p.p_src ~dst:p.p_dst
+          (Payload { msg_id; body = p.p_body });
+        let backoff = retry_delay *. float_of_int (1 lsl (p.attempts - 1)) in
+        Des.send_after ~weak:true w.des ~delay:backoff ~src:p.p_src
+          ~dst:p.p_src (Retry { msg_id })
+      end
 
 (* --- job service (§3.2.2, first part) --- *)
 
 let retire w v =
   (* An active vehicle that can no longer guarantee the next job (walk 1 +
-     serve 1) becomes done and triggers its replacement. *)
+     serve 1) becomes done and triggers its replacement.  A silent
+     initiator (scenario 2) does nothing — its monitor's deadline notices
+     the missing heartbeats and initiates on its behalf. *)
   v.working <- Done;
   Metrics.incr m_retirements;
   w.observer (Vehicle_retired { vehicle = v.id; pair = v.pair });
   let pair_id = v.pair in
   w.pairs.(pair_id).active <- -1;
-  if Hashtbl.mem w.silent v.id then schedule_monitor_timeout w ~pair_id
-  else start_computation w ~initiator:v ~pair_id
+  if not (Hashtbl.mem w.silent v.id) then
+    start_computation w ~initiator:v ~pair_id
 
 let process_job w ~index x =
   match Point.Tbl.find_opt w.pair_of_cell x with
@@ -454,6 +737,7 @@ let process_job w ~index x =
           w.served <- w.served + 1;
           Metrics.incr m_jobs_served;
           w.observer (Job_served { job = index; position = x; vehicle = v.id; walk });
+          send_heartbeat w v;
           maybe_break w v;
           if v.working = Active && v.energy < 2.0 then retire w v
         end
@@ -465,22 +749,47 @@ let kill w id =
     let was_active = v.working = Active in
     v.working <- Dead;
     w.observer (Vehicle_died { vehicle = v.id });
-    if was_active then begin
-      let pair_id = v.pair in
-      w.pairs.(pair_id).active <- -1;
-      schedule_monitor_timeout w ~pair_id
-    end
+    if was_active then w.pairs.(v.pair).active <- -1
   end
 
 (* --- runner --- *)
 
-let dispatch w ~time:_ ~src ~dst msg =
+let dispatch_body w ~src ~dst body =
   let p = w.vehicles.(dst) in
-  match msg with
+  match body with
   | Query { init } -> handle_query w p ~src init
   | Reply { init; flag } -> handle_reply w p ~src init flag
   | Move { init; dest; pair } -> handle_move w p init ~dest ~pair_id:pair
-  | Monitor_timeout { pair } -> handle_monitor_timeout w dst ~pair_id:pair
+
+let dispatch w ~time:_ ~src ~dst msg =
+  match msg with
+  | Payload { msg_id; body } ->
+      (* Transport layer: a live receiver acks (also on duplicates, in
+         case the first ack was lost) and processes each msg_id once. *)
+      if alive w.vehicles.(dst) then begin
+        if w.cfg.retries then Des.send w.des ~src:dst ~dst:src (Ack { msg_id });
+        if not (Hashtbl.mem w.rel_seen msg_id) then begin
+          Hashtbl.replace w.rel_seen msg_id ();
+          dispatch_body w ~src ~dst body
+        end
+      end
+  | Ack { msg_id } -> Hashtbl.remove w.rel_pending msg_id
+  | Heartbeat { pair } -> on_heartbeat w ~pair_id:pair
+  | Deadline { pair } -> on_deadline w ~pair_id:pair
+  | Retry { msg_id } -> on_retry w msg_id
+
+(* Quiescence for the drain: no un-acked reliable message, and every pair
+   either covered by a live active vehicle or given up on.  Anything else
+   means the weak timers still have work to do. *)
+let protocol_idle w =
+  Hashtbl.length w.rel_pending = 0
+  && Array.for_all
+       (fun wt ->
+         wt.hopeless
+         ||
+         let pr = w.pairs.(wt.w_pair) in
+         pr.active >= 0 && alive w.vehicles.(pr.active))
+       w.watches
 
 let capacity_bound ~dim omega =
   float_of_int (Energy.add (Energy.scale 4 (Energy.pow 3 dim)) dim) *. omega
@@ -497,26 +806,39 @@ let empty_outcome =
     starved_searches = 0;
     vehicles = 0;
     vehicles_still_serviceable = 0;
+    drops = 0;
+    dups = 0;
+    retries_sent = 0;
+    livelocks = 0;
+    trace_digest = 0;
   }
 
 let run ?observer cfg workload =
   let jobs = workload.Workload.jobs in
-  if Array.length jobs = 0 then empty_outcome
+  if Array.length jobs = 0 then begin
+    validate_plan cfg.faults;
+    empty_outcome
+  end
   else begin
     let dim = workload.Workload.dim in
-    let jobs_box =
-      let lo = Array.copy jobs.(0) and hi = Array.copy jobs.(0) in
-      Array.iter
-        (fun p ->
-          for i = 0 to dim - 1 do
-            if p.(i) < lo.(i) then lo.(i) <- p.(i);
-            if p.(i) > hi.(i) then hi.(i) <- p.(i)
-          done)
-        jobs;
-      Box.make ~lo ~hi
-    in
+    let jobs_box = jobs_box_of workload in
     let w = build ?observer cfg ~dim ~jobs_box in
-    let quiesce () = Des.run_until_quiescent w.des ~handler:(dispatch w) in
+    let quiesce () =
+      (* After a livelock the run is degraded: draining stops, remaining
+         jobs fail fast against the frozen state, and the outcome
+         reports it.  This bounds total work even when retries are off
+         and the channels keep eating messages. *)
+      if not w.livelocked then
+        match
+          Des.run_until_quiescent w.des ~budget:cfg.quiesce_budget
+            ~idle_ok:(fun () -> protocol_idle w)
+            ~handler:(dispatch w)
+        with
+        | Des.Quiescent -> ()
+        | Des.Livelock _ ->
+            w.livelocked <- true;
+            w.livelocks <- w.livelocks + 1
+    in
     let compare_deaths (k1, id1) (k2, id2) =
       match Int.compare k1 k2 with 0 -> Int.compare id1 id2 | c -> c
     in
@@ -527,7 +849,7 @@ let run ?observer cfg workload =
         match !remaining with
         | (k, id) :: rest when k <= upto ->
             remaining := rest;
-            if id >= 0 && id < Array.length w.vehicles then kill w id;
+            kill w id;
             quiesce ();
             loop ()
         | _ -> ()
@@ -562,6 +884,11 @@ let run ?observer cfg workload =
         Array.fold_left
           (fun acc v -> if alive v && v.energy >= 2.0 then acc + 1 else acc)
           0 w.vehicles;
+      drops = Des.drops w.des;
+      dups = Des.dups w.des;
+      retries_sent = w.retries_count;
+      livelocks = w.livelocks;
+      trace_digest = Des.digest w.des;
     }
   end
 

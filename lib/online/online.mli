@@ -1,4 +1,5 @@
-(** The decentralized on-line strategy of Chapter 3.
+(** The decentralized on-line strategy of Chapter 3, hardened against
+    unreliable channels.
 
     One vehicle per grid vertex; the world is partitioned into
     [side]-cubes; each cube's cells are matched into adjacent black/white
@@ -11,19 +12,30 @@
     [Move] order down the discovered tree path, and the idle candidate
     relocates and takes over the pair.
 
-    Failure handling follows §3.2.5: a vehicle that fails to initiate
-    (scenario 2) or dies outright (scenario 3) is detected by its monitor —
-    the active vehicle of the next pair of the cube, which realizes the
-    paper's "monitoring"-pointer loop — via a heartbeat timeout, and the
-    monitor initiates the diffusing computation on its behalf.
+    Failure handling follows §3.2.5 with real messages: the active
+    vehicle of each pair heartbeats to its monitor — the active vehicle
+    of the next pair of the cube, realizing the paper's
+    "monitoring"-pointer loop — and a per-pair deadline timer notices
+    missing heartbeats and has the monitor initiate the replacement.  A
+    vehicle that fails to initiate (scenario 2) or dies outright
+    (scenario 3) is therefore detected without any out-of-band signal.
+
+    The message layer ({!Des}) can drop, duplicate and delay messages,
+    partition vehicle pairs, and the protocol survives it: every
+    [Query]/[Reply]/[Move] travels in a reliable-delivery envelope with a
+    unique message id, acknowledgements, exponential-backoff
+    retransmission and receiver-side deduplication (which preserves the
+    Dijkstra–Scholten [num]/[par] invariants under retries).  Drains are
+    budget-bounded: a protocol that stops making progress (e.g. retries
+    disabled on lossy channels) ends in a reported livelock instead of an
+    infinite spin.  See docs/ROBUSTNESS.md for the full design.
 
     Modelling notes (DESIGN.md §2): the communication topology links
     vehicles whose depots are within [comm_radius] (default 2) in the same
     cube — depot-based rather than position-based, constant-equivalent
     since vehicles stay within distance 1 of a pair cell; message delays
-    are random but FIFO per channel; heartbeat timeouts are abstracted as a
-    delayed self-message to the monitor.  Job arrivals are spaced so that
-    the network quiesces in between, exactly the paper's timing
+    are random but FIFO per channel.  Job arrivals are spaced so that the
+    network quiesces in between, exactly the paper's timing
     assumption. *)
 
 type fault_plan = {
@@ -47,12 +59,39 @@ type config = {
   capacity : float;  (** initial energy [W] of every vehicle *)
   side : int;  (** cube side of the partition *)
   comm_radius : int;  (** neighbor radius (the paper's constant, 2) *)
-  seed : int;  (** message-delay randomness *)
+  seed : int;  (** message-delay and channel-fault randomness *)
   faults : fault_plan;
+  chaos : Des.faults;
+      (** channel fault profile applied to every vehicle-to-vehicle
+          channel (default {!Des.reliable}) *)
+  partitions : (int * int) list;
+      (** vehicle pairs whose link is cut for the whole run *)
+  retries : bool;
+      (** enable the ack/retry reliable-delivery layer (default [true]);
+          disabling it under a lossy [chaos] profile is how to observe a
+          livelock *)
+  quiesce_budget : int;
+      (** max events dispatched per inter-job drain before declaring a
+          livelock (default 100_000) *)
 }
 
-val config : ?comm_radius:int -> ?seed:int -> ?faults:fault_plan ->
-  capacity:float -> side:int -> unit -> config
+val config :
+  ?comm_radius:int ->
+  ?seed:int ->
+  ?faults:fault_plan ->
+  ?chaos:Des.faults ->
+  ?partitions:(int * int) list ->
+  ?retries:bool ->
+  ?quiesce_budget:int ->
+  capacity:float ->
+  side:int ->
+  unit ->
+  config
+(** Validated constructor: positive capacity/side/comm_radius/budget,
+    death job indices non-negative, longevity fractions in [\[0,1\]]
+    ([Invalid_argument] otherwise).  Vehicle ids in [faults] and
+    [partitions] are checked against the fleet once the window is known,
+    in [run]/[build]. *)
 
 type failure = {
   job : int;  (** 1-based index in the arrival sequence *)
@@ -74,6 +113,13 @@ type outcome = {
       (** vehicles alive with enough energy for another job at the end of
           the run — Lemma 3.3.1 keeps this at least half the fleet at the
           theorem capacity *)
+  drops : int;  (** messages lost to channel faults or partitions *)
+  dups : int;  (** duplicate copies injected by the channels *)
+  retries_sent : int;  (** reliable-layer retransmissions *)
+  livelocks : int;  (** drains that exhausted [quiesce_budget] *)
+  trace_digest : int;
+      (** {!Des.digest} of the run — equal across runs with the same seed
+          and fault configuration *)
 }
 
 val succeeded : outcome -> bool
@@ -97,7 +143,13 @@ type event =
 
 val run : ?observer:(event -> unit) -> config -> Workload.t -> outcome
 (** Executes the strategy on the arrival sequence.  [observer] (default
-    ignore) receives every protocol event as it happens. *)
+    ignore) receives every protocol event as it happens.  Raises
+    [Invalid_argument] if the fault plan or partitions name vehicles
+    outside the fleet. *)
+
+val fleet_size : config -> Workload.t -> int
+(** Number of vehicles [run] would deploy (the window volume) — the valid
+    id range for fault plans and partitions; 0 for an empty workload. *)
 
 val capacity_bound : dim:int -> float -> float
 (** [(4·3^l + l)·ω] — the capacity Lemma 3.3.1 proves sufficient. *)

@@ -1,13 +1,56 @@
-type 'msg event = { time : float; seq : int; src : int; dst : int; payload : 'msg }
-
 let m_messages_sent = Metrics.counter "des.messages_sent"
 let m_events_dispatched = Metrics.counter "des.events_dispatched"
 let m_queue_depth = Metrics.gauge "des.queue_depth"
+let m_dropped = Metrics.counter "des.messages_dropped"
+let m_duplicated = Metrics.counter "des.messages_duplicated"
+let m_spikes = Metrics.counter "des.delay_spikes"
+let m_livelocks = Metrics.counter "des.livelocks"
+
+(* --- channel fault model --- *)
+
+type faults = {
+  drop_p : float;
+  dup_p : float;
+  spike_p : float;
+  spike_delay : float;
+}
+
+let reliable = { drop_p = 0.0; dup_p = 0.0; spike_p = 0.0; spike_delay = 0.0 }
+
+let faults ?(drop_p = 0.0) ?(dup_p = 0.0) ?(spike_p = 0.0) ?(spike_delay = 10.0)
+    () =
+  let prob name p =
+    if not (p >= 0.0 && p <= 1.0) then
+      invalid_arg (Printf.sprintf "Des.faults: %s must be in [0,1]" name)
+  in
+  prob "drop_p" drop_p;
+  prob "dup_p" dup_p;
+  prob "spike_p" spike_p;
+  if not (spike_delay >= 0.0) then
+    invalid_arg "Des.faults: spike_delay must be non-negative";
+  { drop_p; dup_p; spike_p; spike_delay }
+
+(* Restarts ride the same queue as messages so that a crash window has a
+   well-defined place on the simulated timeline. *)
+type 'msg payload = Deliver of 'msg | Restart of int
+
+type 'msg event = {
+  time : float;
+  seq : int;
+  src : int;
+  dst : int;
+  weak : bool;
+  payload : 'msg payload;
+}
 
 (* Ordered by (time, seq): seq breaks ties deterministically and preserves
    insertion order among simultaneous events. *)
 let compare_events a b =
   match Float.compare a.time b.time with 0 -> Int.compare a.seq b.seq | c -> c
+
+type outcome = Quiescent | Livelock of { dispatched : int; pending : int }
+
+type 'msg step = { at : float; src : int; dst : int; msg : 'msg }
 
 type 'msg t = {
   rng : Rng.t;
@@ -21,9 +64,26 @@ type 'msg t = {
   (* Last scheduled delivery time per channel, to enforce FIFO order on top
      of random delays. *)
   channel_front : (int * int, float) Hashtbl.t;
+  (* Fault model: a process-wide default profile, per-channel overrides,
+     symmetric link partitions and crashed nodes. *)
+  mutable default_faults : faults;
+  channel_faults : (int * int, faults) Hashtbl.t;
+  partitions : (int * int, unit) Hashtbl.t;
+  down : (int, unit) Hashtbl.t;
+  mutable restart_hook : time:float -> int -> unit;
+  mutable dropped : int;
+  mutable duplicated : int;
+  (* Number of non-weak events in the heap; quiescence ignores weak
+     (background/keepalive) events when the client's [idle_ok] allows. *)
+  mutable strong_pending : int;
+  (* Rolling FNV-style checksum over dispatched (time, src, dst) triples:
+     two runs with the same seed and fault config must agree bit for bit. *)
+  mutable digest : int;
+  mutable trace_on : bool;
+  mutable trace_rev : 'msg step list;
 }
 
-let create ?(min_delay = 0.1) ?(max_delay = 1.0) ~rng () =
+let create ?(min_delay = 0.1) ?(max_delay = 1.0) ?(faults = reliable) ~rng () =
   if min_delay < 0.0 || max_delay < min_delay then
     invalid_arg "Des.create: bad delay bounds";
   {
@@ -36,13 +96,49 @@ let create ?(min_delay = 0.1) ?(max_delay = 1.0) ~rng () =
     delivered = 0;
     queue_peak = 0;
     channel_front = Hashtbl.create 64;
+    default_faults = faults;
+    channel_faults = Hashtbl.create 8;
+    partitions = Hashtbl.create 8;
+    down = Hashtbl.create 8;
+    restart_hook = (fun ~time:_ _ -> ());
+    dropped = 0;
+    duplicated = 0;
+    strong_pending = 0;
+    digest = 0x1505;
+    trace_on = false;
+    trace_rev = [];
   }
 
 let now t = t.clock
 
-let schedule t ~time ~src ~dst payload =
-  (* FIFO per channel: never deliver before an earlier message on the same
-     channel. *)
+let set_faults t f = t.default_faults <- f
+
+let set_channel_faults t ~src ~dst f =
+  Hashtbl.replace t.channel_faults (src, dst) f
+
+let norm_pair a b = if a <= b then (a, b) else (b, a)
+
+let partition t a b = if a <> b then Hashtbl.replace t.partitions (norm_pair a b) ()
+let heal t a b = Hashtbl.remove t.partitions (norm_pair a b)
+let partitioned t a b = Hashtbl.mem t.partitions (norm_pair a b)
+
+let crash t node = Hashtbl.replace t.down node ()
+let is_down t node = Hashtbl.mem t.down node
+let set_restart_hook t hook = t.restart_hook <- hook
+
+let restart t node =
+  if Hashtbl.mem t.down node then begin
+    Hashtbl.remove t.down node;
+    t.restart_hook ~time:t.clock node
+  end
+
+let note_depth t =
+  let depth = Heap.size t.heap in
+  if depth > t.queue_peak then t.queue_peak <- depth;
+  Metrics.set_gauge m_queue_depth (float_of_int depth)
+
+(* Raw enqueue: FIFO floor per channel, no fault pipeline. *)
+let enqueue t ~weak ~time ~src ~dst payload =
   let key = (src, dst) in
   let floor_time =
     match Hashtbl.find_opt t.channel_front key with
@@ -50,31 +146,106 @@ let schedule t ~time ~src ~dst payload =
     | Some front -> Float.max time (front +. 1e-9)
   in
   Hashtbl.replace t.channel_front key floor_time;
-  let e = { time = floor_time; seq = t.next_seq; src; dst; payload } in
+  let e = { time = floor_time; seq = t.next_seq; src; dst; weak; payload } in
   t.next_seq <- t.next_seq + 1;
   Heap.push t.heap e;
-  Metrics.incr m_messages_sent;
-  let depth = Heap.size t.heap in
-  if depth > t.queue_peak then t.queue_peak <- depth;
-  Metrics.set_gauge m_queue_depth (float_of_int depth)
+  if not weak then t.strong_pending <- t.strong_pending + 1;
+  note_depth t
 
-let send_after t ~delay ~src ~dst payload =
+let drop t =
+  t.dropped <- t.dropped + 1;
+  Metrics.incr m_dropped
+
+let profile t ~src ~dst =
+  match Hashtbl.find_opt t.channel_faults (src, dst) with
+  | Some f -> f
+  | None -> t.default_faults
+
+(* The fault pipeline.  Self-channels (src = dst) model local timers and
+   are exempt from every fault: a process's own clock does not lose
+   ticks.  Crashed endpoints and partitioned links swallow the message;
+   otherwise the channel profile may drop it, spike its delay, or deliver
+   a duplicate copy (scheduled after the original, so FIFO still holds). *)
+let schedule t ~weak ~time ~src ~dst msg =
+  Metrics.incr m_messages_sent;
+  if src = dst then begin
+    if Hashtbl.mem t.down dst then drop t
+    else enqueue t ~weak ~time ~src ~dst (Deliver msg)
+  end
+  else if
+    Hashtbl.mem t.down src || Hashtbl.mem t.down dst || partitioned t src dst
+  then drop t
+  else begin
+    let f = profile t ~src ~dst in
+    if f.drop_p > 0.0 && Rng.float t.rng 1.0 < f.drop_p then drop t
+    else begin
+      let time =
+        if f.spike_p > 0.0 && Rng.float t.rng 1.0 < f.spike_p then begin
+          Metrics.incr m_spikes;
+          time +. f.spike_delay
+        end
+        else time
+      in
+      enqueue t ~weak ~time ~src ~dst (Deliver msg);
+      if f.dup_p > 0.0 && Rng.float t.rng 1.0 < f.dup_p then begin
+        t.duplicated <- t.duplicated + 1;
+        Metrics.incr m_duplicated;
+        enqueue t ~weak ~time ~src ~dst (Deliver msg)
+      end
+    end
+  end
+
+let send_after ?(weak = false) t ~delay ~src ~dst payload =
   if delay < 0.0 then invalid_arg "Des.send_after: negative delay";
   let jitter = t.min_delay +. Rng.float t.rng (t.max_delay -. t.min_delay) in
-  schedule t ~time:(t.clock +. delay +. jitter) ~src ~dst payload
+  schedule t ~weak ~time:(t.clock +. delay +. jitter) ~src ~dst payload
 
-let send t ~src ~dst payload = send_after t ~delay:0.0 ~src ~dst payload
+let send ?weak t ~src ~dst payload = send_after ?weak t ~delay:0.0 ~src ~dst payload
 
-let run_until_quiescent t ~handler =
+let restart_after t ~delay node =
+  if delay < 0.0 then invalid_arg "Des.restart_after: negative delay";
+  enqueue t ~weak:false ~time:(t.clock +. delay) ~src:node ~dst:node
+    (Restart node)
+
+let mix h x =
+  let h = (h lxor x) * 0x100000001b3 in
+  h land max_int
+
+let record t ~time ~src ~dst msg =
+  t.digest <-
+    mix (mix (mix t.digest (Int64.to_int (Int64.bits_of_float time) land max_int)) src) dst;
+  if t.trace_on then t.trace_rev <- { at = time; src; dst; msg } :: t.trace_rev
+
+let run_until_quiescent ?(budget = max_int) ?(idle_ok = fun () -> true) t
+    ~handler =
+  if budget <= 0 then invalid_arg "Des.run_until_quiescent: budget must be positive";
+  let popped = ref 0 in
   let rec drain () =
-    match Heap.pop t.heap with
-    | None -> ()
-    | Some e ->
-        t.clock <- Float.max t.clock e.time;
-        t.delivered <- t.delivered + 1;
-        Metrics.incr m_events_dispatched;
-        handler ~time:t.clock ~src:e.src ~dst:e.dst e.payload;
-        drain ()
+    if t.strong_pending = 0 && (Heap.is_empty t.heap || idle_ok ()) then
+      Quiescent
+    else if !popped >= budget then begin
+      Metrics.incr m_livelocks;
+      Livelock { dispatched = !popped; pending = Heap.size t.heap }
+    end
+    else
+      match Heap.pop t.heap with
+      | None -> Quiescent
+      | Some e ->
+          incr popped;
+          if not e.weak then t.strong_pending <- t.strong_pending - 1;
+          note_depth t;
+          t.clock <- Float.max t.clock e.time;
+          (match e.payload with
+          | Restart node -> restart t node
+          | Deliver msg ->
+              if Hashtbl.mem t.down e.dst then drop t
+              else begin
+                t.delivered <- t.delivered + 1;
+                Metrics.incr m_events_dispatched;
+                record t ~time:t.clock ~src:e.src ~dst:e.dst msg;
+                handler ~time:t.clock ~src:e.src ~dst:e.dst msg
+              end);
+          drain ()
   in
   drain ()
 
@@ -83,3 +254,18 @@ let pending t = Heap.size t.heap
 let messages_delivered t = t.delivered
 
 let queue_peak t = t.queue_peak
+
+let drops t = t.dropped
+
+let dups t = t.duplicated
+
+let digest t = t.digest
+
+let set_trace t on =
+  t.trace_on <- on;
+  if not on then t.trace_rev <- []
+
+let trace t = List.rev t.trace_rev
+
+let replay steps ~handler =
+  List.iter (fun s -> handler ~time:s.at ~src:s.src ~dst:s.dst s.msg) steps

@@ -1,41 +1,136 @@
-(** Discrete-event message-passing simulator.
+(** Discrete-event message-passing simulator with fault injection.
 
-    Implements exactly the communication model assumed in §3.2 of the
-    paper: point-to-point messages between integer-identified processes,
-    delivered after a finite, arbitrary (here: seeded pseudo-random) delay,
-    in FIFO order per ordered channel ("synchronous communication" in the
-    paper's terminology), with unbounded input buffers and no losses or
-    corruption.  Communication costs no energy.
+    The reliable base model is exactly the communication model assumed in
+    §3.2 of the paper: point-to-point messages between integer-identified
+    processes, delivered after a finite, arbitrary (here: seeded
+    pseudo-random) delay, in FIFO order per ordered channel ("synchronous
+    communication" in the paper's terminology), with unbounded input
+    buffers.  Communication costs no energy.
+
+    On top of that, a per-channel fault model can drop messages, deliver
+    duplicates, spike delays, partition links between process pairs, and
+    crash/restart whole processes — the chaos layer the hardened online
+    protocol (docs/ROBUSTNESS.md) is tested against.  Self-channels
+    ([src = dst]) model local timers and are exempt from channel faults,
+    though a crashed process loses its pending timers.
 
     The simulator is generic in the message type.  Clients [send] from
-    within the handler; [run_until_quiescent] drains the event queue, which
-    models the paper's assumption that consecutive job arrivals are spaced
-    widely enough for all computation and movement to finish. *)
+    within the handler; [run_until_quiescent] drains the event queue,
+    which models the paper's assumption that consecutive job arrivals are
+    spaced widely enough for all computation and movement to finish.  The
+    drain is budget-bounded so a retry loop that cannot make progress
+    surfaces as a [Livelock] report instead of an infinite spin, and
+    events sent with [~weak:true] (periodic keepalives) do not prevent
+    quiescence once the client's [idle_ok] predicate holds. *)
 
 type 'msg t
 
-val create : ?min_delay:float -> ?max_delay:float -> rng:Rng.t -> unit -> 'msg t
+(** {1 Fault model} *)
+
+type faults = {
+  drop_p : float;  (** probability a message is silently lost *)
+  dup_p : float;  (** probability a second copy is delivered *)
+  spike_p : float;  (** probability the delay spikes by [spike_delay] *)
+  spike_delay : float;  (** extra delay added on a spike *)
+}
+
+val reliable : faults
+(** The no-fault profile: all probabilities zero. *)
+
+val faults :
+  ?drop_p:float ->
+  ?dup_p:float ->
+  ?spike_p:float ->
+  ?spike_delay:float ->
+  unit ->
+  faults
+(** Validated constructor (probabilities in [\[0,1\]], non-negative spike
+    delay; raises [Invalid_argument] otherwise).  [spike_delay] defaults
+    to 10.0, everything else to 0. *)
+
+val create :
+  ?min_delay:float ->
+  ?max_delay:float ->
+  ?faults:faults ->
+  rng:Rng.t ->
+  unit ->
+  'msg t
 (** Fresh simulator.  Message delays are uniform in
     [\[min_delay, max_delay\]] (defaults 0.1 and 1.0); FIFO order per
-    channel is enforced on top of the random draw. *)
+    channel is enforced on top of the random draw.  [faults] is the
+    default profile for every channel (default: [reliable]). *)
+
+val set_faults : _ t -> faults -> unit
+(** Replaces the default fault profile for channels without an override. *)
+
+val set_channel_faults : _ t -> src:int -> dst:int -> faults -> unit
+(** Overrides the fault profile of one directed channel. *)
+
+val partition : _ t -> int -> int -> unit
+(** Cuts the (symmetric) link between two processes: messages either way
+    are dropped until [heal].  Partitioning a node from itself is a
+    no-op — self-channels are timers, not links. *)
+
+val heal : _ t -> int -> int -> unit
+(** Removes a partition installed by [partition]. *)
+
+val crash : _ t -> int -> unit
+(** Marks a process down.  While down, messages from or to it (including
+    its own pending timers) are dropped and counted in [drops]. *)
+
+val restart : _ t -> int -> unit
+(** Brings a crashed process back immediately and invokes the restart
+    hook.  No-op if the process is up. *)
+
+val restart_after : _ t -> delay:float -> int -> unit
+(** Schedules a [restart] on the simulated timeline, [delay] from now. *)
+
+val is_down : _ t -> int -> bool
+
+val set_restart_hook : _ t -> (time:float -> int -> unit) -> unit
+(** Called from [restart] (immediate or scheduled) with the simulation
+    time at which the process came back, so the protocol layer can
+    re-initialise its state and re-arm timers. *)
+
+(** {1 Sending and draining} *)
 
 val now : _ t -> float
 (** Current simulation time. *)
 
-val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
-(** Enqueues a message for delivery after a random delay. *)
+val send : ?weak:bool -> 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Enqueues a message for delivery after a random delay, through the
+    channel's fault pipeline.  [~weak:true] marks a background event
+    (periodic keepalive / watchdog): weak events still deliver in time
+    order but do not by themselves keep [run_until_quiescent] running. *)
 
-val send_after : 'msg t -> delay:float -> src:int -> dst:int -> 'msg -> unit
-(** Enqueues with an explicit extra delay — used for timeout-style
-    self-messages (heartbeat failure detection). *)
+val send_after :
+  ?weak:bool -> 'msg t -> delay:float -> src:int -> dst:int -> 'msg -> unit
+(** Enqueues with an explicit extra delay — used for timer-style
+    self-messages (heartbeat deadlines, retry backoff). *)
+
+type outcome =
+  | Quiescent  (** drained: no strong events remain *)
+  | Livelock of { dispatched : int; pending : int }
+      (** the dispatch budget was exhausted with events still queued —
+          the protocol is spinning without making progress *)
 
 val run_until_quiescent :
-  'msg t -> handler:(time:float -> src:int -> dst:int -> 'msg -> unit) -> unit
-(** Delivers events in timestamp order until none remain.  The handler may
-    call [send]/[send_after] to extend the computation. *)
+  ?budget:int ->
+  ?idle_ok:(unit -> bool) ->
+  'msg t ->
+  handler:(time:float -> src:int -> dst:int -> 'msg -> unit) ->
+  outcome
+(** Delivers events in timestamp order.  The handler may call
+    [send]/[send_after] to extend the computation.  Stops with
+    [Quiescent] when no strong events remain and [idle_ok ()] holds
+    (default: always), leaving any weak events queued for a later drain;
+    stops with [Livelock] after popping [budget] events (default:
+    unbounded).  Raises [Invalid_argument] on a non-positive budget. *)
+
+(** {1 Introspection} *)
 
 val pending : _ t -> int
-(** Number of undelivered messages. *)
+(** Number of undelivered events (including weak ones). *)
 
 val messages_delivered : _ t -> int
 (** Total messages delivered since creation — the protocol-cost metric of
@@ -44,3 +139,32 @@ val messages_delivered : _ t -> int
 val queue_peak : _ t -> int
 (** High-water mark of the event queue since creation (also exported
     process-wide as the ["des.queue_depth"] gauge peak). *)
+
+val drops : _ t -> int
+(** Messages lost to channel faults, partitions or crashed endpoints. *)
+
+val dups : _ t -> int
+(** Duplicate copies injected by channel faults. *)
+
+(** {1 Deterministic traces} *)
+
+type 'msg step = { at : float; src : int; dst : int; msg : 'msg }
+
+val digest : _ t -> int
+(** Rolling checksum over every dispatched (time, src, dst) triple,
+    updated on delivery.  Two runs with the same seed and fault
+    configuration produce the same digest bit for bit — the cheap,
+    always-on determinism witness. *)
+
+val set_trace : _ t -> bool -> unit
+(** Enables (or disables and clears) full event recording. *)
+
+val trace : 'msg t -> 'msg step list
+(** Dispatched events in delivery order, if tracing was enabled. *)
+
+val replay :
+  'msg step list ->
+  handler:(time:float -> src:int -> dst:int -> 'msg -> unit) ->
+  unit
+(** Feeds a recorded trace back through a handler — for offline analysis
+    of a failing chaos run without re-simulating. *)

@@ -1,5 +1,14 @@
 (* The discrete-event simulator: delivery, FIFO per channel, determinism,
-   and quiescence under handler-driven message chains. *)
+   quiescence under handler-driven message chains, and the fault-injection
+   layer (drops, dups, delay spikes, partitions, crash/restart, weak
+   events, livelock budget, deterministic traces). *)
+
+let drain ?budget ?idle_ok des handler =
+  match Des.run_until_quiescent ?budget ?idle_ok des ~handler with
+  | Des.Quiescent -> ()
+  | Des.Livelock { dispatched; pending } ->
+      Alcotest.failf "unexpected livelock: %d dispatched, %d pending"
+        dispatched pending
 
 let test_delivers_all () =
   let des = Des.create ~rng:(Rng.create 1) () in
@@ -8,8 +17,7 @@ let test_delivers_all () =
     Des.send des ~src:0 ~dst:1 i
   done;
   Alcotest.(check int) "pending before run" 5 (Des.pending des);
-  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst:_ m ->
-      got := m :: !got);
+  drain des (fun ~time:_ ~src:_ ~dst:_ m -> got := m :: !got);
   Alcotest.(check int) "all delivered" 5 (List.length !got);
   Alcotest.(check int) "counter" 5 (Des.messages_delivered des);
   Alcotest.(check int) "nothing pending" 0 (Des.pending des)
@@ -20,8 +28,7 @@ let test_fifo_per_channel () =
   for i = 1 to 50 do
     Des.send des ~src:0 ~dst:1 i
   done;
-  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst:_ m ->
-      got := m :: !got);
+  drain des (fun ~time:_ ~src:_ ~dst:_ m -> got := m :: !got);
   Alcotest.(check (list int)) "in-order delivery"
     (List.init 50 (fun i -> i + 1))
     (List.rev !got)
@@ -34,7 +41,7 @@ let test_fifo_independent_channels () =
     Des.send des ~src:0 ~dst:1 i;
     Des.send des ~src:2 ~dst:1 (100 + i)
   done;
-  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src ~dst:_ m ->
+  drain des (fun ~time:_ ~src ~dst:_ m ->
       let old = Option.value ~default:[] (Hashtbl.find_opt per_channel src) in
       Hashtbl.replace per_channel src (m :: old));
   let channel src = List.rev (Option.value ~default:[] (Hashtbl.find_opt per_channel src)) in
@@ -47,7 +54,7 @@ let test_time_monotone () =
   for i = 1 to 40 do
     Des.send des ~src:(i mod 3) ~dst:((i + 1) mod 3) i
   done;
-  Des.run_until_quiescent des ~handler:(fun ~time ~src:_ ~dst:_ _ ->
+  drain des (fun ~time ~src:_ ~dst:_ _ ->
       Alcotest.(check bool) "time never goes backwards" true (time >= !last);
       last := time)
 
@@ -57,7 +64,7 @@ let test_handler_chain_extends_run () =
   let des = Des.create ~rng:(Rng.create 5) () in
   let hops = ref 0 in
   Des.send des ~src:0 ~dst:1 0;
-  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst m ->
+  drain des (fun ~time:_ ~src:_ ~dst m ->
       incr hops;
       if m < 9 then Des.send des ~src:dst ~dst:(dst + 1) (m + 1));
   Alcotest.(check int) "ten hops" 10 !hops
@@ -67,8 +74,7 @@ let test_send_after_ordering () =
   let got = ref [] in
   Des.send_after des ~delay:100.0 ~src:0 ~dst:1 `Late;
   Des.send_after des ~delay:0.0 ~src:2 ~dst:1 `Early;
-  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst:_ m ->
-      got := m :: !got);
+  drain des (fun ~time:_ ~src:_ ~dst:_ m -> got := m :: !got);
   Alcotest.(check bool) "delayed message arrives second" true
     (List.rev !got = [ `Early; `Late ])
 
@@ -79,8 +85,7 @@ let test_determinism () =
     for i = 1 to 20 do
       Des.send des ~src:(i mod 4) ~dst:((i * 7) mod 4) i
     done;
-    Des.run_until_quiescent des ~handler:(fun ~time ~src ~dst m ->
-        out := (time, src, dst, m) :: !out);
+    drain des (fun ~time ~src ~dst m -> out := (time, src, dst, m) :: !out);
     !out
   in
   Alcotest.(check bool) "identical seeded traces" true (trace 42 = trace 42);
@@ -116,7 +121,7 @@ let test_self_messages () =
   let des = Des.create ~rng:(Rng.create 2) () in
   let got = ref 0 in
   Des.send des ~src:7 ~dst:7 ();
-  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src ~dst _ ->
+  drain des (fun ~time:_ ~src ~dst _ ->
       Alcotest.(check int) "src" 7 src;
       Alcotest.(check int) "dst" 7 dst;
       incr got);
@@ -125,7 +130,7 @@ let test_self_messages () =
 let test_clock_advances_with_delays () =
   let des = Des.create ~min_delay:1.0 ~max_delay:1.0 ~rng:(Rng.create 3) () in
   Des.send_after des ~delay:10.0 ~src:0 ~dst:1 ();
-  Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst:_ _ -> ());
+  drain des (fun ~time:_ ~src:_ ~dst:_ _ -> ());
   Alcotest.(check bool) "clock past the delay" true (Des.now des >= 11.0)
 
 let suite =
@@ -135,4 +140,276 @@ let suite =
       Alcotest.test_case "negative delay" `Quick test_negative_delay_rejected;
       Alcotest.test_case "self messages" `Quick test_self_messages;
       Alcotest.test_case "clock advances" `Quick test_clock_advances_with_delays;
+    ]
+
+(* --- appended: fault injection, livelock budget, traces --- *)
+
+let sink ~time:_ ~src:_ ~dst:_ _ = ()
+
+let test_queue_depth_gauge_tracks_dispatch () =
+  (* The gauge must follow the queue both up (schedule) and down
+     (dispatch): after a full drain it reads 0, not a stale peak. *)
+  let g = Metrics.gauge "des.queue_depth" in
+  let des = Des.create ~rng:(Rng.create 7) () in
+  for i = 1 to 5 do
+    Des.send des ~src:0 ~dst:1 i
+  done;
+  Alcotest.(check (float 0.0)) "depth after sends" 5.0 (Metrics.gauge_value g);
+  drain des sink;
+  Alcotest.(check (float 0.0)) "depth after drain" 0.0 (Metrics.gauge_value g);
+  Alcotest.(check bool) "peak recorded" true (Des.queue_peak des >= 5)
+
+let test_drop_everything () =
+  let des =
+    Des.create ~faults:(Des.faults ~drop_p:1.0 ()) ~rng:(Rng.create 8) ()
+  in
+  let got = ref 0 in
+  for i = 1 to 20 do
+    Des.send des ~src:0 ~dst:1 i
+  done;
+  drain des (fun ~time:_ ~src:_ ~dst:_ _ -> incr got);
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "all counted as drops" 20 (Des.drops des)
+
+let test_duplicate_everything () =
+  let des =
+    Des.create ~faults:(Des.faults ~dup_p:1.0 ()) ~rng:(Rng.create 9) ()
+  in
+  let got = ref [] in
+  for i = 1 to 10 do
+    Des.send des ~src:0 ~dst:1 i
+  done;
+  drain des (fun ~time:_ ~src:_ ~dst:_ m -> got := m :: !got);
+  Alcotest.(check int) "twice as many deliveries" 20 (List.length !got);
+  Alcotest.(check int) "dups counted" 10 (Des.dups des);
+  (* FIFO still holds: each copy lands right after its original. *)
+  Alcotest.(check (list int)) "adjacent duplicates"
+    (List.concat_map (fun i -> [ i; i ]) (List.init 10 (fun i -> i + 1)))
+    (List.rev !got)
+
+let test_delay_spike () =
+  let des =
+    Des.create ~min_delay:0.1 ~max_delay:0.2
+      ~faults:(Des.faults ~spike_p:1.0 ~spike_delay:500.0 ())
+      ~rng:(Rng.create 10) ()
+  in
+  Des.send des ~src:0 ~dst:1 ();
+  let at = ref 0.0 in
+  drain des (fun ~time ~src:_ ~dst:_ _ -> at := time);
+  Alcotest.(check bool) "delivery delayed by the spike" true (!at >= 500.0)
+
+let test_self_messages_exempt_from_faults () =
+  (* Local timers must never be lost, whatever the channel profile. *)
+  let des =
+    Des.create ~faults:(Des.faults ~drop_p:1.0 ~dup_p:1.0 ()) ~rng:(Rng.create 11) ()
+  in
+  let got = ref 0 in
+  Des.send des ~src:3 ~dst:3 ();
+  drain des (fun ~time:_ ~src:_ ~dst:_ _ -> incr got);
+  Alcotest.(check int) "delivered exactly once" 1 !got
+
+let test_per_channel_override () =
+  let des = Des.create ~rng:(Rng.create 12) () in
+  Des.set_channel_faults des ~src:0 ~dst:1 (Des.faults ~drop_p:1.0 ());
+  let got = ref [] in
+  Des.send des ~src:0 ~dst:1 `Lossy;
+  Des.send des ~src:2 ~dst:1 `Clean;
+  drain des (fun ~time:_ ~src:_ ~dst:_ m -> got := m :: !got);
+  Alcotest.(check bool) "only the clean channel delivers" true (!got = [ `Clean ]);
+  Alcotest.(check int) "lossy channel dropped" 1 (Des.drops des)
+
+let test_partition_and_heal () =
+  let des = Des.create ~rng:(Rng.create 13) () in
+  Des.partition des 0 1;
+  let got = ref 0 in
+  Des.send des ~src:0 ~dst:1 ();
+  Des.send des ~src:1 ~dst:0 ();
+  drain des (fun ~time:_ ~src:_ ~dst:_ _ -> incr got);
+  Alcotest.(check int) "both directions cut" 0 !got;
+  Alcotest.(check int) "partition drops counted" 2 (Des.drops des);
+  Des.heal des 1 0;
+  Des.send des ~src:0 ~dst:1 ();
+  drain des (fun ~time:_ ~src:_ ~dst:_ _ -> incr got);
+  Alcotest.(check int) "healed link delivers" 1 !got
+
+let test_crash_restart () =
+  let des = Des.create ~rng:(Rng.create 14) () in
+  let restarts = ref [] in
+  Des.set_restart_hook des (fun ~time id -> restarts := (time, id) :: !restarts);
+  (* A pending timer of the crashed node dies with it. *)
+  Des.send des ~src:1 ~dst:1 `Timer;
+  Des.crash des 1;
+  Alcotest.(check bool) "down" true (Des.is_down des 1);
+  Des.send des ~src:0 ~dst:1 `ToDown;
+  Des.send des ~src:1 ~dst:0 `FromDown;
+  let got = ref 0 in
+  drain des (fun ~time:_ ~src:_ ~dst:_ _ -> incr got);
+  Alcotest.(check int) "nothing reaches or leaves a crashed node" 0 !got;
+  Alcotest.(check int) "drops counted" 3 (Des.drops des);
+  Des.restart_after des ~delay:5.0 1;
+  drain des sink;
+  Alcotest.(check bool) "back up" false (Des.is_down des 1);
+  (match !restarts with
+  | [ (t, 1) ] -> Alcotest.(check bool) "restart hook time" true (t >= 5.0)
+  | _ -> Alcotest.fail "restart hook not called exactly once");
+  Des.send des ~src:0 ~dst:1 `Hello;
+  drain des (fun ~time:_ ~src:_ ~dst:_ _ -> incr got);
+  Alcotest.(check int) "delivers after restart" 1 !got
+
+let test_weak_events_do_not_block_quiescence () =
+  let des = Des.create ~rng:(Rng.create 15) () in
+  (* The keepalive sits far in the future; the drain must not chase it. *)
+  Des.send_after ~weak:true des ~delay:1000.0 ~src:0 ~dst:0 `Keepalive;
+  Des.send des ~src:0 ~dst:1 `Work;
+  let got = ref [] in
+  drain des (fun ~time:_ ~src:_ ~dst:_ m -> got := m :: !got);
+  (* The strong message is drained; the keepalive stays queued. *)
+  Alcotest.(check bool) "only strong work dispatched" true (!got = [ `Work ]);
+  Alcotest.(check int) "weak event still pending" 1 (Des.pending des);
+  (* With idle_ok false the drain digs into weak events too. *)
+  let idle = ref false in
+  drain des
+    ~idle_ok:(fun () -> !idle)
+    (fun ~time:_ ~src:_ ~dst:_ m ->
+      got := m :: !got;
+      idle := true);
+  Alcotest.(check int) "keepalive eventually dispatched" 2 (List.length !got);
+  Alcotest.(check int) "drained" 0 (Des.pending des)
+
+let test_budget_livelock () =
+  (* A handler that always reschedules itself can never quiesce; the
+     budget must turn the spin into a report. *)
+  let des = Des.create ~rng:(Rng.create 16) () in
+  Des.send des ~src:0 ~dst:1 ();
+  let result =
+    Des.run_until_quiescent ~budget:100 des
+      ~handler:(fun ~time:_ ~src:_ ~dst _ -> Des.send des ~src:dst ~dst:(1 - dst) ())
+  in
+  (match result with
+  | Des.Livelock { dispatched; pending } ->
+      Alcotest.(check int) "budget consumed" 100 dispatched;
+      Alcotest.(check bool) "work still pending" true (pending > 0)
+  | Des.Quiescent -> Alcotest.fail "expected a livelock report");
+  Alcotest.check_raises "bad budget"
+    (Invalid_argument "Des.run_until_quiescent: budget must be positive")
+    (fun () -> ignore (Des.run_until_quiescent ~budget:0 des ~handler:sink))
+
+let chaos_profile = Des.faults ~drop_p:0.3 ~dup_p:0.2 ~spike_p:0.1 ~spike_delay:25.0 ()
+
+(* A small seeded protocol: relays plus timer chatter, under faults. *)
+let chaos_run seed =
+  let des = Des.create ~faults:chaos_profile ~rng:(Rng.create seed) () in
+  Des.set_trace des true;
+  for i = 0 to 19 do
+    Des.send des ~src:(i mod 5) ~dst:((i + 1) mod 5) i
+  done;
+  drain des (fun ~time:_ ~src:_ ~dst m ->
+      if m < 40 then Des.send des ~src:dst ~dst:((dst + 2) mod 5) (m + 7));
+  (Des.trace des, Des.digest des, Des.drops des, Des.dups des)
+
+let test_trace_replay_deterministic () =
+  let t1, d1, drops1, dups1 = chaos_run 2024 in
+  let t2, d2, drops2, dups2 = chaos_run 2024 in
+  Alcotest.(check bool) "bit-identical traces" true (t1 = t2);
+  Alcotest.(check int) "identical digests" d1 d2;
+  Alcotest.(check int) "identical drop counts" drops1 drops2;
+  Alcotest.(check int) "identical dup counts" dups1 dups2;
+  Alcotest.(check bool) "faults actually fired" true (drops1 > 0 && dups1 > 0);
+  let _, d3, _, _ = chaos_run 2025 in
+  Alcotest.(check bool) "different seed, different digest" true (d1 <> d3);
+  (* Replay feeds the recorded steps back verbatim. *)
+  let replayed = ref [] in
+  Des.replay t1 ~handler:(fun ~time ~src ~dst m ->
+      replayed := { Des.at = time; src; dst; msg = m } :: !replayed);
+  Alcotest.(check bool) "replay preserves the steps" true
+    (List.rev !replayed = t1)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "queue depth gauge" `Quick test_queue_depth_gauge_tracks_dispatch;
+      Alcotest.test_case "drop everything" `Quick test_drop_everything;
+      Alcotest.test_case "duplicate everything" `Quick test_duplicate_everything;
+      Alcotest.test_case "delay spike" `Quick test_delay_spike;
+      Alcotest.test_case "self messages exempt" `Quick test_self_messages_exempt_from_faults;
+      Alcotest.test_case "per-channel override" `Quick test_per_channel_override;
+      Alcotest.test_case "partition and heal" `Quick test_partition_and_heal;
+      Alcotest.test_case "crash and restart" `Quick test_crash_restart;
+      Alcotest.test_case "weak events" `Quick test_weak_events_do_not_block_quiescence;
+      Alcotest.test_case "budget livelock" `Quick test_budget_livelock;
+      Alcotest.test_case "trace replay determinism" `Quick test_trace_replay_deterministic;
+    ]
+
+(* --- appended: property tests for the invariants the protocol relies on --- *)
+
+(* Per-channel FIFO under jitter and faults: send increasing payloads on
+   every channel; whatever subset survives (drops) or doubles (dups) must
+   arrive in non-decreasing order with at most two copies each. *)
+let prop_fifo_under_faults =
+  QCheck.Test.make ~name:"per-channel FIFO survives jitter, drops and dups"
+    ~count:60
+    QCheck.(
+      triple (int_range 0 1_000_000) (int_range 0 10) (int_range 0 10))
+    (fun (seed, drop10, dup10) ->
+      let faults =
+        Des.faults ~drop_p:(float_of_int drop10 /. 10.0)
+          ~dup_p:(float_of_int dup10 /. 10.0)
+          ~spike_p:0.2 ~spike_delay:40.0 ()
+      in
+      let des = Des.create ~faults ~rng:(Rng.create seed) () in
+      let channels = [ (0, 1); (1, 0); (2, 1); (0, 2) ] in
+      for i = 0 to 29 do
+        List.iter (fun (src, dst) -> Des.send des ~src ~dst i) channels
+      done;
+      let per_channel = Hashtbl.create 8 in
+      (match Des.run_until_quiescent des ~handler:(fun ~time:_ ~src ~dst m ->
+           let key = (src, dst) in
+           let old = Option.value ~default:[] (Hashtbl.find_opt per_channel key) in
+           Hashtbl.replace per_channel key (m :: old))
+       with
+      | Des.Quiescent -> ()
+      | Des.Livelock _ -> QCheck.Test.fail_report "no budget given, yet livelock");
+      List.for_all
+        (fun key ->
+          let seq =
+            List.rev (Option.value ~default:[] (Hashtbl.find_opt per_channel key))
+          in
+          let rec ordered = function
+            | a :: (b :: _ as rest) -> a <= b && ordered rest
+            | _ -> true
+          in
+          let count x = List.length (List.filter (fun y -> y = x) seq) in
+          ordered seq && List.for_all (fun x -> count x <= 2) seq)
+        channels)
+
+(* Same seed + same fault profile ⇒ the delivered event sequence is
+   bit-identical, including under handler-driven sends. *)
+let prop_seeded_chaos_deterministic =
+  QCheck.Test.make ~name:"same seed and faults give identical traces" ~count:40
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 10))
+    (fun (seed, drop10) ->
+      let run () =
+        let faults =
+          Des.faults ~drop_p:(float_of_int drop10 /. 20.0) ~dup_p:0.15 ()
+        in
+        let des = Des.create ~faults ~rng:(Rng.create seed) () in
+        Des.set_trace des true;
+        for i = 0 to 14 do
+          Des.send des ~src:(i mod 3) ~dst:((i + 1) mod 3) i
+        done;
+        (match Des.run_until_quiescent des ~handler:(fun ~time:_ ~src:_ ~dst m ->
+             if m < 30 then Des.send des ~src:dst ~dst:((dst + 1) mod 3) (m + 5))
+         with
+        | Des.Quiescent -> ()
+        | Des.Livelock _ -> QCheck.Test.fail_report "unexpected livelock");
+        (Des.trace des, Des.digest des)
+      in
+      let t1, d1 = run () and t2, d2 = run () in
+      t1 = t2 && d1 = d2)
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_fifo_under_faults;
+      QCheck_alcotest.to_alcotest prop_seeded_chaos_deterministic;
     ]

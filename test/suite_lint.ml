@@ -19,7 +19,7 @@ let check_rules path expected =
 
 let test_poly_compare () =
   check_rules "poly_compare_fail.ml"
-    [ "poly-compare"; "poly-compare"; "poly-compare"; "poly-compare" ];
+    [ "poly-compare"; "poly-compare"; "poly-compare"; "poly-compare"; "poly-compare" ];
   check_rules "poly_compare_pass.ml" []
 
 let test_handler_raise () =
@@ -68,7 +68,7 @@ let test_clean () = check_rules "clean.ml" []
    broken fixture would surface as a [parse-error] diagnostic). *)
 let test_fixture_tree () =
   let _, diags = Lint_rules.run [ fixture "" ] in
-  Alcotest.(check int) "total violations" 23 (List.length diags);
+  Alcotest.(check int) "total violations" 24 (List.length diags);
   let seen =
     List.sort_uniq String.compare
       (List.map (fun d -> d.Lint_rules.rule) diags)
@@ -123,13 +123,13 @@ let test_exe_json_report () =
     | None -> Alcotest.failf "report lacks int field %S" name
   in
   Alcotest.(check int) "checked_files" 1 (int_field "checked_files");
-  Alcotest.(check int) "violations" 4 (int_field "violations");
+  Alcotest.(check int) "violations" 5 (int_field "violations");
   let diags =
     match Option.bind (Json.member "diagnostics" doc) Json.to_list_opt with
     | Some l -> l
     | None -> Alcotest.fail "report lacks a diagnostics array"
   in
-  Alcotest.(check int) "diagnostic count" 4 (List.length diags);
+  Alcotest.(check int) "diagnostic count" 5 (List.length diags);
   List.iter
     (fun d ->
       match Option.bind (Json.member "rule" d) Json.to_string_opt with

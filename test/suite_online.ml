@@ -100,7 +100,7 @@ let test_scenario2_silent_initiator () =
   let w = Workload.point ~total:600 () in
   let base = Online.recommended w in
   (* Silence every vehicle: all done vehicles rely on their monitors. *)
-  let all_ids = List.init 200 (fun i -> i) in
+  let all_ids = List.init (Online.fleet_size base w) (fun i -> i) in
   let cfg = { base with Online.faults = { Online.no_faults with Online.silent_initiators = all_ids } } in
   let o = Online.run cfg w in
   check_success "scenario 2" w o;
@@ -228,7 +228,10 @@ let test_scenario4_mild_longevity_survives () =
      ring and replacements absorb it. *)
   let w = Workload.square ~side:4 ~per_point:25 () in
   let base = Online.recommended w in
-  let longevity = List.init 20 (fun i -> (3 * i, 0.5)) in
+  let n = Online.fleet_size base w in
+  let longevity =
+    List.filter (fun (id, _) -> id < n) (List.init 20 (fun i -> (3 * i, 0.5)))
+  in
   let cfg =
     {
       base with
@@ -246,7 +249,7 @@ let test_scenario4_mass_breakdown_fails () =
   let w = Workload.point ~total:400 () in
   let base = Online.recommended w in
   (* Everyone breaks at 5% of charge: almost no usable energy anywhere. *)
-  let longevity = List.init 2000 (fun i -> (i, 0.05)) in
+  let longevity = List.init (Online.fleet_size base w) (fun i -> (i, 0.05)) in
   let cfg = { base with Online.faults = { Online.no_faults with Online.longevity } } in
   let o = Online.run cfg w in
   Alcotest.(check bool) "fails as the theory predicts" true
@@ -354,4 +357,148 @@ let suite =
       Alcotest.test_case "trace causal order" `Quick test_trace_causal_order;
       Alcotest.test_case "trace retirement first" `Quick test_trace_retirement_precedes_computation;
       Alcotest.test_case "trace walks <= 1" `Quick test_trace_walks_at_most_one;
+    ]
+
+(* --- appended: chaos hardening (lossy channels, partitions, livelock) --- *)
+
+let chaos = Des.faults ~drop_p:0.2 ~dup_p:0.1 ()
+
+let test_chaos_point_serves_all () =
+  (* The acceptance bar of the robustness work: drop 0.2 / dup 0.1 on
+     every channel, and the ack/retry + heartbeat machinery still serves
+     every job with no starved search. *)
+  let w = Workload.point ~total:400 () in
+  let base = Online.recommended w in
+  let o = Online.run { base with Online.chaos } w in
+  check_success "chaos hot point" w o;
+  Alcotest.(check bool) "channels actually lossy" true (o.Online.drops > 0);
+  Alcotest.(check bool) "duplicates injected" true (o.Online.dups > 0);
+  Alcotest.(check bool) "retries happened" true (o.Online.retries_sent > 0);
+  Alcotest.(check int) "no livelock with retries on" 0 o.Online.livelocks;
+  Alcotest.(check int) "no starved search beyond the fault-free run" 0
+    o.Online.starved_searches
+
+let test_chaos_square_serves_all () =
+  let w = Workload.square ~side:4 ~per_point:25 () in
+  let base = Online.recommended w in
+  let o = Online.run { base with Online.chaos } w in
+  check_success "chaos square" w o
+
+let test_chaos_with_deaths () =
+  (* Lossy channels and mid-run deaths at once; extra capacity absorbs
+     the replacements exactly as in the fault-free scenario 3. *)
+  let w = Workload.square ~side:4 ~per_point:40 () in
+  let base = Online.recommended w in
+  let cfg =
+    {
+      base with
+      Online.capacity = base.Online.capacity +. 8.0;
+      chaos;
+      faults = { Online.no_faults with Online.deaths = [ (10, 0); (30, 5) ] };
+    }
+  in
+  check_success "chaos + deaths" w (Online.run cfg w)
+
+let test_partitioned_link_tolerated () =
+  (* Cutting one link makes one neighbor permanently unreachable; retry
+     exhaustion accounts it as a negative reply and the search succeeds
+     through the rest of the cube. *)
+  let w = Workload.point ~total:400 () in
+  let base = Online.recommended w in
+  let n = Online.fleet_size base w in
+  let cfg = { base with Online.partitions = [ (0, min 1 (n - 1)) ] } in
+  check_success "partitioned link" w (Online.run cfg w)
+
+let test_retries_disabled_livelock_reported () =
+  (* Without the reliable layer, lossy channels strand the diffusing
+     computations; the budget must end the run with a livelock report
+     instead of an infinite spin, and the run still terminates with
+     partial service. *)
+  let w = Workload.point ~total:300 () in
+  let base = Online.recommended w in
+  let cfg =
+    {
+      base with
+      Online.chaos = Des.faults ~drop_p:0.3 ~dup_p:0.1 ();
+      retries = false;
+      quiesce_budget = 60;
+    }
+  in
+  let o = Online.run cfg w in
+  Alcotest.(check bool) "livelock reported" true (o.Online.livelocks > 0);
+  Alcotest.(check bool) "prefix still served" true (o.Online.served > 0);
+  Alcotest.(check bool) "degraded, not silently fine" true
+    (not (Online.succeeded o))
+
+let test_chaos_trace_digest_deterministic () =
+  (* Same seed + same fault config ⇒ bit-identical runs. *)
+  let w = Workload.point ~total:300 () in
+  let base = Online.recommended ~seed:7 w in
+  let cfg = { base with Online.chaos } in
+  let o1 = Online.run cfg w and o2 = Online.run cfg w in
+  Alcotest.(check int) "identical digests" o1.Online.trace_digest
+    o2.Online.trace_digest;
+  Alcotest.(check int) "identical message counts" o1.Online.messages
+    o2.Online.messages;
+  Alcotest.(check int) "identical drops" o1.Online.drops o2.Online.drops;
+  Alcotest.(check int) "identical retries" o1.Online.retries_sent
+    o2.Online.retries_sent;
+  let o3 = Online.run { cfg with Online.seed = 8 } w in
+  Alcotest.(check bool) "different seed, different digest" true
+    (o3.Online.trace_digest <> o1.Online.trace_digest)
+
+let test_fault_plan_validation () =
+  let w = Workload.point ~total:50 () in
+  let base = Online.recommended w in
+  let rejected what cfg =
+    match Online.run cfg w with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" what
+  in
+  rejected "silent initiator out of range"
+    { base with Online.faults = { Online.no_faults with Online.silent_initiators = [ 9999 ] } };
+  rejected "death id out of range"
+    { base with Online.faults = { Online.no_faults with Online.deaths = [ (1, 9999) ] } };
+  rejected "negative death id"
+    { base with Online.faults = { Online.no_faults with Online.deaths = [ (1, -2) ] } };
+  rejected "longevity id out of range"
+    { base with Online.faults = { Online.no_faults with Online.longevity = [ (9999, 0.5) ] } };
+  rejected "partition endpoint out of range" { base with Online.partitions = [ (0, 9999) ] };
+  (* The config builder rejects what it can check without a fleet. *)
+  (match
+     Online.config ~capacity:10.0 ~side:4
+       ~faults:{ Online.no_faults with Online.longevity = [ (0, 1.5) ] }
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "longevity fraction 1.5: expected Invalid_argument");
+  (match
+     Online.config ~capacity:10.0 ~side:4
+       ~faults:{ Online.no_faults with Online.deaths = [ (-1, 0) ] }
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative death index: expected Invalid_argument");
+  (match Online.config ~capacity:10.0 ~side:4 ~quiesce_budget:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero budget: expected Invalid_argument")
+
+let test_fleet_size_matches_run () =
+  let w = Workload.square ~side:4 ~per_point:5 () in
+  let cfg = Online.recommended w in
+  let o = Online.run cfg w in
+  Alcotest.(check int) "fleet_size agrees with the run" o.Online.vehicles
+    (Online.fleet_size cfg w)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "chaos: hot point serves all" `Quick test_chaos_point_serves_all;
+      Alcotest.test_case "chaos: square serves all" `Quick test_chaos_square_serves_all;
+      Alcotest.test_case "chaos + deaths" `Quick test_chaos_with_deaths;
+      Alcotest.test_case "partitioned link tolerated" `Quick test_partitioned_link_tolerated;
+      Alcotest.test_case "retries off: livelock reported" `Quick test_retries_disabled_livelock_reported;
+      Alcotest.test_case "chaos digest determinism" `Quick test_chaos_trace_digest_deterministic;
+      Alcotest.test_case "fault plan validation" `Quick test_fault_plan_validation;
+      Alcotest.test_case "fleet_size matches run" `Quick test_fleet_size_matches_run;
     ]

@@ -321,6 +321,27 @@ let check_apply ctx fn_lid args loc =
             Point.equal (L1 bookkeeping must not rely on structural compare)"
            (dotted fn_lid))
   | _ -> ());
+  (* Rule: poly-compare (record field tested against [] with structural
+     equality).  [o.failures = []] deep-compares every element — floats,
+     records, whatever the list holds; emptiness is a pattern match. *)
+  let is_nil (e : expression) =
+    match e.pexp_desc with
+    | Pexp_construct ({ txt = Longident.Lident "[]"; _ }, None) -> true
+    | _ -> false
+  in
+  let is_field (e : expression) =
+    match e.pexp_desc with Pexp_field _ -> true | _ -> false
+  in
+  (match (comps, unlabeled) with
+  | [ ("=" | "<>" | "==" | "!=") ], [ a; b ]
+    when (is_nil a && is_field b) || (is_field a && is_nil b) ->
+      emit ctx ~rule:"poly-compare" ~loc
+        (Printf.sprintf
+           "structural `%s` between a record field and `[]` — test emptiness \
+            with a pattern match; structural equality deep-compares whatever \
+            the list holds"
+           (dotted fn_lid))
+  | _ -> ());
   (* Rule: energy-arith. *)
   (match comps with
   | [ (("+" | "-" | "*") as op) ]
