@@ -1101,6 +1101,36 @@ let json_scenarios ~quick =
           { base with Online.chaos = Des.faults ~drop_p:0.2 ~dup_p:0.1 () }
         in
         ignore (Online.run cfg w) );
+    (* serve/*: the oracle-as-a-service path, replayed in-process so the
+       scenario measures engine + cache + batching without socket noise.
+       The serve.*/loadgen.* counters (requests, hits, misses, histogram
+       observation counts) are deterministic at any Pool width; CI gates
+       them tightly and the wall clock loosely (see docs/SERVING.md). *)
+    ( "serve/repeat-heavy",
+      fun () ->
+        let engine = Engine.create () in
+        let reqs =
+          Loadgen.queries ~seed:11 ~mix:Loadgen.Repeat_heavy ~n:(scale 300)
+        in
+        match Loadgen.replay_engine engine reqs with
+        | Ok _ -> ()
+        | Error m -> failwith m );
+    ( "serve/churn",
+      fun () ->
+        let engine = Engine.create () in
+        let reqs = Loadgen.queries ~seed:12 ~mix:Loadgen.Churn ~n:(scale 300) in
+        match Loadgen.replay_engine engine reqs with
+        | Ok _ -> ()
+        | Error m -> failwith m );
+    ( "serve/cold-miss",
+      fun () ->
+        let engine = Engine.create () in
+        let reqs =
+          Loadgen.queries ~seed:13 ~mix:Loadgen.Cold_miss ~n:(scale 120)
+        in
+        match Loadgen.replay_engine engine reqs with
+        | Ok _ -> ()
+        | Error m -> failwith m );
   ]
 
 let run_json_suite ~quick ~jobs ~revision path =
@@ -1124,6 +1154,7 @@ let run_json_suite ~quick ~jobs ~revision path =
             | _, Metrics.Count 0 -> false
             | _, Metrics.Level { value = 0.0; peak = 0.0 } -> false
             | _, Metrics.Span { calls = 0; _ } -> false
+            | _, Metrics.Dist { count = 0; _ } -> false
             | _ -> true
           in
           let metrics = List.filter touched (Metrics.snapshot ()) in

@@ -147,6 +147,14 @@ let metric_regressions ~metric_tolerance ~wall_tolerance ~scenario old_metrics
               flag (name ^ ".peak") o.peak n.peak metric_tolerance 0.0
           | Metrics.Span o, Metrics.Span n ->
               flag (name ^ ".ns") o.ns n.ns wall_tolerance span_slack_ns
+          | Metrics.Dist o, Metrics.Dist n ->
+              (* Observation counts are deterministic (one per request);
+                 the bucket shape and sum are wall-clock-dependent, so
+                 only the count is gated. *)
+              flag (name ^ ".count")
+                (float_of_int o.count)
+                (float_of_int n.count)
+                metric_tolerance 0.0
           | _ -> (* kind changed between revisions: not comparable *) None))
     new_metrics
 

@@ -29,7 +29,16 @@ let float_repr f =
   if Float.is_nan f then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.1f" f
-  else Printf.sprintf "%.12g" f
+  else begin
+    (* Shortest representation that parses back to the same double.  The
+       serving protocol relies on this: a cached ω* must survive the wire
+       bit-identically, and %.12g alone drops up to 5 significant bits. *)
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+  end
 
 let to_buffer ?(compact = false) buf v =
   let pad n = if not compact then Buffer.add_string buf (String.make n ' ') in

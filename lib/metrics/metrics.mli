@@ -18,6 +18,7 @@
 type counter
 type gauge
 type timer
+type histogram
 
 val set_enabled : bool -> unit
 (** Globally enable/disable recording (default: enabled).  Reads remain
@@ -33,6 +34,14 @@ val enabled : unit -> bool
 val counter : string -> counter
 val gauge : string -> gauge
 val timer : string -> timer
+
+val histogram : string -> histogram
+(** Fixed-bucket distribution cell for latency-style quantities.  The
+    buckets are geometric and shared by every histogram: upper bounds
+    [1µs · 2^i] in nanoseconds for [i = 0 .. 25] (≈1 µs to ≈33.6 s) plus
+    one overflow bucket, so two histograms are always comparable and a
+    snapshot is a few dozen ints.  See [docs/SERVING.md] for reading the
+    p50/p95/p99 readout. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -58,12 +67,30 @@ val now_ns : unit -> float
 val timer_ns : timer -> float
 val timer_calls : timer -> int
 
+val observe : histogram -> float -> unit
+(** Records one observation (a duration in nanoseconds, by convention).
+    Negative values clamp into the lowest bucket. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] for [q] in [\[0, 1\]] is the upper bound of
+    the bucket containing the [⌈q·count⌉]-th smallest observation — a
+    conservative (upper) quantile estimate, e.g.
+    [histogram_quantile h 0.99] for p99.  [nan] while the histogram is
+    empty; raises [Invalid_argument] outside [\[0, 1\]]. *)
+
 (** {1 Registry-wide views} *)
 
 type sample =
   | Count of int
   | Level of { value : float; peak : float }
   | Span of { ns : float; calls : int }
+  | Dist of { count : int; sum : float; buckets : (float * int) list }
+      (** Histogram snapshot: total observation count, sum, and the
+          non-empty buckets as (upper bound, count) pairs in ascending
+          bound order. *)
 
 val snapshot : unit -> (string * sample) list
 (** All registered cells, sorted by name. *)

@@ -1,0 +1,26 @@
+(** FNV-1a mixing on native [int]s.
+
+    A tiny non-cryptographic hash used wherever the tree needs a cheap,
+    deterministic digest of structured data: the DES trace digest, and the
+    canonical demand-set keys of the serving cache
+    ([lib/serve/protocol.ml]).  The stream API folds one value at a time
+    ([digest |> add_int x |> add_int y]); equal input sequences give equal
+    digests on every platform with 63-bit [int]s.
+
+    This is a fingerprint, not a security boundary: collisions are
+    possible in principle, so exact consumers (the serve cache) must pair
+    the digest with a structural equality check. *)
+
+val basis : int
+(** The FNV-1a 64-bit offset basis, truncated to OCaml's 63-bit [int]. *)
+
+val add_int : int -> int -> int
+(** [add_int h x] folds [x] into digest [h] (both full-width: the value is
+    mixed byte by byte, so [add_int h] separates [1] from [256]). *)
+
+val add_string : int -> string -> int
+(** Folds the bytes of the string, then its length (so concatenation
+    boundaries matter: [["ab";"c"]] and [["a";"bc"]] digest apart). *)
+
+val of_ints : int list -> int
+(** [of_ints xs] is [List.fold_left add_int basis xs]. *)

@@ -1,0 +1,91 @@
+exception Bad_frame of string
+
+let max_payload = 16 * 1024 * 1024
+
+(* The longest legal header is the decimal width of max_payload plus the
+   newline; seeing no newline within that many buffered bytes is already
+   a framing error, not a need for more input. *)
+let max_header = String.length (string_of_int max_payload) + 1
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_frame m)) fmt
+
+let encode payload =
+  if String.length payload > max_payload then
+    bad "payload of %d bytes exceeds the %d-byte frame cap"
+      (String.length payload) max_payload;
+  Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+let write oc payload =
+  output_string oc (encode payload);
+  flush oc
+
+let read ic =
+  match input_line ic with
+  | exception End_of_file -> None
+  | header -> (
+      let len =
+        match int_of_string_opt header with
+        | Some n when n >= 0 && n <= max_payload -> n
+        | Some n -> bad "frame length %d out of range" n
+        | None -> bad "malformed frame header %S" header
+      in
+      match really_input_string ic (len + 1) with
+      | exception End_of_file -> bad "end of stream inside a %d-byte frame" len
+      | body ->
+          if body.[len] <> '\n' then
+            bad "frame of %d bytes not terminated by a newline" len;
+          Some (String.sub body 0 len))
+
+(* --- incremental decoding --- *)
+
+(* [buf] holds every byte received but not yet popped; [pos] is the
+   consumed prefix.  Extraction is O(frame) and the buffer is compacted
+   once the dead prefix dominates, so a long-lived connection does not
+   accumulate garbage. *)
+type decoder = { mutable buf : Buffer.t; mutable pos : int }
+
+let decoder () = { buf = Buffer.create 512; pos = 0 }
+
+let feed d bytes off len = Buffer.add_subbytes d.buf bytes off len
+
+let feed_string d s = Buffer.add_string d.buf s
+
+let compact d =
+  if d.pos > 4096 && 2 * d.pos > Buffer.length d.buf then begin
+    let rest = Buffer.sub d.buf d.pos (Buffer.length d.buf - d.pos) in
+    let fresh = Buffer.create (String.length rest + 512) in
+    Buffer.add_string fresh rest;
+    d.buf <- fresh;
+    d.pos <- 0
+  end
+
+let next d =
+  let avail = Buffer.length d.buf - d.pos in
+  let rec find_newline i =
+    if i >= avail then None
+    else if Char.equal (Buffer.nth d.buf (d.pos + i)) '\n' then Some i
+    else if i + 1 >= max_header then
+      bad "no frame header within %d bytes" max_header
+    else find_newline (i + 1)
+  in
+  match find_newline 0 with
+  | None -> if avail >= max_header then bad "unterminated frame header" else None
+  | Some header_len -> (
+      let header = Buffer.sub d.buf d.pos header_len in
+      let len =
+        match int_of_string_opt header with
+        | Some n when n >= 0 && n <= max_payload -> n
+        | Some n -> bad "frame length %d out of range" n
+        | None -> bad "malformed frame header %S" header
+      in
+      let total = header_len + 1 + len + 1 in
+      if avail < total then None
+      else begin
+        let terminator = Buffer.nth d.buf (d.pos + total - 1) in
+        if not (Char.equal terminator '\n') then
+          bad "frame of %d bytes not terminated by a newline" len;
+        let payload = Buffer.sub d.buf (d.pos + header_len + 1) len in
+        d.pos <- d.pos + total;
+        compact d;
+        Some payload
+      end)

@@ -1,0 +1,133 @@
+let m_requests = Metrics.counter "serve.requests"
+let m_batches = Metrics.counter "serve.batches"
+let m_hits = Metrics.counter "serve.cache_hits"
+let m_misses = Metrics.counter "serve.cache_misses"
+let m_oracle_calls = Metrics.counter "serve.oracle_calls"
+let m_errors = Metrics.counter "serve.errors"
+let m_cache_size = Metrics.gauge "serve.cache_size"
+let m_batch_size = Metrics.gauge "serve.batch_size"
+let m_batch_span = Metrics.timer "serve.batch"
+let m_latency = Metrics.histogram "serve.request_latency_ns"
+
+type t = { cache : Protocol.answer Qcache.t }
+
+let create ?(cache_capacity = 4096) () =
+  { cache = Qcache.create ~capacity:cache_capacity () }
+
+let cache_size t = Qcache.size t.cache
+
+let wants_shutdown (r : Protocol.request) =
+  match r.Protocol.op with Protocol.Shutdown -> true | _ -> false
+
+(* One oracle evaluation — the exact code path a one-shot CLI call takes,
+   which is what makes cached and fresh answers interchangeable.  Runs
+   inside the Pool fan-out, so failures are captured as values here and
+   never tear down sibling computations. *)
+let evaluate (req : Protocol.request) : (Protocol.answer, string) result =
+  match req.Protocol.op with
+  | Protocol.Ping | Protocol.Shutdown -> Ok Protocol.Pong
+  | Protocol.Omega_star -> (
+      try Ok (Protocol.Value (Oracle.omega_star ~scale:req.Protocol.scale req.Protocol.demand))
+      with Invalid_argument m | Failure m -> Error m)
+  | Protocol.Lp_value radius -> (
+      try
+        Ok
+          (Protocol.Value
+             (Oracle.lp_value ~scale:req.Protocol.scale ~radius req.Protocol.demand))
+      with Invalid_argument m | Failure m -> Error m)
+  | Protocol.Witness -> (
+      try Ok (Protocol.Tight_set (Oracle.witness ~scale:req.Protocol.scale req.Protocol.demand))
+      with Invalid_argument m | Failure m -> Error m)
+
+(* Per-request disposition after the probe phase. *)
+type slot =
+  | Control
+  | Hit of Protocol.answer
+  | Miss of { key : Qcache.key; compute : int }
+      (** [compute] indexes the deduplicated computation array; several
+          batch slots may share one index (coalescing). *)
+  | Malformed of string
+
+let process_batch t (reqs : Protocol.request array) =
+  let n = Array.length reqs in
+  if n = 0 then [||]
+  else begin
+    Metrics.incr m_batches;
+    Metrics.add m_requests n;
+    Metrics.set_gauge m_batch_size (float_of_int n);
+    let t0 = Metrics.now_ns () in
+    (* Probe: cache lookups and in-batch coalescing, control domain only. *)
+    let unique_rev = ref [] and n_unique = ref 0 in
+    let slots =
+      Array.map
+        (fun (req : Protocol.request) ->
+          match req.Protocol.op with
+          | Protocol.Ping | Protocol.Shutdown -> Control
+          | Protocol.Omega_star | Protocol.Lp_value _ | Protocol.Witness -> (
+              match Qcache.key ~op:req.Protocol.op ~scale:req.Protocol.scale req.Protocol.demand with
+              | exception Invalid_argument m -> Malformed m
+              | key -> (
+                  match Qcache.find t.cache key with
+                  | Some answer ->
+                      Metrics.incr m_hits;
+                      Hit answer
+                  | None -> (
+                      match
+                        List.find_opt
+                          (fun (k, _, _) -> Qcache.equal k key)
+                          !unique_rev
+                      with
+                      | Some (_, _, i) ->
+                          (* Coalesced onto an in-flight computation: the
+                             oracle runs once, so it counts as a hit. *)
+                          Metrics.incr m_hits;
+                          Miss { key; compute = i }
+                      | None ->
+                          Metrics.incr m_misses;
+                          let i = !n_unique in
+                          incr n_unique;
+                          unique_rev := (key, req, i) :: !unique_rev;
+                          Miss { key; compute = i }))))
+        reqs
+    in
+    (* Compute: distinct misses fan out through the Domain pool. *)
+    let uniques = Array.of_list (List.rev !unique_rev) in
+    Metrics.add m_oracle_calls (Array.length uniques);
+    let computed = Pool.map (fun (_, req, _) -> evaluate req) uniques in
+    (* Publish: fill the cache, then answer in request order. *)
+    Array.iteri
+      (fun i (key, _, _) ->
+        match computed.(i) with
+        | Ok answer -> Qcache.add t.cache key answer
+        | Error _ -> ())
+      uniques;
+    Metrics.set_gauge m_cache_size (float_of_int (Qcache.size t.cache));
+    let responses =
+      Array.map2
+        (fun (req : Protocol.request) slot ->
+          match slot with
+          | Control ->
+              { Protocol.r_id = req.Protocol.id; r_cached = false; r_result = Ok Protocol.Pong }
+          | Hit answer ->
+              { Protocol.r_id = req.Protocol.id; r_cached = true; r_result = Ok answer }
+          | Miss { compute; _ } ->
+              if Result.is_error computed.(compute) then Metrics.incr m_errors;
+              { Protocol.r_id = req.Protocol.id; r_cached = false; r_result = computed.(compute) }
+          | Malformed m ->
+              Metrics.incr m_errors;
+              { Protocol.r_id = req.Protocol.id; r_cached = false; r_result = Error m })
+        reqs slots
+    in
+    let elapsed = Metrics.now_ns () -. t0 in
+    Metrics.add_ns m_batch_span elapsed;
+    (* Per-request service latency: every request in the batch waited for
+       the whole batch, so each observes the batch wall time.  The
+       observation count (one per request) is the deterministic part. *)
+    Array.iter (fun _ -> Metrics.observe m_latency elapsed) reqs;
+    responses
+  end
+
+let process t req =
+  match process_batch t [| req |] with
+  | [| r |] -> r
+  | _ -> assert false

@@ -1,0 +1,48 @@
+(** The serving engine: oracle queries in, answers out, cache in between.
+
+    The engine is transport-agnostic — the daemon's socket loop, the
+    stdio pipe, the load generator's in-process mode and the benchmark
+    scenarios all feed it the same way: {!process_batch} with whatever
+    requests are currently pending.
+
+    A batch is processed in three phases (see [docs/SERVING.md]):
+
+    + {b probe} (control domain): each request's cache key is computed
+      and looked up; duplicate keys {e within} the batch are coalesced
+      onto one computation;
+    + {b compute} ([Pool] fan-out): the distinct misses run through the
+      exact oracle in parallel, each on its own warm flow arena;
+    + {b publish} (control domain): results enter the cache and the
+      responses are assembled in request order.
+
+    Only phase 2 is parallel, so the cache needs no locking, and the
+    response order (and every [serve.*] counter) is deterministic at any
+    [Pool] width.
+
+    Answers are bit-identical to one-shot {!Oracle} calls: a cache hit
+    returns the stored float/witness unchanged, and a miss runs exactly
+    the code path the CLI's [solve] would. *)
+
+type t
+
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] defaults to 4096 entries. *)
+
+val evaluate : Protocol.request -> (Protocol.answer, string) result
+(** One fresh oracle evaluation, bypassing the cache — the reference the
+    load generator's [--check] mode compares served answers against.
+    Control ops answer [Pong]; oracle failures come back as [Error]. *)
+
+val process_batch : t -> Protocol.request array -> Protocol.response array
+(** [(process_batch t reqs).(i)] answers [reqs.(i)].  Malformed requests
+    (dimension mismatches, oversized scales) yield [Error] responses;
+    the call itself never raises on request content. *)
+
+val process : t -> Protocol.request -> Protocol.response
+(** Singleton batch. *)
+
+val cache_size : t -> int
+
+val wants_shutdown : Protocol.request -> bool
+(** True on [Shutdown] — transports decide what to do with it; the
+    engine just answers [Pong]. *)

@@ -1,0 +1,57 @@
+(** Wire protocol of the [cmvrp_serve] daemon.
+
+    One request or response per {!Frame} payload, encoded as one compact
+    JSON document — the "length-prefixed JSON lines" protocol of
+    [docs/SERVING.md].  A request names an oracle operation and carries a
+    demand set as [(position, demand)] rows; a response carries the
+    operation's answer bit-identically (the JSON float emitter is
+    shortest-round-trip), a [cached] flag, and echoes the request [id] so
+    clients can pipeline.
+
+    The module also defines the {e canonical demand-set digest} the
+    result cache keys on: the demand rows are aggregated into a
+    {!Demand_map.t} (summing duplicate positions) and folded in the map's
+    sorted support order through {!Fnv}, so any two row permutations of
+    the same demand function digest identically. *)
+
+type op =
+  | Omega_star  (** [ω*] of program (2.8) — {!Oracle.omega_star} *)
+  | Lp_value of int
+      (** value of program (2.1) at the given radius — {!Oracle.lp_value} *)
+  | Witness  (** a tight set for (2.8) — {!Oracle.witness} *)
+  | Ping  (** liveness probe; never touches the oracle or the cache *)
+  | Shutdown  (** ask the daemon to stop after answering *)
+
+type request = {
+  id : int;  (** echoed verbatim; clients use it to match pipelined replies *)
+  op : op;
+  scale : int;  (** resolution denominator, default [720720] *)
+  demand : Demand_map.t;  (** already aggregated — the canonical form *)
+}
+
+type answer =
+  | Value of float  (** [Omega_star] and [Lp_value] results *)
+  | Tight_set of (Point.t list * float) option  (** [Witness] result *)
+  | Pong  (** [Ping]/[Shutdown] acknowledgement *)
+
+type response = { r_id : int; r_cached : bool; r_result : (answer, string) result }
+
+val default_scale : int
+
+val request : ?scale:int -> id:int -> op -> Demand_map.t -> request
+
+val demand_digest : Demand_map.t -> int
+(** Canonical digest of a demand function: permutation-invariant over the
+    rows it was built from, dimension- and multiplicity-sensitive.  A
+    fingerprint, not a proof of equality — cache consumers pair it with
+    structural comparison ({!Qcache}). *)
+
+val request_to_string : request -> string
+val request_of_string : string -> (request, string) result
+
+val response_to_string : response -> string
+val response_of_string : string -> (response, string) result
+
+val answer_equal : answer -> answer -> bool
+(** Bit-exact comparison: float equality on values, [Point.equal] on
+    witness members.  This is the predicate behind [loadgen --check]. *)

@@ -1,0 +1,83 @@
+(* The cache is a plain int-keyed hashtable from digest to entries plus
+   a FIFO ring of live digests for eviction.  All structural comparison
+   is explicit (Point.compare via Demand_map bindings), never the
+   polymorphic `=`. *)
+
+type key = {
+  k_digest : int;
+  k_op : string; (* canonical op tag, radius baked in for lp_value *)
+  k_scale : int;
+  k_demand : Demand_map.t;
+}
+
+let op_tag : Protocol.op -> string = function
+  | Protocol.Omega_star -> "omega_star"
+  | Protocol.Witness -> "witness"
+  | Protocol.Lp_value r -> "lp_value:" ^ string_of_int r
+  | Protocol.Ping | Protocol.Shutdown ->
+      invalid_arg "Qcache.key: control ops are never cached"
+
+let key ~op ~scale demand =
+  {
+    k_digest = Protocol.demand_digest demand;
+    k_op = op_tag op;
+    k_scale = scale;
+    k_demand = demand;
+  }
+
+let demand_equal a b =
+  Demand_map.dim a = Demand_map.dim b
+  && Demand_map.support_size a = Demand_map.support_size b
+  && Demand_map.fold a ~init:true ~f:(fun acc p v ->
+         acc && Demand_map.value b p = v)
+
+let key_equal a b =
+  a.k_digest = b.k_digest && String.equal a.k_op b.k_op
+  && a.k_scale = b.k_scale
+  && demand_equal a.k_demand b.k_demand
+
+let equal = key_equal
+
+type 'v entry = { e_key : key; mutable e_value : 'v }
+
+type 'v t = {
+  table : (int, 'v entry list) Hashtbl.t;
+  fifo : key Queue.t;
+  limit : int;
+  mutable live : int;
+}
+
+let create ~capacity () =
+  if capacity <= 0 then invalid_arg "Qcache.create: capacity must be positive";
+  { table = Hashtbl.create (min capacity 1024); fifo = Queue.create (); limit = capacity; live = 0 }
+
+let bucket t digest = Option.value ~default:[] (Hashtbl.find_opt t.table digest)
+
+let find t k =
+  List.find_map
+    (fun e -> if key_equal e.e_key k then Some e.e_value else None)
+    (bucket t k.k_digest)
+
+let remove t k =
+  match List.partition (fun e -> key_equal e.e_key k) (bucket t k.k_digest) with
+  | [], _ -> ()
+  | _dead, [] ->
+      Hashtbl.remove t.table k.k_digest;
+      t.live <- t.live - 1
+  | _dead, alive ->
+      Hashtbl.replace t.table k.k_digest alive;
+      t.live <- t.live - 1
+
+let add t k v =
+  match
+    List.find_opt (fun e -> key_equal e.e_key k) (bucket t k.k_digest)
+  with
+  | Some e -> e.e_value <- v
+  | None ->
+      if t.live >= t.limit then remove t (Queue.pop t.fifo);
+      Hashtbl.replace t.table k.k_digest ({ e_key = k; e_value = v } :: bucket t k.k_digest);
+      Queue.push k t.fifo;
+      t.live <- t.live + 1
+
+let size t = t.live
+let capacity t = t.limit

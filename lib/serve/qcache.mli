@@ -1,0 +1,40 @@
+(** Digest-keyed, structurally verified result cache of the serving
+    engine.
+
+    Keys are (demand digest, op, scale); the digest ({!Protocol.demand_digest})
+    is only the bucket index — every lookup re-verifies the candidate
+    entry against the full key with [Point]-aware structural equality, so
+    an FNV collision degrades to a miss, never to a wrong answer.  Cached
+    answers are therefore bit-identical to what a fresh oracle call would
+    return (the QCheck property in [test/suite_serve.ml]).
+
+    Capacity is bounded with FIFO eviction (insertion order), which is
+    cheap, deterministic, and good enough for replayed query mixes; the
+    engine publishes hit/miss/eviction counters through {!Metrics}.
+
+    Not domain-safe by design: only the daemon's control domain touches
+    the cache (lookups happen before, and insertions after, the [Pool]
+    fan-out — see {!Engine}), so no locking is needed. *)
+
+type key
+
+val key : op:Protocol.op -> scale:int -> Demand_map.t -> key
+(** [Ping]/[Shutdown] requests are never cached; asking for a key on them
+    raises [Invalid_argument]. *)
+
+val equal : key -> key -> bool
+(** Full structural equality (digest, op tag, scale, then the demand maps
+    point by point) — the comparison every lookup uses, exposed so the
+    engine can coalesce duplicate keys within a batch. *)
+
+type 'v t
+
+val create : capacity:int -> unit -> 'v t
+(** [capacity] must be positive. *)
+
+val find : 'v t -> key -> 'v option
+val add : 'v t -> key -> 'v -> unit
+(** Re-adding a live key replaces its value without consuming capacity. *)
+
+val size : 'v t -> int
+val capacity : 'v t -> int

@@ -6,3 +6,5 @@ let m_bad1 = Metrics.counter "nodots"
 let m_bad2 = Metrics.gauge "Bad.Case"
 
 let m_bad3 = Metrics.timer ("dyn" ^ ".name")
+
+let m_bad4 = Metrics.histogram "Histo.WrongCase"

@@ -1,3 +1,5 @@
 let m_ok = Metrics.counter "fixture.good_metric"
 
 let m_ok2 = Metrics.timer "fixture.sub.timer_ns"
+
+let m_ok3 = Metrics.histogram "fixture.latency_ns"

@@ -86,6 +86,50 @@ let test_instrumented_maxflow_counts () =
   | Some (Metrics.Count n) -> Alcotest.(check int) "one run" 1 n
   | _ -> Alcotest.fail "maxflow.runs counter missing"
 
+let test_histogram_quantiles () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.histogram" in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (Metrics.histogram_quantile h 0.5));
+  (* Buckets are 1µs·2^i: 1_500 ns lands in the 2_000 ns bucket and
+     900_000 ns in the 1_024_000 ns bucket. *)
+  for _ = 1 to 90 do
+    Metrics.observe h 1_500.0
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 900_000.0
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.histogram_count h);
+  Alcotest.(check (float 1.0)) "sum" 9_135_000.0 (Metrics.histogram_sum h);
+  Alcotest.(check (float 0.0)) "p50" 2_000.0 (Metrics.histogram_quantile h 0.50);
+  Alcotest.(check (float 0.0)) "p90 (rank 90 still low bucket)" 2_000.0
+    (Metrics.histogram_quantile h 0.90);
+  Alcotest.(check (float 0.0)) "p95" 1_024_000.0
+    (Metrics.histogram_quantile h 0.95);
+  Alcotest.(check (float 0.0)) "p99" 1_024_000.0
+    (Metrics.histogram_quantile h 0.99);
+  (match Metrics.histogram_quantile h 1.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "quantile outside [0,1] must raise");
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes" 0 (Metrics.histogram_count h)
+
+let test_histogram_extremes () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.histogram-extremes" in
+  Metrics.observe h (-5.0);
+  Alcotest.(check (float 0.0)) "negative clamps to the lowest bucket" 1_000.0
+    (Metrics.histogram_quantile h 0.5);
+  Metrics.observe h 1e18;
+  Alcotest.(check bool) "huge value lands in the overflow bucket" true
+    (Metrics.histogram_quantile h 1.0 >= 1e15);
+  Metrics.set_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled true)
+    (fun () -> Metrics.observe h 1.0);
+  Alcotest.(check int) "observe is a no-op while disabled" 2
+    (Metrics.histogram_count h)
+
 let test_snapshot_sorted_and_reset () =
   Metrics.reset ();
   let c = Metrics.counter "test.zz-last" in
@@ -121,6 +165,8 @@ let test_json_roundtrip () =
       Metrics.Count 42;
       Metrics.Level { value = 1.25; peak = 8.0 };
       Metrics.Span { ns = 123456.0; calls = 3 };
+      Metrics.Dist
+        { count = 7; sum = 9500.0; buckets = [ (1000.0, 4); (2000.0, 3) ] };
     ]
   in
   List.iter
@@ -180,6 +226,8 @@ let suite =
     Alcotest.test_case "timer on exception" `Quick test_timer_records_on_exception;
     Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_is_noop;
     Alcotest.test_case "instrumented maxflow" `Quick test_instrumented_maxflow_counts;
+    Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+    Alcotest.test_case "histogram extremes" `Quick test_histogram_extremes;
     Alcotest.test_case "snapshot sorted, reset keeps cells" `Quick
       test_snapshot_sorted_and_reset;
     Alcotest.test_case "json snapshot golden" `Quick test_json_snapshot_golden;

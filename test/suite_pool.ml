@@ -65,6 +65,70 @@ let test_set_workers_validation () =
   with_workers 5 (fun () ->
       Alcotest.(check int) "width is what was set" 5 (Pool.workers ()))
 
+let test_daemon_concurrent_clients () =
+  (* The serving daemon and N pipelined clients, in one process on two
+     sides of Pool.both: the daemon thunk blocks in its select loop while
+     the client thunk replays a seeded mix over the Unix socket with
+     --check semantics (every answer re-verified against a fresh oracle
+     call, per-client FIFO order asserted by the replayer).  Pool.both
+     joining proves clean shutdown leaks no domain. *)
+  with_workers 4 (fun () ->
+      let path = Filename.temp_file "cmvrp_pool" ".sock" in
+      Sys.remove path;
+      let reqs = Loadgen.queries ~seed:9 ~mix:Loadgen.Repeat_heavy ~n:48 in
+      let (), result =
+        Pool.both
+          (fun () ->
+            Daemon.run (Daemon.config ~max_batch:8 (Daemon.Unix_socket path)))
+          (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                ignore (Loadgen.send_shutdown ~socket:path ()))
+              (fun () ->
+                Loadgen.replay_socket ~check:true ~socket:path ~clients:3
+                  ~window:4 reqs))
+      in
+      match result with
+      | Error e -> Alcotest.fail e
+      | Ok s ->
+          Alcotest.(check int) "all queries answered" 48 s.Loadgen.completed;
+          Alcotest.(check int) "no error responses" 0 s.Loadgen.error_responses;
+          Alcotest.(check bool) "repeat-heavy mix hits the cache" true
+            (s.Loadgen.hit_rate > 0.0);
+          Alcotest.(check bool) "daemon removed its socket" true
+            (not (Sys.file_exists path)))
+
+let test_daemon_per_client_streams_deterministic () =
+  (* Two identical replays against two fresh daemons: the per-request
+     response payloads must match run to run (cached flags and answers
+     included), because batching order is arrival order and the cache is
+     deterministic. *)
+  with_workers 3 (fun () ->
+      let one tag =
+        let path = Filename.temp_file ("cmvrp_det" ^ tag) ".sock" in
+        Sys.remove path;
+        let reqs = Loadgen.queries ~seed:4 ~mix:Loadgen.Churn ~n:30 in
+        let (), result =
+          Pool.both
+            (fun () ->
+              Daemon.run (Daemon.config ~max_batch:4 (Daemon.Unix_socket path)))
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  ignore (Loadgen.send_shutdown ~socket:path ()))
+                (fun () ->
+                  (* One client, window 1: the response stream is exactly
+                     the request stream's answers in order. *)
+                  Loadgen.replay_socket ~check:true ~socket:path ~clients:1
+                    ~window:1 reqs))
+        in
+        match result with
+        | Error e -> Alcotest.fail e
+        | Ok s -> (s.Loadgen.completed, s.Loadgen.cached_responses)
+      in
+      let a = one "a" and b = one "b" in
+      Alcotest.(check (pair int int)) "identical replay outcome" a b)
+
 let suite =
   [
     Alcotest.test_case "map preserves order" `Quick test_map_order;
@@ -75,4 +139,8 @@ let suite =
       test_lowest_exception_wins;
     Alcotest.test_case "set_workers validation" `Quick
       test_set_workers_validation;
+    Alcotest.test_case "daemon vs concurrent clients" `Quick
+      test_daemon_concurrent_clients;
+    Alcotest.test_case "daemon response streams deterministic" `Quick
+      test_daemon_per_client_streams_deterministic;
   ]

@@ -1,0 +1,370 @@
+(* The serving stack: frame codec (blocking and incremental), protocol
+   JSON roundtrips, the canonical demand digest (QCheck), the result
+   cache's bit-identical answers, and the engine's dedup/metrics
+   contract.  The daemon's socket loop is exercised end to end from
+   suite_pool (concurrent clients need a second domain). *)
+
+let digest_testable = Alcotest.int
+
+let demand_equal a b =
+  Demand_map.dim a = Demand_map.dim b
+  && Demand_map.support_size a = Demand_map.support_size b
+  && Demand_map.fold a ~init:true ~f:(fun acc p v ->
+         acc && Demand_map.value b p = v)
+
+let small_demand seed =
+  let rng = Rng.create seed in
+  Workload.demand
+    (Workload.uniform ~rng
+       ~box:(Box.cube_at_origin ~dim:2 ~side:5)
+       ~jobs:(20 + Rng.int rng 30))
+
+(* --- framing --- *)
+
+let test_frame_chunked_roundtrip () =
+  let payloads =
+    [ ""; "x"; "{\"id\":1}"; "payload with\nnewlines\nand \xff bytes"; String.make 5000 'q' ]
+  in
+  let wire = String.concat "" (List.map Frame.encode payloads) in
+  let dec = Frame.decoder () in
+  let out = ref [] in
+  String.iter
+    (fun ch ->
+      Frame.feed_string dec (String.make 1 ch);
+      let rec drain () =
+        match Frame.next dec with
+        | Some p ->
+            out := p :: !out;
+            drain ()
+        | None -> ()
+      in
+      drain ())
+    wire;
+  Alcotest.(check (list string)) "byte-at-a-time decode" payloads (List.rev !out);
+  Alcotest.(check (option string)) "decoder drained" None (Frame.next dec)
+
+let test_frame_bad_headers () =
+  let rejects bytes =
+    let dec = Frame.decoder () in
+    Frame.feed_string dec bytes;
+    match Frame.next dec with
+    | exception Frame.Bad_frame _ -> ()
+    | Some _ | None ->
+        Alcotest.fail (Printf.sprintf "header %S must be rejected" bytes)
+  in
+  rejects "nope\n";
+  rejects "12x34\n";
+  rejects "\n";
+  rejects (string_of_int (Frame.max_payload + 1) ^ "\n");
+  (* Missing trailing newline after the payload. *)
+  rejects "2\nabX"
+
+let test_frame_channel_io () =
+  let rd, wr = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr wr in
+  let ic = Unix.in_channel_of_descr rd in
+  Frame.write oc "first";
+  Frame.write oc "second\nwith newline";
+  close_out oc;
+  Alcotest.(check (option string)) "first" (Some "first") (Frame.read ic);
+  Alcotest.(check (option string))
+    "second" (Some "second\nwith newline") (Frame.read ic);
+  Alcotest.(check (option string)) "clean EOF" None (Frame.read ic);
+  close_in ic
+
+let test_frame_eof_mid_frame () =
+  let rd, wr = Unix.pipe () in
+  let oc = Unix.out_channel_of_descr wr in
+  let ic = Unix.in_channel_of_descr rd in
+  output_string oc "100\ntruncated";
+  close_out oc;
+  (match Frame.read ic with
+  | exception Frame.Bad_frame _ -> ()
+  | Some _ | None -> Alcotest.fail "EOF mid-frame must raise Bad_frame");
+  close_in ic
+
+(* --- protocol --- *)
+
+let test_request_roundtrip () =
+  let dm = small_demand 1 in
+  List.iter
+    (fun op ->
+      let req = Protocol.request ~scale:360360 ~id:7 op dm in
+      match Protocol.request_of_string (Protocol.request_to_string req) with
+      | Error e -> Alcotest.fail e
+      | Ok back ->
+          Alcotest.(check int) "id" 7 back.Protocol.id;
+          Alcotest.(check int) "scale" 360360 back.Protocol.scale;
+          Alcotest.(check bool) "op" true (back.Protocol.op = op);
+          Alcotest.(check bool) "demand survives" true
+            (demand_equal dm back.Protocol.demand))
+    [ Protocol.Omega_star; Protocol.Lp_value 3; Protocol.Witness ]
+
+let test_request_validation () =
+  let rejects text =
+    match Protocol.request_of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "must reject %s" text)
+  in
+  rejects "not json";
+  rejects "{\"id\":1,\"op\":\"sideways\"}";
+  rejects "{\"id\":1,\"op\":\"lp_value\"}" (* radius required *);
+  rejects "{\"id\":1,\"op\":\"omega_star\",\"scale\":0}";
+  rejects "{\"id\":1,\"op\":\"omega_star\",\"demand\":[[0,0,-2]]}";
+  rejects "{\"id\":1,\"op\":\"omega_star\",\"demand\":[[0,0]]}" (* row too short *);
+  match
+    Protocol.request_of_string "{\"id\":3,\"op\":\"ping\"}"
+  with
+  | Ok r ->
+      Alcotest.(check bool) "ping defaults parse" true
+        (r.Protocol.op = Protocol.Ping && r.Protocol.scale = Protocol.default_scale)
+  | Error e -> Alcotest.fail e
+
+let test_response_roundtrip () =
+  let cases =
+    [
+      { Protocol.r_id = 1; r_cached = false; r_result = Ok (Protocol.Value (1.0 /. 3.0)) };
+      { Protocol.r_id = 2; r_cached = true; r_result = Ok (Protocol.Value 0.1) };
+      {
+        Protocol.r_id = 3;
+        r_cached = false;
+        r_result = Ok (Protocol.Tight_set (Some ([ [| 0; 1 |]; [| 2; 2 |] ], 2.5)));
+      };
+      { Protocol.r_id = 4; r_cached = true; r_result = Ok (Protocol.Tight_set None) };
+      { Protocol.r_id = 5; r_cached = false; r_result = Ok Protocol.Pong };
+      { Protocol.r_id = 6; r_cached = false; r_result = Error "synthetic failure" };
+    ]
+  in
+  List.iter
+    (fun resp ->
+      match Protocol.response_of_string (Protocol.response_to_string resp) with
+      | Error e -> Alcotest.fail e
+      | Ok back -> (
+          Alcotest.(check int) "id" resp.Protocol.r_id back.Protocol.r_id;
+          match (resp.Protocol.r_result, back.Protocol.r_result) with
+          | Ok a, Ok b ->
+              Alcotest.(check bool) "cached" resp.Protocol.r_cached
+                back.Protocol.r_cached;
+              (* Bit-identical across the wire: Float.equal, not approx. *)
+              Alcotest.(check bool) "answer bit-identical" true
+                (Protocol.answer_equal a b)
+          | Error x, Error y -> Alcotest.(check string) "error text" x y
+          | _ -> Alcotest.fail "Ok/Error mismatch after roundtrip"))
+    cases
+
+(* --- digest properties --- *)
+
+let gen_rows =
+  QCheck.Gen.(
+    list_size (int_range 0 12)
+      (map
+         (fun ((x, y), d) -> ([| x; y |], d))
+         (pair (pair (int_range 0 6) (int_range 0 6)) (int_range 1 9))))
+
+let arb_rows =
+  QCheck.make
+    ~print:(fun rows ->
+      String.concat ";"
+        (List.map (fun (p, d) -> Printf.sprintf "(%d,%d)->%d" p.(0) p.(1) d) rows))
+    gen_rows
+
+let prop_digest_permutation_invariant =
+  QCheck.Test.make ~name:"digest is canonical under row permutation" ~count:200
+    (QCheck.pair arb_rows QCheck.int)
+    (fun (rows, salt) ->
+      let forward = Demand_map.of_alist 2 rows in
+      let rng = Rng.create salt in
+      let arr = Array.of_list rows in
+      Rng.shuffle rng arr;
+      let shuffled =
+        Array.fold_left
+          (fun dm (p, d) -> Demand_map.add dm p d)
+          (Demand_map.empty 2) arr
+      in
+      (* Same multiset of rows: structurally equal, and equal digests. *)
+      demand_equal forward shuffled
+      && Protocol.demand_digest forward = Protocol.demand_digest shuffled)
+
+let test_digest_collision_free_on_workloads () =
+  (* Seeded workload sweep: structurally distinct demand sets must get
+     distinct digests (63-bit FNV over ~300 sets; a collision here means
+     the digest construction is broken, not bad luck). *)
+  let dms = Array.init 300 (fun seed -> small_demand seed) in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if i < j && not (demand_equal a b) then
+            Alcotest.(check bool)
+              (Printf.sprintf "seeds %d vs %d digests differ" i j)
+              true
+              (Protocol.demand_digest a <> Protocol.demand_digest b))
+        dms)
+    dms
+
+let test_digest_sensitivity () =
+  let dm = Demand_map.of_alist 2 [ ([| 1; 2 |], 3); ([| 4; 0 |], 5) ] in
+  let bumped = Demand_map.add dm [| 1; 2 |] 1 in
+  Alcotest.(check bool) "value change changes the digest" true
+    (Protocol.demand_digest dm <> Protocol.demand_digest bumped);
+  let moved = Demand_map.of_alist 2 [ ([| 2; 1 |], 3); ([| 4; 0 |], 5) ] in
+  Alcotest.(check digest_testable) "digest is a pure function"
+    (Protocol.demand_digest dm) (Protocol.demand_digest dm);
+  Alcotest.(check bool) "coordinate swap changes the digest" true
+    (Protocol.demand_digest dm <> Protocol.demand_digest moved)
+
+(* --- engine + cache --- *)
+
+let test_cached_answers_bit_identical () =
+  let engine = Engine.create () in
+  let dm = small_demand 17 in
+  List.iter
+    (fun op ->
+      let req = Protocol.request ~id:0 op dm in
+      let fresh = Engine.process engine req in
+      let cached = Engine.process engine req in
+      Alcotest.(check bool) "first call is a miss" false fresh.Protocol.r_cached;
+      Alcotest.(check bool) "second call is a hit" true cached.Protocol.r_cached;
+      match (fresh.Protocol.r_result, cached.Protocol.r_result, Engine.evaluate req) with
+      | Ok a, Ok b, Ok reference ->
+          Alcotest.(check bool) "hit equals miss" true (Protocol.answer_equal a b);
+          Alcotest.(check bool) "both equal a fresh oracle call" true
+            (Protocol.answer_equal a reference)
+      | _ -> Alcotest.fail "expected Ok answers")
+    [ Protocol.Omega_star; Protocol.Witness; Protocol.Lp_value 2 ]
+
+let test_cache_key_discriminates () =
+  let engine = Engine.create () in
+  let dm = small_demand 23 in
+  let r1 = Engine.process engine (Protocol.request ~id:0 Protocol.Omega_star dm) in
+  let r2 = Engine.process engine (Protocol.request ~scale:360360 ~id:1 Protocol.Omega_star dm) in
+  let r3 = Engine.process engine (Protocol.request ~id:2 Protocol.Witness dm) in
+  Alcotest.(check bool) "different scale misses" false r2.Protocol.r_cached;
+  Alcotest.(check bool) "different op misses" false r3.Protocol.r_cached;
+  ignore r1
+
+let test_batch_dedup_and_counters () =
+  Metrics.reset ();
+  let engine = Engine.create () in
+  let a = small_demand 31 and b = small_demand 32 and c = small_demand 33 in
+  let reqs =
+    Array.mapi
+      (fun id dm -> Protocol.request ~id Protocol.Omega_star dm)
+      [| a; b; a; c; b; a; a; b; c; a |]
+  in
+  let responses = Engine.process_batch engine reqs in
+  Alcotest.(check int) "all answered" 10 (Array.length responses);
+  Array.iter
+    (fun r ->
+      match r.Protocol.r_result with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail e)
+    responses;
+  let count name =
+    match Metrics.sample name with
+    | Some (Metrics.Count n) -> n
+    | _ -> Alcotest.fail (name ^ " missing")
+  in
+  (* Three distinct demand sets: the oracle runs exactly three times and
+     the seven coalesced duplicates count as hits. *)
+  Alcotest.(check int) "oracle calls" 3 (count "serve.oracle_calls");
+  Alcotest.(check int) "misses" 3 (count "serve.cache_misses");
+  Alcotest.(check int) "hits" 7 (count "serve.cache_hits");
+  Alcotest.(check int) "requests" 10 (count "serve.requests");
+  Alcotest.(check int) "cache holds the distinct sets" 3 (Engine.cache_size engine);
+  (match Metrics.sample "serve.request_latency_ns" with
+  | Some (Metrics.Dist d) ->
+      Alcotest.(check int) "one latency observation per request" 10 d.count
+  | _ -> Alcotest.fail "serve.request_latency_ns missing");
+  (* Coalesced duplicates return the same bits as the computed one. *)
+  match (responses.(0).Protocol.r_result, responses.(2).Protocol.r_result) with
+  | Ok x, Ok y ->
+      Alcotest.(check bool) "duplicate equals original" true
+        (Protocol.answer_equal x y)
+  | _ -> Alcotest.fail "expected Ok answers"
+
+let test_cache_capacity_fifo () =
+  let engine = Engine.create ~cache_capacity:2 () in
+  let ask id seed =
+    ignore (Engine.process engine (Protocol.request ~id Protocol.Omega_star (small_demand seed)))
+  in
+  ask 0 41;
+  ask 1 42;
+  ask 2 43 (* evicts the entry for seed 41 *);
+  Alcotest.(check int) "bounded" 2 (Engine.cache_size engine);
+  let again =
+    Engine.process engine (Protocol.request ~id:3 Protocol.Omega_star (small_demand 41))
+  in
+  Alcotest.(check bool) "oldest was evicted" false again.Protocol.r_cached
+
+let test_engine_error_responses () =
+  let engine = Engine.create () in
+  let dm = small_demand 51 in
+  (* A negative radius passes the constructor but fails inside the
+     oracle; the engine must answer Error, not raise. *)
+  let bad = Protocol.request ~id:9 (Protocol.Lp_value (-1)) dm in
+  let ok = Protocol.request ~id:10 Protocol.Omega_star dm in
+  let responses = Engine.process_batch engine [| bad; ok |] in
+  (match responses.(0).Protocol.r_result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative radius must fail");
+  (match responses.(1).Protocol.r_result with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("sibling request must still succeed: " ^ e));
+  Alcotest.(check bool) "failed answers are not cached" true
+    (Engine.cache_size engine = 1)
+
+(* --- loadgen --- *)
+
+let test_loadgen_deterministic () =
+  List.iter
+    (fun mix ->
+      let a = Loadgen.queries ~seed:5 ~mix ~n:40 in
+      let b = Loadgen.queries ~seed:5 ~mix ~n:40 in
+      Alcotest.(check int) "same length" (Array.length a) (Array.length b);
+      Array.iteri
+        (fun i req ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s query %d" (Loadgen.mix_name mix) i)
+            (Protocol.request_to_string req)
+            (Protocol.request_to_string b.(i)))
+        a)
+    Loadgen.all_mixes
+
+let test_loadgen_replay_stats () =
+  let engine = Engine.create () in
+  let reqs = Loadgen.queries ~seed:2 ~mix:Loadgen.Repeat_heavy ~n:60 in
+  match Loadgen.replay_engine ~check:true engine reqs with
+  | Error e -> Alcotest.fail e
+  | Ok s ->
+      Alcotest.(check int) "all completed" 60 s.Loadgen.completed;
+      Alcotest.(check int) "no errors" 0 s.Loadgen.error_responses;
+      Alcotest.(check bool) "repeat-heavy hits the cache" true
+        (s.Loadgen.hit_rate > 0.0);
+      Alcotest.(check bool) "quantiles are ordered" true
+        (s.Loadgen.p50_ns <= s.Loadgen.p95_ns
+        && s.Loadgen.p95_ns <= s.Loadgen.p99_ns)
+
+let suite =
+  [
+    Alcotest.test_case "frame chunked roundtrip" `Quick test_frame_chunked_roundtrip;
+    Alcotest.test_case "frame bad headers" `Quick test_frame_bad_headers;
+    Alcotest.test_case "frame channel io" `Quick test_frame_channel_io;
+    Alcotest.test_case "frame EOF mid-frame" `Quick test_frame_eof_mid_frame;
+    Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "request validation" `Quick test_request_validation;
+    Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+    QCheck_alcotest.to_alcotest prop_digest_permutation_invariant;
+    Alcotest.test_case "digest collision-free on workloads" `Quick
+      test_digest_collision_free_on_workloads;
+    Alcotest.test_case "digest sensitivity" `Quick test_digest_sensitivity;
+    Alcotest.test_case "cached answers bit-identical" `Quick
+      test_cached_answers_bit_identical;
+    Alcotest.test_case "cache key discriminates" `Quick test_cache_key_discriminates;
+    Alcotest.test_case "batch dedup and counters" `Quick
+      test_batch_dedup_and_counters;
+    Alcotest.test_case "cache capacity FIFO" `Quick test_cache_capacity_fifo;
+    Alcotest.test_case "engine error responses" `Quick test_engine_error_responses;
+    Alcotest.test_case "loadgen deterministic" `Quick test_loadgen_deterministic;
+    Alcotest.test_case "loadgen replay stats" `Quick test_loadgen_replay_stats;
+  ]

@@ -26,6 +26,7 @@ let () =
       ("baselines", Suite_baselines.suite);
       ("gcmvrp", Suite_gcmvrp.suite);
       ("metrics", Suite_metrics.suite);
+      ("serve", Suite_serve.suite);
       ("lint", Suite_lint.suite);
       ("bench_report", Suite_bench_report.suite);
       ("properties", Suite_properties.suite);

@@ -357,7 +357,7 @@ let check_apply ctx fn_lid args loc =
   | _ -> ());
   (* Rule: metric-name. *)
   match (comps, unlabeled) with
-  | [ "Metrics"; ("counter" | "gauge" | "timer") ], first :: _ -> (
+  | [ "Metrics"; ("counter" | "gauge" | "timer" | "histogram") ], first :: _ -> (
       match first.pexp_desc with
       | Pexp_constant (Pconst_string (name, _, _)) ->
           let line = first.pexp_loc.loc_start.Lexing.pos_lnum in
