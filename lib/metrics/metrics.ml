@@ -31,10 +31,14 @@ let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
-let on = ref true
+(* The enable flag is read on every instrumented fast path, including
+   from Pool worker domains, and flipped by [set_enabled] on the control
+   domain — it must be an Atomic, not a ref (cmvrp_race flags the ref
+   version as shared-unguarded). *)
+let on = Atomic.make true
 
-let set_enabled b = on := b
-let enabled () = !on
+let set_enabled b = Atomic.set on b
+let enabled () = Atomic.get on
 
 let register name make project describe =
   locked (fun () ->
@@ -85,12 +89,12 @@ let histogram name =
    no-ops so instrumented code pays (almost) nothing.  Counter updates
    are atomic fetch-and-adds and stay lock-free under Pool fan-out. *)
 
-let incr c = if !on then Atomic.incr c
-let add c n = if !on then ignore (Atomic.fetch_and_add c n)
+let incr c = if Atomic.get on then Atomic.incr c
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c n)
 let count c = Atomic.get c
 
 let set_gauge g v =
-  if !on then
+  if Atomic.get on then
     locked (fun () ->
         g.g <- v;
         if v > g.g_peak then g.g_peak <- v)
@@ -101,13 +105,13 @@ let gauge_peak g = g.g_peak
 let now_ns () = Int64.to_float (Monotonic_clock.now ())
 
 let add_ns t dt =
-  if !on then
+  if Atomic.get on then
     locked (fun () ->
         t.ns <- t.ns +. dt;
         t.calls <- t.calls + 1)
 
 let time t f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t0 = Monotonic_clock.now () in
     Fun.protect
@@ -124,7 +128,7 @@ let bucket_of v =
   go 0
 
 let observe h v =
-  if !on then
+  if Atomic.get on then
     locked (fun () ->
         let i = bucket_of v in
         h.h_counts.(i) <- h.h_counts.(i) + 1;

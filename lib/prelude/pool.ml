@@ -34,6 +34,10 @@ let run_tasks n f =
       let rec loop () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
+          (* Each index is written by exactly one worker (the atomic
+             cursor hands it out once) and the caller reads the slots
+             only after joining every domain. *)
+          (* race: allow disjoint per-index writes, read after join *)
           (slots.(i) <- (try Done (f i) with e -> Raised e));
           loop ()
         end

@@ -1,0 +1,9 @@
+(* Stale waivers: the first marker waives a rule that never fires in
+   this file, the second misspells the rule id — so the real violation
+   on its line is still reported, and both markers surface as advisory
+   unused-waiver diagnostics. *)
+
+(* lint: allow catch-all *)
+let quiet x = x + 1
+
+let sorted xs = List.sort compare xs (* lint: allow poly-compar *)

@@ -1,0 +1,5 @@
+(* Advisory-only fixture: the lone stale marker is reported as
+   unused-waiver but must not fail the run (the CLI exits 0). *)
+
+(* lint: allow catch-all *)
+let id x = x

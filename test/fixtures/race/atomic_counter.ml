@@ -1,0 +1,11 @@
+(* An Atomic.t shared across domains is safe by construction: the
+   analyzer classifies it atomic and stays silent. *)
+
+let hits = Atomic.make 0
+
+let count arr =
+  Pool.map
+    (fun i ->
+      Atomic.incr hits;
+      i)
+    arr

@@ -1,0 +1,7 @@
+(* A deliberate leak used by the suite to exercise the committed
+   suppression baseline: the finding exists, but a `file:root` entry in
+   the baseline swallows it (and a stale entry is reported). *)
+
+let counter = ref 0
+
+let run arr = Pool.map (fun i -> counter := !counter + i) arr

@@ -1,0 +1,8 @@
+(* Domain.spawn is a parallel entry like the Pool combinators: a
+   Buffer mutated from the spawned closure is shared-unguarded. *)
+
+let log_buf = Buffer.create 64
+
+let emit msg =
+  let d = Domain.spawn (fun () -> Buffer.add_string log_buf msg) in
+  Domain.join d

@@ -1,0 +1,12 @@
+(* A ref created inside the parallel closure is per-task state: the
+   analyzer must classify it confined and stay silent. *)
+
+let sum_squares arr =
+  Pool.map
+    (fun i ->
+      let acc = ref 0 in
+      for j = 1 to i do
+        acc := !acc + (j * j)
+      done;
+      !acc)
+    arr

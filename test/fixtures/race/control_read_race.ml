@@ -1,0 +1,8 @@
+(* The parallel side only reads the flag — but the control side writes
+   it without a guard, so the read still races: finding of kind read. *)
+
+let flag = ref false
+
+let enable () = flag := true
+
+let scan arr = Pool.map (fun i -> if !flag then i else 0) arr

@@ -1,0 +1,11 @@
+(* The closure itself looks innocent: it hands the table to a helper,
+   and the helper does the writing.  The merged-parameter effect
+   summary must carry the write back to the call site and report the
+   table shared-unguarded. *)
+
+let fill t i = Hashtbl.replace t i (2 * i)
+
+let build arr =
+  let t = Hashtbl.create 8 in
+  let _ = Pool.map (fun i -> fill t i) arr in
+  t

@@ -1,0 +1,7 @@
+(* The canonical race: a ref defined on the control domain, written by
+   the closure handed to Pool.map.  Must be reported shared-unguarded
+   with a capture path through Pool.map. *)
+
+let total = ref 0
+
+let sum arr = Pool.map (fun i -> total := !total + i) arr

@@ -1,0 +1,16 @@
+(* Per-task state mutated through a nested local function: the table
+   is defined inside the parallel closure, so even though a helper
+   bound with let writes it, it is per-invocation and confined. *)
+
+let histogram arr =
+  Pool.map
+    (fun i ->
+      let t = Hashtbl.create 4 in
+      let add k =
+        Hashtbl.replace t k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t k))
+      in
+      add (i mod 3);
+      add (i mod 5);
+      Hashtbl.length t)
+    arr

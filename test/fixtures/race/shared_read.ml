@@ -1,0 +1,6 @@
+(* A mutable array captured by the closure but only ever read, with no
+   unguarded write anywhere: shared-read, no finding. *)
+
+let weights = Array.make 8 1
+
+let total arr = Pool.map (fun i -> weights.(i mod 8) + i) arr

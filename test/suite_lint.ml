@@ -63,12 +63,23 @@ let test_domain_confine () =
 let test_waiver () = check_rules "waiver.ml" []
 let test_clean () = check_rules "clean.ml" []
 
+let test_unused_waiver () =
+  (* A marker waiving a rule that never fires, and one with a
+     misspelled id (so the real violation on its line survives). *)
+  check_rules "unused_waiver_fail.ml"
+    [ "poly-compare"; "unused-waiver"; "unused-waiver" ];
+  check_rules "unused_waiver_only.ml" [ "unused-waiver" ];
+  let _, diags = Lint_rules.run [ fixture "unused_waiver_only.ml" ] in
+  Alcotest.(check bool)
+    "unused-waiver is advisory" true
+    (List.for_all (fun d -> d.Lint_rules.advisory) diags)
+
 (* Linting the whole fixture tree exercises every rule exactly as the
    per-fixture counts above add up, and doubles as a parse check (a
    broken fixture would surface as a [parse-error] diagnostic). *)
 let test_fixture_tree () =
   let _, diags = Lint_rules.run [ fixture "" ] in
-  Alcotest.(check int) "total violations" 25 (List.length diags);
+  Alcotest.(check int) "total diagnostics" 29 (List.length diags);
   let seen =
     List.sort_uniq String.compare
       (List.map (fun d -> d.Lint_rules.rule) diags)
@@ -101,6 +112,9 @@ let read_file path =
 let test_exe_exit_codes () =
   Alcotest.(check int) "clean fixture exits 0" 0 (run_exe [ fixture "clean.ml" ]);
   Alcotest.(check int)
+    "advisory-only fixture exits 0" 0
+    (run_exe [ fixture "unused_waiver_only.ml" ]);
+  Alcotest.(check int)
     "failing fixture exits 1" 1
     (run_exe [ fixture "poly_compare_fail.ml" ]);
   Alcotest.(check int)
@@ -124,6 +138,7 @@ let test_exe_json_report () =
   in
   Alcotest.(check int) "checked_files" 1 (int_field "checked_files");
   Alcotest.(check int) "violations" 5 (int_field "violations");
+  Alcotest.(check int) "advisories" 0 (int_field "advisories");
   let diags =
     match Option.bind (Json.member "diagnostics" doc) Json.to_list_opt with
     | Some l -> l
@@ -132,9 +147,12 @@ let test_exe_json_report () =
   Alcotest.(check int) "diagnostic count" 5 (List.length diags);
   List.iter
     (fun d ->
-      match Option.bind (Json.member "rule" d) Json.to_string_opt with
+      (match Option.bind (Json.member "rule" d) Json.to_string_opt with
       | Some r -> Alcotest.(check string) "rule id" "poly-compare" r
-      | None -> Alcotest.fail "diagnostic without a rule field")
+      | None -> Alcotest.fail "diagnostic without a rule field");
+      match Option.bind (Json.member "advisory" d) Json.to_bool_opt with
+      | Some b -> Alcotest.(check bool) "blocking diagnostic" false b
+      | None -> Alcotest.fail "diagnostic without an advisory field")
     diags
 
 let suite =
@@ -149,6 +167,7 @@ let suite =
     Alcotest.test_case "catch-all fixtures" `Quick test_catch_all;
     Alcotest.test_case "domain-confine fixtures" `Quick test_domain_confine;
     Alcotest.test_case "waivers suppress diagnostics" `Quick test_waiver;
+    Alcotest.test_case "unused waivers reported" `Quick test_unused_waiver;
     Alcotest.test_case "clean fixture" `Quick test_clean;
     Alcotest.test_case "whole fixture tree" `Quick test_fixture_tree;
     Alcotest.test_case "missing path rejected" `Quick test_missing_path;

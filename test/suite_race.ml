@@ -1,0 +1,251 @@
+(* Fixture-driven tests for the cmvrp_race domain-safety analyzer
+   (tools/analysis).  Library-level tests call [Race_core.analyze] on
+   the committed fixture corpus and assert the exact classification of
+   every root; executable-level tests exercise exit codes, the JSON
+   report, and the baseline flag.  The test cwd is
+   [_build/default/test], so fixture .cmt artifacts live under
+   [fixtures/race/.race_fixtures.objs/byte], the whole library tree
+   under [../lib], and the executable at [../tools/analysis]. *)
+
+let fixture_cmts = "fixtures/race/.race_fixtures.objs/byte"
+
+let analyze_fixtures ?baseline () =
+  Race_core.analyze ?baseline [ fixture_cmts ]
+
+let finding_roots r =
+  List.sort String.compare
+    (List.map (fun f -> f.Race_core.f_root) r.Race_core.findings)
+
+(* The corpus covers every classification the analyzer can emit. *)
+let expected_finding_roots =
+  [
+    "Baseline_case.counter";
+    "Buffer_spawn.log_buf";
+    "Control_read_race.flag";
+    "Leaked_ref.total";
+    "Unguarded_table.cache";
+    "t" (* Interproc_leak.build's local table *);
+  ]
+
+let test_fixture_findings () =
+  let r = analyze_fixtures () in
+  Alcotest.(check (list string))
+    "shared-unguarded roots"
+    (List.sort String.compare expected_finding_roots)
+    (finding_roots r);
+  Alcotest.(check int) "waived (waived_leak.ml)" 1 r.Race_core.waived;
+  Alcotest.(check int) "baselined" 0 r.Race_core.baselined
+
+let test_fixture_classification () =
+  let r = analyze_fixtures () in
+  let c = r.Race_core.classes in
+  Alcotest.(check int) "atomic (atomic_counter)" 1 c.Race_core.n_atomic;
+  Alcotest.(check int) "mutex-guarded (mutex_table)" 1 c.Race_core.n_guarded;
+  Alcotest.(check int) "shared-read (shared_read)" 1 c.Race_core.n_shared_read;
+  (* 6 findings + the waived leak *)
+  Alcotest.(check int) "shared-unguarded" 7 c.Race_core.n_unguarded;
+  Alcotest.(check bool)
+    "confined roots exist (confined_ref, local_table, ...)" true
+    (c.Race_core.n_confined > 0)
+
+let find_root r name =
+  match
+    List.find_opt (fun f -> f.Race_core.f_root = name) r.Race_core.findings
+  with
+  | Some f -> f
+  | None -> Alcotest.failf "no finding for root %s" name
+
+let test_capture_paths () =
+  let r = analyze_fixtures () in
+  let leaked = find_root r "Leaked_ref.total" in
+  Alcotest.(check string) "entry" "Pool.map" leaked.Race_core.f_entry;
+  Alcotest.(check bool)
+    "write kind" true
+    (leaked.Race_core.f_kind = Race_core.Write);
+  Alcotest.(check bool)
+    "path names the spawning function" true
+    (List.mem "Leaked_ref.sum" leaked.Race_core.f_path);
+  Alcotest.(check bool)
+    "path mentions the parallel entry" true
+    (List.exists
+       (fun s ->
+         String.length s >= 8 && String.sub s 0 8 = "Pool.map")
+       leaked.Race_core.f_path);
+  let read_race = find_root r "Control_read_race.flag" in
+  Alcotest.(check bool)
+    "read-side race is kind read" true
+    (read_race.Race_core.f_kind = Race_core.Read);
+  let spawned = find_root r "Buffer_spawn.log_buf" in
+  Alcotest.(check string)
+    "Domain.spawn is an entry" "Domain.spawn" spawned.Race_core.f_entry;
+  (* The interprocedural leak is caught even though the closure only
+     passes the table to a helper. *)
+  let interproc = find_root r "t" in
+  Alcotest.(check string)
+    "interproc leak detected via effect summary" "Pool.map"
+    interproc.Race_core.f_entry
+
+let test_baseline () =
+  let live = "test/fixtures/race/baseline_case.ml:Baseline_case.counter" in
+  let stale = "test/fixtures/race/gone.ml:Gone.root" in
+  let r = analyze_fixtures ~baseline:[ live; stale ] () in
+  Alcotest.(check int)
+    "one fewer finding" 5
+    (List.length r.Race_core.findings);
+  Alcotest.(check int) "baselined" 1 r.Race_core.baselined;
+  Alcotest.(check (list string))
+    "stale entry reported" [ stale ] r.Race_core.unused_baseline;
+  Alcotest.(check bool)
+    "baselined root no longer reported" false
+    (List.mem "Baseline_case.counter" (finding_roots r))
+
+(* The core acceptance invariant: the real library tree analyzes clean.
+   This is the machine-checked form of "Qcache stays on the control
+   domain" (serve Engine) and "Metrics is atomics + a mutex-guarded
+   registry". *)
+let test_whole_tree_clean () =
+  let r = Race_core.analyze [ "../lib" ] in
+  Alcotest.(check int) "no unwaived findings" 0 (List.length r.Race_core.findings);
+  (* Pool's result-slot array: disjoint per-index writes, waived in
+     pool.ml.  It must remain the only shared-unguarded root. *)
+  Alcotest.(check int) "exactly one waived root" 1 r.Race_core.waived;
+  let c = r.Race_core.classes in
+  Alcotest.(check int) "pool slots root" 1 c.Race_core.n_unguarded;
+  Alcotest.(check bool)
+    "metrics counters classify atomic" true
+    (c.Race_core.n_atomic >= 30);
+  Alcotest.(check bool)
+    "mutex-guarded roots exist (metrics timers)" true
+    (c.Race_core.n_guarded >= 1);
+  Alcotest.(check bool)
+    "the bulk of the tree is confined" true
+    (c.Race_core.n_confined >= 100)
+
+let test_missing_path () =
+  match Race_core.analyze [ "no_such_dir" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on a missing path"
+
+(* Executable-level tests. *)
+
+let exe =
+  Filename.concat ".." (Filename.concat "tools/analysis" "cmvrp_race.exe")
+
+let run_exe args =
+  Sys.command
+    (Filename.quote_command exe ~stdout:"race_stdout.tmp"
+       ~stderr:"race_stderr.tmp" args)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+  in
+  nn > 0 && go 0
+
+let test_exe_exit_codes () =
+  Alcotest.(check int) "library tree exits 0" 0 (run_exe [ "../lib" ]);
+  Alcotest.(check int)
+    "fixture corpus exits 1" 1
+    (run_exe [ fixture_cmts ]);
+  Alcotest.(check int) "missing path exits 2" 2 (run_exe [ "no_such_dir" ]);
+  Alcotest.(check int) "unknown flag exits 2" 2 (run_exe [ "--bogus-flag" ])
+
+let test_exe_human_output () =
+  let code = run_exe [ fixture_cmts ] in
+  Alcotest.(check int) "exit code" 1 code;
+  let out = read_file "race_stdout.tmp" in
+  Alcotest.(check bool)
+    "human output names the leaked ref" true
+    (contains out "Leaked_ref.total");
+  Alcotest.(check bool)
+    "human output shows the capture path" true
+    (contains out "capture path:");
+  Alcotest.(check bool)
+    "human output names the entry point" true
+    (contains out "Pool.map")
+
+let test_exe_json_report () =
+  let report = "race_report.tmp.json" in
+  let code = run_exe [ "--out"; report; fixture_cmts ] in
+  Alcotest.(check int) "exit code" 1 code;
+  let doc =
+    match Json.of_string (read_file report) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "unparseable JSON report: %s" e
+  in
+  let int_field name =
+    match Option.bind (Json.member name doc) Json.to_int_opt with
+    | Some n -> n
+    | None -> Alcotest.failf "report lacks int field %S" name
+  in
+  Alcotest.(check int) "findings_count" 6 (int_field "findings_count");
+  Alcotest.(check int) "waived" 1 (int_field "waived");
+  let classif =
+    match Json.member "classification" doc with
+    | Some c -> c
+    | None -> Alcotest.fail "report lacks a classification object"
+  in
+  (match
+     Option.bind (Json.member "shared_unguarded" classif) Json.to_int_opt
+   with
+  | Some n -> Alcotest.(check int) "classification.shared_unguarded" 7 n
+  | None -> Alcotest.fail "classification lacks shared_unguarded");
+  let findings =
+    match Option.bind (Json.member "findings" doc) Json.to_list_opt with
+    | Some l -> l
+    | None -> Alcotest.fail "report lacks a findings array"
+  in
+  Alcotest.(check int) "finding count" 6 (List.length findings);
+  List.iter
+    (fun f ->
+      (match Option.bind (Json.member "root" f) Json.to_string_opt with
+      | Some _ -> ()
+      | None -> Alcotest.fail "finding without a root field");
+      match Option.bind (Json.member "path" f) Json.to_list_opt with
+      | Some (_ :: _) -> ()
+      | _ -> Alcotest.fail "finding without a non-empty capture path")
+    findings
+
+let test_exe_baseline () =
+  let bl = "race_baseline.tmp" in
+  let oc = open_out bl in
+  output_string oc
+    "# temporary baseline for the exe test\n\
+     test/fixtures/race/baseline_case.ml:Baseline_case.counter\n";
+  close_out oc;
+  let code = run_exe [ "--json"; "--baseline"; bl; fixture_cmts ] in
+  Alcotest.(check int) "still findings left" 1 code;
+  let doc =
+    match Json.of_string (read_file "race_stdout.tmp") with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "unparseable JSON on stdout: %s" e
+  in
+  (match Option.bind (Json.member "findings_count" doc) Json.to_int_opt with
+  | Some n -> Alcotest.(check int) "baselined finding suppressed" 5 n
+  | None -> Alcotest.fail "no findings_count");
+  match Option.bind (Json.member "baselined" doc) Json.to_int_opt with
+  | Some n -> Alcotest.(check int) "baselined count" 1 n
+  | None -> Alcotest.fail "no baselined field"
+
+let suite =
+  [
+    Alcotest.test_case "fixture findings" `Quick test_fixture_findings;
+    Alcotest.test_case "fixture classification" `Quick
+      test_fixture_classification;
+    Alcotest.test_case "capture paths" `Quick test_capture_paths;
+    Alcotest.test_case "suppression baseline" `Quick test_baseline;
+    Alcotest.test_case "whole library tree analyzes clean" `Quick
+      test_whole_tree_clean;
+    Alcotest.test_case "missing path rejected" `Quick test_missing_path;
+    Alcotest.test_case "exe exit codes" `Quick test_exe_exit_codes;
+    Alcotest.test_case "exe human output" `Quick test_exe_human_output;
+    Alcotest.test_case "exe --out JSON report" `Quick test_exe_json_report;
+    Alcotest.test_case "exe --baseline" `Quick test_exe_baseline;
+  ]

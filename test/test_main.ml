@@ -28,6 +28,7 @@ let () =
       ("metrics", Suite_metrics.suite);
       ("serve", Suite_serve.suite);
       ("lint", Suite_lint.suite);
+      ("race", Suite_race.suite);
       ("bench_report", Suite_bench_report.suite);
       ("properties", Suite_properties.suite);
     ]

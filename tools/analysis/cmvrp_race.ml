@@ -1,0 +1,123 @@
+(* cmvrp_race — domain-safety (escape/confinement) analysis driver.
+
+   Usage: cmvrp_race [--json] [--out FILE] [--baseline FILE]
+                     [--source-root DIR] [PATH ...]
+
+   Analyzes every .cmt under the given files/directories (default:
+   _build/default/lib — run `dune build @check` first).  Human-readable
+   findings go to stdout; [--json] switches stdout to the
+   machine-readable report, and [--out FILE] additionally writes that
+   report to FILE (CI uploads it as an artifact).  [--baseline FILE]
+   suppresses known findings listed as `file:root` lines;
+   [--source-root DIR] (repeatable) tells the waiver scanner where the
+   sources live when the analyzer does not run from the repo root.
+   Exit codes: 0 clean, 1 findings, 2 usage or I/O error.  Analysis
+   model, waivers, and baseline workflow: docs/RACES.md. *)
+
+let usage () =
+  print_string
+    "cmvrp_race [--json] [--out FILE] [--baseline FILE] [--source-root DIR] \
+     [PATH ...]\n\
+     Escape/confinement analysis over .cmt artifacts (default scope:\n\
+     _build/default/lib; build them with `dune build @check`).  Reports\n\
+     mutable state reachable from Pool/Domain closures without a guard;\n\
+     see docs/RACES.md.  Exit 0 = clean, 1 = findings, 2 = bad\n\
+     invocation.\n"
+
+let read_baseline file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if line <> "" && line.[0] <> '#' then lines := line :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+let () =
+  let json = ref false
+  and out = ref None
+  and baseline_file = ref None
+  and source_roots = ref []
+  and show_roots = ref false
+  and paths = ref [] in
+  let bad m =
+    prerr_endline ("cmvrp_race: " ^ m);
+    exit 2
+  in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse_args rest
+    | "--out" :: file :: rest ->
+        out := Some file;
+        parse_args rest
+    | [ "--out" ] -> bad "--out needs a file argument"
+    | "--baseline" :: file :: rest ->
+        baseline_file := Some file;
+        parse_args rest
+    | [ "--baseline" ] -> bad "--baseline needs a file argument"
+    | "--source-root" :: dir :: rest ->
+        source_roots := dir :: !source_roots;
+        parse_args rest
+    | [ "--source-root" ] -> bad "--source-root needs a directory argument"
+    | "--roots" :: rest ->
+        show_roots := true;
+        parse_args rest
+    | ("-h" | "--help") :: _ ->
+        usage ();
+        exit 0
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        bad ("unknown option " ^ arg)
+    | path :: rest ->
+        paths := path :: !paths;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let paths =
+    match List.rev !paths with [] -> [ "_build/default/lib" ] | ps -> ps
+  in
+  let baseline =
+    match !baseline_file with
+    | None -> []
+    | Some file -> (
+        try read_baseline file with Sys_error m -> bad m)
+  in
+  let source_roots =
+    match List.rev !source_roots with [] -> [ "." ] | rs -> rs
+  in
+  match Race_core.analyze ~baseline ~source_roots paths with
+  | exception Invalid_argument m -> bad m
+  | exception Sys_error m -> bad m
+  | report ->
+      let j = Race_core.json_report report in
+      (match !out with
+      | None -> ()
+      | Some file ->
+          let oc = open_out file in
+          output_string oc (Json.to_string j);
+          output_char oc '\n';
+          close_out oc);
+      if !json then print_endline (Json.to_string j)
+      else begin
+        if !show_roots then
+          List.iter
+            (fun (name, file, line, cls) ->
+              Format.printf "%s:%d: %-16s %s@." file line cls name)
+            report.Race_core.roots;
+        List.iter
+          (fun f -> Format.printf "%a@." Race_core.pp_finding f)
+          report.Race_core.findings;
+        List.iter
+          (fun fp ->
+            Format.printf "cmvrp_race: stale baseline entry (no finding): %s@."
+              fp)
+          report.Race_core.unused_baseline;
+        Format.printf "%a@." Race_core.pp_summary report
+      end;
+      match report.Race_core.findings with [] -> exit 0 | _ -> exit 1

@@ -1,0 +1,60 @@
+(* Typedtree constructors whose shape changed between OCaml 5.1 and 5.2.
+   This file is the 5.1 side; dune copies the matching variant to
+   race_compat.ml based on %{ocaml_version} (see ./dune).  Everything
+   else in the analyzer pattern-matches only on constructors whose
+   representation is identical across the supported compilers. *)
+
+open Typedtree
+
+(* All value identifiers bound by a pattern, with their binding sites.
+   5.1: [Tpat_var of Ident.t * string loc],
+        [Tpat_alias of pattern * Ident.t * string loc]. *)
+let pat_vars (type k) (p : k general_pattern) : (Ident.t * Location.t) list =
+  let acc = ref [] in
+  let f : 'k. Tast_iterator.iterator -> 'k general_pattern -> unit =
+    fun (type l) sub (q : l general_pattern) ->
+     (match q.pat_desc with
+     | Tpat_var (id, s) -> acc := (id, s.Asttypes.loc) :: !acc
+     | Tpat_alias (_, id, s) -> acc := (id, s.Asttypes.loc) :: !acc
+     | _ -> ());
+     Tast_iterator.default_iterator.pat sub q
+  in
+  let it = { Tast_iterator.default_iterator with pat = f } in
+  it.pat it p;
+  List.rev !acc
+
+(* If [e] is a syntactic function, the identifiers bound by its whole
+   curried parameter chain (through single-branch bodies); [None] for
+   any other expression.  5.1 functions are unary and nested:
+   [Texp_function of { arg_label; param; cases; partial }]. *)
+let rec function_param_idents e =
+  match e.exp_desc with
+  | Texp_function { cases; _ } ->
+      let here =
+        List.concat_map (fun c -> List.map fst (pat_vars c.c_lhs)) cases
+      in
+      let deeper =
+        match cases with
+        | [ { c_rhs; c_guard = None; _ } ] ->
+            Option.value ~default:[] (function_param_idents c_rhs)
+        | _ -> []
+      in
+      Some (here @ deeper)
+  | _ -> None
+
+(* Every value identifier bound anywhere in a structure (lets, function
+   parameters, match cases), with binding sites — the analyzer's
+   definition-site registry. *)
+let structure_pattern_vars (str : structure) : (Ident.t * Location.t) list =
+  let acc = ref [] in
+  let f : 'k. Tast_iterator.iterator -> 'k general_pattern -> unit =
+    fun (type l) sub (q : l general_pattern) ->
+     (match q.pat_desc with
+     | Tpat_var (id, s) -> acc := (id, s.Asttypes.loc) :: !acc
+     | Tpat_alias (_, id, s) -> acc := (id, s.Asttypes.loc) :: !acc
+     | _ -> ());
+     Tast_iterator.default_iterator.pat sub q
+  in
+  let it = { Tast_iterator.default_iterator with pat = f } in
+  it.structure it str;
+  List.rev !acc

@@ -1,0 +1,64 @@
+(* Typedtree constructors whose shape changed between OCaml 5.1 and 5.2.
+   This file is the 5.2+ side; dune copies the matching variant to
+   race_compat.ml based on %{ocaml_version} (see ./dune).  Everything
+   else in the analyzer pattern-matches only on constructors whose
+   representation is identical across the supported compilers. *)
+
+open Typedtree
+
+(* All value identifiers bound by a pattern, with their binding sites.
+   5.2 added a [Uid.t] to [Tpat_var] and [Tpat_alias]. *)
+let pat_vars (type k) (p : k general_pattern) : (Ident.t * Location.t) list =
+  let acc = ref [] in
+  let f : 'k. Tast_iterator.iterator -> 'k general_pattern -> unit =
+    fun (type l) sub (q : l general_pattern) ->
+     (match q.pat_desc with
+     | Tpat_var (id, s, _) -> acc := (id, s.Asttypes.loc) :: !acc
+     | Tpat_alias (_, id, s, _) -> acc := (id, s.Asttypes.loc) :: !acc
+     | _ -> ());
+     Tast_iterator.default_iterator.pat sub q
+  in
+  let it = { Tast_iterator.default_iterator with pat = f } in
+  it.pat it p;
+  List.rev !acc
+
+(* If [e] is a syntactic function, the identifiers bound by its whole
+   parameter chain; [None] for any other expression.  5.2 functions are
+   n-ary: [Texp_function of { params; body }]. *)
+let rec function_param_idents e =
+  match e.exp_desc with
+  | Texp_function { params; body; _ } ->
+      let of_param p =
+        match p.fp_kind with
+        | Tparam_pat pat -> List.map fst (pat_vars pat)
+        | Tparam_optional_default (pat, _) -> List.map fst (pat_vars pat)
+      in
+      let here = List.concat_map of_param params in
+      let more =
+        match body with
+        | Tfunction_body b ->
+            Option.value ~default:[] (function_param_idents b)
+        | Tfunction_cases fc ->
+            List.concat_map
+              (fun c -> List.map fst (pat_vars c.c_lhs))
+              fc.fc_cases
+      in
+      Some (here @ more)
+  | _ -> None
+
+(* Every value identifier bound anywhere in a structure (lets, function
+   parameters, match cases), with binding sites — the analyzer's
+   definition-site registry. *)
+let structure_pattern_vars (str : structure) : (Ident.t * Location.t) list =
+  let acc = ref [] in
+  let f : 'k. Tast_iterator.iterator -> 'k general_pattern -> unit =
+    fun (type l) sub (q : l general_pattern) ->
+     (match q.pat_desc with
+     | Tpat_var (id, s, _) -> acc := (id, s.Asttypes.loc) :: !acc
+     | Tpat_alias (_, id, s, _) -> acc := (id, s.Asttypes.loc) :: !acc
+     | _ -> ());
+     Tast_iterator.default_iterator.pat sub q
+  in
+  let it = { Tast_iterator.default_iterator with pat = f } in
+  it.structure it str;
+  List.rev !acc

@@ -1,0 +1,1264 @@
+(* cmvrp_race — a typedtree-level escape/confinement analysis proving the
+   tree's domain-safety invariants (docs/RACES.md).
+
+   Where cmvrp_lint (tools/lint) pattern-matches parsetrees, this pass
+   consumes the [.cmt] artifacts that [dune build @check] leaves behind,
+   so it sees resolved paths and inferred types.  It
+
+   1. builds an intra-library call graph (top-level functions, local
+      functions, and the closures handed to parallel entry points),
+   2. runs an escape analysis classifying every mutable root — refs,
+      arrays, [Hashtbl]/[Queue]/[Buffer]/[Stack] values, records with
+      mutable fields — as domain-confined, atomic, mutex-guarded,
+      shared-read or shared-unguarded, by tracking which values are
+      reachable from closures passed to [Pool.map]/[Pool.init]/
+      [Pool.both]/[Pool.run_tasks]/[Domain.spawn], and
+   3. reports shared-unguarded roots as blocking findings carrying the
+      capture path (root -> parallel entry -> call chain -> access).
+
+   Soundness limits (deliberate, documented in docs/RACES.md): aliasing
+   across function boundaries is summarized by a merged-parameter
+   effect, not tracked per position; first-class functions that are
+   stored in data structures rather than called or spawned are
+   attributed to their lexical context; heap escape (a root stowed in
+   another structure and mutated through the alias) is invisible.
+   Findings can be waived at the definition or access line with a
+   "race: allow <reason>" comment, or suppressed tree-wide by a
+   committed baseline file of [file:root] fingerprints. *)
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let strip_wrap name =
+  (* "Race_fixtures__Leaked_ref" -> "Leaked_ref": dune's wrapped-library
+     mangling uses a double underscore. *)
+  let n = String.length name in
+  let rec last_sep i best =
+    if i + 2 > n then best
+    else if name.[i] = '_' && name.[i + 1] = '_' then last_sep (i + 1) (Some (i + 2))
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with
+  | Some j when j < n -> String.sub name j (n - j)
+  | _ -> name
+
+let canon_path p =
+  let comps =
+    String.split_on_char '.' (Path.name p)
+    |> List.filter (fun c -> c <> "")
+    |> List.map strip_wrap
+  in
+  let comps = match comps with "Stdlib" :: (_ :: _ as rest) -> rest | c -> c in
+  String.concat "." comps
+
+type loc_info = { lf : string; ll : int; lc : int; lcnum : int }
+
+let loc_info (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    lf = p.Lexing.pos_fname;
+    ll = p.Lexing.pos_lnum;
+    lc = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    lcnum = p.Lexing.pos_cnum;
+  }
+
+type extent = { xf : string; xs : int; xe : int }
+
+let extent_of (loc : Location.t) =
+  {
+    xf = loc.loc_start.Lexing.pos_fname;
+    xs = loc.loc_start.Lexing.pos_cnum;
+    xe = loc.loc_end.Lexing.pos_cnum;
+  }
+
+let inside (l : loc_info) (x : extent) =
+  l.lf = x.xf && l.lcnum >= x.xs && l.lcnum < x.xe
+
+(* ------------------------------------------------------------------ *)
+(* Type mutability classes.                                            *)
+(* ------------------------------------------------------------------ *)
+
+type tclass =
+  | Imm  (* no shared mutable state reachable *)
+  | Sync  (* Mutex/Condition/Semaphore — synchronization devices *)
+  | Atom  (* Atomic.t — safe to share *)
+  | Mut  (* refs, arrays, tables, mutable records, ... *)
+
+let tclass_rank = function Imm -> 0 | Sync -> 1 | Atom -> 2 | Mut -> 3
+let tclass_max a b = if tclass_rank a >= tclass_rank b then a else b
+
+(* [None] means "immutable spine, class of the type arguments". *)
+let builtin_class = function
+  | "ref" | "array" | "floatarray" | "Bytes.t" | "bytes" | "Hashtbl.t"
+  | "Queue.t" | "Stack.t" | "Buffer.t" | "Dynarray.t" ->
+      Some Mut
+  | "Atomic.t" -> Some Atom
+  | "Mutex.t" | "Condition.t" | "Semaphore.Counting.t" | "Semaphore.Binary.t"
+  | "Domain.t" ->
+      Some Sync
+  | "list" | "option" | "result" | "Either.t" | "Seq.t" | "Lazy.t" -> None
+  | _ -> Some Imm
+
+type decl_tables = {
+  decls : (string, Types.type_declaration) Hashtbl.t;
+  memo : (string, tclass) Hashtbl.t;
+}
+
+let rec class_of_type tbl (ty : Types.type_expr) =
+  match Types.get_desc ty with
+  | Ttuple ts ->
+      List.fold_left (fun a t -> tclass_max a (class_of_type tbl t)) Imm ts
+  | Tpoly (t, _) -> class_of_type tbl t
+  | Tconstr (p, args, _) -> (
+      let name = canon_path p in
+      match Hashtbl.find_opt tbl.memo name with
+      | Some c -> c
+      | None -> (
+          match builtin_class name with
+          | Some Imm when Hashtbl.mem tbl.decls name -> class_of_decl tbl name args
+          | Some c -> c
+          | None ->
+              List.fold_left
+                (fun a t -> tclass_max a (class_of_type tbl t))
+                Imm args))
+  | _ -> Imm
+
+and class_of_decl tbl name args =
+  Hashtbl.replace tbl.memo name Imm (* recursion guard *);
+  let decl = Hashtbl.find tbl.decls name in
+  let mutable_labels lds =
+    List.exists
+      (fun (l : Types.label_declaration) -> l.ld_mutable = Asttypes.Mutable)
+      lds
+  in
+  let c =
+    match decl.Types.type_kind with
+    | Types.Type_record (labels, _) ->
+        if mutable_labels labels then Mut
+        else
+          List.fold_left
+            (fun acc (ld : Types.label_declaration) ->
+              tclass_max acc (class_of_type tbl ld.ld_type))
+            Imm labels
+    | Types.Type_variant (constrs, _) ->
+        List.fold_left
+          (fun acc (cd : Types.constructor_declaration) ->
+            match cd.cd_args with
+            | Types.Cstr_tuple ts ->
+                List.fold_left
+                  (fun a t -> tclass_max a (class_of_type tbl t))
+                  acc ts
+            | Types.Cstr_record lds ->
+                if mutable_labels lds then Mut
+                else
+                  List.fold_left
+                    (fun a (l : Types.label_declaration) ->
+                      tclass_max a (class_of_type tbl l.ld_type))
+                    acc lds)
+          Imm constrs
+    | _ -> (
+        match decl.Types.type_manifest with
+        | Some t -> class_of_type tbl t
+        | None -> Imm)
+  in
+  let c =
+    if c = Mut then Mut
+    else List.fold_left (fun a t -> tclass_max a (class_of_type tbl t)) c args
+  in
+  Hashtbl.replace tbl.memo name c;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Model: owners, targets, events.                                     *)
+(* ------------------------------------------------------------------ *)
+
+type okey =
+  | O_init of string  (* module initialization code *)
+  | O_fn of string  (* top-level function "Mod.f" *)
+  | O_localfn of string * string  (* local function: module, unique name *)
+  | O_closure of string * int  (* closure at a parallel entry: file, start *)
+
+type owner = {
+  ok : okey;
+  o_disp : string;
+  o_loc : loc_info;
+  o_ext : extent;
+  mutable o_locks : bool;  (* body mentions Mutex.lock/protect directly *)
+}
+
+type raw_target =
+  | T_local of string * string * string  (* module, unique name, name *)
+  | T_path of string  (* canonical dotted path *)
+
+type kind = Read | Write
+
+type access = {
+  a_target : raw_target;
+  a_kind : kind;
+  a_owner : int;
+  a_loc : loc_info;
+  a_class : tclass;
+}
+
+type call = {
+  c_target : raw_target;
+  c_owner : int;
+  c_loc : loc_info;
+  c_roots : (raw_target * tclass) list;
+      (* argument expressions that are root paths, with their classes *)
+  c_lambdas : extent list;  (* syntactic-function arguments, for guards *)
+}
+
+type spawn_target = S_owner of raw_target | S_closure of int
+
+type spawn = {
+  s_entry : string;
+  s_owner : int;
+  s_loc : loc_info;
+  s_target : spawn_target;
+}
+
+type minfo = {
+  mi_top_fn : (string, string) Hashtbl.t;
+  mi_top_root : (string, string) Hashtbl.t;
+}
+
+type groot = { gr_loc : loc_info; gr_class : tclass }
+
+type state = {
+  tt : decl_tables;
+  mutable owners : owner array;
+  mutable n_owners : int;
+  owner_idx : (okey, int) Hashtbl.t;
+  mutable accesses : access list;
+  mutable calls : call list;
+  mutable spawns : spawn list;
+  glob_fn_owner : (string, int) Hashtbl.t;
+  localfn_owner : (string * string, int) Hashtbl.t;
+  glob_roots : (string, groot) Hashtbl.t;
+  local_defs : (string * string, string * loc_info) Hashtbl.t;
+  modinfo : (string, minfo) Hashtbl.t;
+  param_of : (string * string, int) Hashtbl.t;
+      (* param ident -> owner index of the function binding it *)
+}
+
+let new_state () =
+  {
+    tt = { decls = Hashtbl.create 256; memo = Hashtbl.create 256 };
+    owners = [||];
+    n_owners = 0;
+    owner_idx = Hashtbl.create 256;
+    accesses = [];
+    calls = [];
+    spawns = [];
+    glob_fn_owner = Hashtbl.create 256;
+    localfn_owner = Hashtbl.create 256;
+    glob_roots = Hashtbl.create 64;
+    local_defs = Hashtbl.create 1024;
+    modinfo = Hashtbl.create 64;
+    param_of = Hashtbl.create 512;
+  }
+
+let no_loc = { lf = ""; ll = 0; lc = 0; lcnum = 0 }
+let no_ext = { xf = ""; xs = 0; xe = 0 }
+
+let add_owner st o =
+  match Hashtbl.find_opt st.owner_idx o.ok with
+  | Some i -> i
+  | None ->
+      let i = st.n_owners in
+      if i >= Array.length st.owners then begin
+        let bigger = Array.make (max 64 (2 * Array.length st.owners)) o in
+        Array.blit st.owners 0 bigger 0 i;
+        st.owners <- bigger
+      end;
+      st.owners.(i) <- o;
+      st.n_owners <- i + 1;
+      Hashtbl.replace st.owner_idx o.ok i;
+      i
+
+(* Parallel entry points: the only constructs that move a closure onto
+   another domain.  [Pool.run_tasks] is Pool's internal fan-out; it is
+   in the set so pool.ml itself is analyzed under the same rules. *)
+let parallel_entries =
+  [ "Pool.map"; "Pool.init"; "Pool.both"; "Pool.run_tasks"; "Domain.spawn" ]
+
+(* Stdlib calls with a known write effect on an argument position. *)
+let mutator_writes = function
+  | ":=" | "incr" | "decr" -> [ 0 ]
+  | "Hashtbl.add" | "Hashtbl.replace" | "Hashtbl.remove" | "Hashtbl.reset"
+  | "Hashtbl.clear" | "Hashtbl.filter_map_inplace" | "Hashtbl.add_seq"
+  | "Hashtbl.replace_seq" ->
+      [ 0 ]
+  | "Queue.push" | "Queue.add" | "Queue.pop" | "Queue.take" | "Queue.take_opt"
+  | "Queue.pop_opt" | "Queue.clear" | "Queue.add_seq" ->
+      [ 0 ]
+  | "Queue.transfer" -> [ 0; 1 ]
+  | "Buffer.add_char" | "Buffer.add_string" | "Buffer.add_bytes"
+  | "Buffer.add_substring" | "Buffer.add_subbytes" | "Buffer.add_buffer"
+  | "Buffer.add_channel" | "Buffer.clear" | "Buffer.reset" | "Buffer.truncate"
+    ->
+      [ 0 ]
+  | "Stack.pop" | "Stack.pop_opt" | "Stack.clear" -> [ 0 ]
+  | "Stack.push" -> [ 1 ]
+  | "Array.set" | "Array.unsafe_set" | "Array.fill" | "Float.Array.set"
+  | "Float.Array.unsafe_set" | "Float.Array.fill" | "Bytes.set"
+  | "Bytes.unsafe_set" | "Bytes.fill" ->
+      [ 0 ]
+  | "Array.blit" | "Bytes.blit" | "Bytes.blit_string" | "Float.Array.blit" ->
+      [ 2 ]
+  | "Array.sort" | "Array.fast_sort" | "Array.stable_sort" -> [ 1 ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: per-module registries (bindings, type decls, def sites).    *)
+(* ------------------------------------------------------------------ *)
+
+let is_function_binding (vb : Typedtree.value_binding) =
+  Race_compat.function_param_idents vb.vb_expr <> None
+  ||
+  match Types.get_desc vb.vb_expr.exp_type with
+  | Types.Tarrow _ -> true
+  | _ -> false
+
+let register_module st modname (str : Typedtree.structure) =
+  let mi = { mi_top_fn = Hashtbl.create 32; mi_top_root = Hashtbl.create 32 } in
+  Hashtbl.replace st.modinfo modname mi;
+  List.iter
+    (fun (item : Typedtree.structure_item) ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun (vb : Typedtree.value_binding) ->
+              match Race_compat.pat_vars vb.vb_pat with
+              | [ (id, loc) ] ->
+                  let name = modname ^ "." ^ Ident.name id in
+                  if is_function_binding vb then
+                    Hashtbl.replace mi.mi_top_fn (Ident.unique_name id) name
+                  else begin
+                    Hashtbl.replace mi.mi_top_root (Ident.unique_name id) name;
+                    Hashtbl.replace st.glob_roots name
+                      {
+                        gr_loc = loc_info loc;
+                        gr_class = class_of_type st.tt vb.vb_expr.exp_type;
+                      }
+                  end
+              | _ -> ())
+            vbs
+      | Tstr_type (_, decls) ->
+          List.iter
+            (fun (d : Typedtree.type_declaration) ->
+              Hashtbl.replace st.tt.decls
+                (modname ^ "." ^ d.typ_name.txt)
+                d.typ_type)
+            decls
+      | _ -> ())
+    str.str_items;
+  List.iter
+    (fun (id, loc) ->
+      Hashtbl.replace st.local_defs
+        (modname, Ident.unique_name id)
+        (Ident.name id, loc_info loc))
+    (Race_compat.structure_pattern_vars str)
+
+let preregister_fn_owners st modname =
+  (* Top-level functions become owners before the walk so that forward
+     and cross-module references resolve as call edges.  Local
+     functions become known as their bindings are walked; an earlier
+     mention degrades to a (dropped) function-typed access. *)
+  let mi = Hashtbl.find st.modinfo modname in
+  Hashtbl.iter
+    (fun _stamp name ->
+      if not (Hashtbl.mem st.glob_fn_owner name) then begin
+        let oi =
+          add_owner st
+            {
+              ok = O_fn name;
+              o_disp = name;
+              o_loc = no_loc;
+              o_ext = no_ext;
+              o_locks = false;
+            }
+        in
+        Hashtbl.replace st.glob_fn_owner name oi
+      end)
+    mi.mi_top_fn
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: the event-collecting traversal.                             *)
+(* ------------------------------------------------------------------ *)
+
+type walk_ctx = { st : state; modname : string; mutable cur : int }
+
+let resolve_head_name w (p : Path.t) =
+  (* Canonical name used for entry/mutator/guard lookups: local idents
+     of top-level functions resolve through the module registry. *)
+  match p with
+  | Path.Pident id -> (
+      let mi = Hashtbl.find w.st.modinfo w.modname in
+      match Hashtbl.find_opt mi.mi_top_fn (Ident.unique_name id) with
+      | Some n -> n
+      | None -> (
+          match Hashtbl.find_opt mi.mi_top_root (Ident.unique_name id) with
+          | Some n -> n
+          | None -> Ident.name id))
+  | _ -> canon_path p
+
+let raw_of_path w (p : Path.t) =
+  match p with
+  | Path.Pident id -> T_local (w.modname, Ident.unique_name id, Ident.name id)
+  | _ -> T_path (canon_path p)
+
+let rec base_root_of (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_field (b, _, _) -> base_root_of b
+  | _ -> None
+
+let is_arrow (e : Typedtree.expression) =
+  match Types.get_desc e.exp_type with Types.Tarrow _ -> true | _ -> false
+
+let record_access w target k loc cls =
+  w.st.accesses <-
+    { a_target = target; a_kind = k; a_owner = w.cur; a_loc = loc_info loc; a_class = cls }
+    :: w.st.accesses
+
+let record_call w target loc roots lambdas =
+  w.st.calls <-
+    { c_target = target; c_owner = w.cur; c_loc = loc_info loc; c_roots = roots; c_lambdas = lambdas }
+    :: w.st.calls
+
+(* A function-valued ident occurrence is an edge in the call graph (it
+   may be invoked wherever it flows); a non-function ident is a read. *)
+let record_use w (p : Path.t) (e : Typedtree.expression) =
+  let target = raw_of_path w p in
+  let is_fn =
+    match target with
+    | T_local (m, s, _) ->
+        Hashtbl.mem w.st.localfn_owner (m, s)
+        ||
+        let mi = Hashtbl.find w.st.modinfo w.modname in
+        Hashtbl.mem mi.mi_top_fn s
+    | T_path n -> Hashtbl.mem w.st.glob_fn_owner n
+  in
+  if is_fn then record_call w target e.exp_loc [] []
+  else if is_arrow e then () (* unknown external function value *)
+  else record_access w target Read e.exp_loc (class_of_type w.st.tt e.exp_type)
+
+let arrow_idents_in w (e : Typedtree.expression) =
+  (* Conservative spawn-target scan for non-lambda arguments of
+     parallel entries: any function-valued identifier inside may end up
+     invoked on another domain. *)
+  let acc = ref [] in
+  let iter =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub x ->
+          (match x.Typedtree.exp_desc with
+          | Texp_ident (p, _, _) when is_arrow x -> acc := raw_of_path w p :: !acc
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub x);
+    }
+  in
+  iter.expr iter e;
+  !acc
+
+let walk_iterator w =
+  let open Tast_iterator in
+  let set_extent oi (vb : Typedtree.value_binding) =
+    (* Pre-registered top-level owners have empty extents: fill in. *)
+    let o = w.st.owners.(oi) in
+    w.st.owners.(oi) <-
+      {
+        o with
+        o_loc = loc_info vb.vb_expr.exp_loc;
+        o_ext = extent_of vb.vb_expr.exp_loc;
+      }
+  in
+  let rec it =
+    {
+      default_iterator with
+      expr = (fun _sub e -> expr e);
+      value_binding = (fun _sub vb -> value_binding vb);
+    }
+  and expr (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) -> record_use w p e
+    | Texp_setfield (b, _, _, v) ->
+        (match base_root_of b with
+        | Some p ->
+            record_access w (raw_of_path w p) Write e.exp_loc
+              (class_of_type w.st.tt b.exp_type)
+        | None -> ());
+        it.expr it b;
+        it.expr it v
+    | Texp_apply ({ exp_desc = Texp_ident (hp, _, _); exp_loc = hloc; _ }, args)
+      ->
+        let head = resolve_head_name w hp in
+        let plain_args = List.filter_map (fun (_, a) -> a) args in
+        if List.mem head parallel_entries then
+          List.iter
+            (fun (a : Typedtree.expression) ->
+              if Race_compat.function_param_idents a <> None then begin
+                (* A literal closure crossing onto other domains: give
+                   it an owner and walk its body in that context. *)
+                let okey =
+                  O_closure
+                    (a.exp_loc.loc_start.pos_fname, a.exp_loc.loc_start.pos_cnum)
+                in
+                let ci =
+                  add_owner w.st
+                    {
+                      ok = okey;
+                      o_disp = "closure";
+                      o_loc = loc_info a.exp_loc;
+                      o_ext = extent_of a.exp_loc;
+                      o_locks = false;
+                    }
+                in
+                w.st.spawns <-
+                  { s_entry = head; s_owner = w.cur; s_loc = loc_info e.exp_loc; s_target = S_closure ci }
+                  :: w.st.spawns;
+                let saved = w.cur in
+                w.cur <- ci;
+                it.expr it a;
+                w.cur <- saved
+              end
+              else begin
+                List.iter
+                  (fun t ->
+                    w.st.spawns <-
+                      { s_entry = head; s_owner = w.cur; s_loc = loc_info e.exp_loc; s_target = S_owner t }
+                      :: w.st.spawns)
+                  (arrow_idents_in w a);
+                it.expr it a
+              end)
+            plain_args
+        else begin
+          if head = "Mutex.lock" || head = "Mutex.protect" then
+            w.st.owners.(w.cur).o_locks <- true;
+          List.iteri
+            (fun i (a : Typedtree.expression) ->
+              if List.mem i (mutator_writes head) then
+                match base_root_of a with
+                | Some p ->
+                    record_access w (raw_of_path w p) Write a.exp_loc
+                      (class_of_type w.st.tt a.exp_type)
+                | None -> ())
+            plain_args;
+          let target = raw_of_path w hp in
+          let roots =
+            List.filter_map
+              (fun (a : Typedtree.expression) ->
+                match base_root_of a with
+                | Some p ->
+                    Some (raw_of_path w p, class_of_type w.st.tt a.exp_type)
+                | None -> None)
+              plain_args
+          in
+          let lambdas =
+            List.filter_map
+              (fun (a : Typedtree.expression) ->
+                if Race_compat.function_param_idents a <> None then
+                  Some (extent_of a.exp_loc)
+                else None)
+              plain_args
+          in
+          record_call w target hloc roots lambdas;
+          List.iter (fun a -> it.expr it a) plain_args
+        end
+    | _ -> default_iterator.expr it e
+  and value_binding (vb : Typedtree.value_binding) =
+    if is_function_binding vb then begin
+      let okey, disp =
+        match Race_compat.pat_vars vb.vb_pat with
+        | [ (id, _) ] -> (
+            let mi = Hashtbl.find w.st.modinfo w.modname in
+            match Hashtbl.find_opt mi.mi_top_fn (Ident.unique_name id) with
+            | Some n -> (O_fn n, n)
+            | None ->
+                ( O_localfn (w.modname, Ident.unique_name id),
+                  w.modname ^ "." ^ Ident.name id ^ " (local)" ))
+        | _ ->
+            ( O_closure
+                ( vb.vb_expr.exp_loc.loc_start.pos_fname,
+                  vb.vb_expr.exp_loc.loc_start.pos_cnum ),
+              "fn" )
+      in
+      let oi =
+        add_owner w.st
+          {
+            ok = okey;
+            o_disp = disp;
+            o_loc = loc_info vb.vb_expr.exp_loc;
+            o_ext = extent_of vb.vb_expr.exp_loc;
+            o_locks = false;
+          }
+      in
+      (match okey with
+      | O_fn n ->
+          Hashtbl.replace w.st.glob_fn_owner n oi;
+          set_extent oi vb
+      | O_localfn (m, s) ->
+          Hashtbl.replace w.st.localfn_owner (m, s) oi;
+          set_extent oi vb
+      | _ -> ());
+      (match Race_compat.function_param_idents vb.vb_expr with
+      | Some ids ->
+          List.iter
+            (fun id -> Hashtbl.replace w.st.param_of (w.modname, Ident.unique_name id) oi)
+            ids
+      | None -> ());
+      let saved = w.cur in
+      w.cur <- oi;
+      it.expr it vb.vb_expr;
+      w.cur <- saved
+    end
+    else it.expr it vb.vb_expr
+  in
+  it
+
+(* ------------------------------------------------------------------ *)
+(* Analysis proper.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type root_id = R_localr of string * string | R_globalr of string
+
+let resolve_fn_owner st = function
+  | T_local (m, s, _) -> (
+      match Hashtbl.find_opt st.localfn_owner (m, s) with
+      | Some i -> Some i
+      | None -> (
+          match Hashtbl.find_opt st.modinfo m with
+          | None -> None
+          | Some mi -> (
+              match Hashtbl.find_opt mi.mi_top_fn s with
+              | Some n -> Hashtbl.find_opt st.glob_fn_owner n
+              | None -> None)))
+  | T_path n -> Hashtbl.find_opt st.glob_fn_owner n
+
+(* A raw target that denotes mutable *data* (not a function). *)
+let resolve_root st = function
+  | T_local (m, s, n) -> (
+      match Hashtbl.find_opt st.modinfo m with
+      | None -> Some (R_localr (m, s), n)
+      | Some mi ->
+          if Hashtbl.mem mi.mi_top_fn s then None
+          else (
+            match Hashtbl.find_opt mi.mi_top_root s with
+            | Some gname -> Some (R_globalr gname, gname)
+            | None ->
+                if Hashtbl.mem st.localfn_owner (m, s) then None
+                else Some (R_localr (m, s), n)))
+  | T_path n ->
+      if Hashtbl.mem st.glob_roots n then Some (R_globalr n, n) else None
+
+type finding = {
+  f_root : string;
+  f_root_file : string;
+  f_root_line : int;
+  f_kind : kind;
+  f_file : string;
+  f_line : int;
+  f_col : int;
+  f_entry : string;
+  f_entry_file : string;
+  f_entry_line : int;
+  f_path : string list;
+  f_message : string;
+}
+
+type classification = {
+  n_confined : int;
+  n_atomic : int;
+  n_guarded : int;
+  n_shared_read : int;
+  n_unguarded : int;
+}
+
+type report = {
+  scanned_cmts : int;
+  roots : (string * string * int * string) list;
+      (* name, file, line, class — mutable/atomic roots only *)
+  findings : finding list;  (* unwaived, unbaselined *)
+  waived : int;
+  baselined : int;
+  unused_baseline : string list;
+  classes : classification;
+}
+
+(* --- waiver comments ----------------------------------------------- *)
+
+let find_sub s sub ~from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1)
+  in
+  if m = 0 then None else go from
+
+let waiver_lines_of_source src =
+  let lines = ref [] in
+  List.iteri
+    (fun i line ->
+      match find_sub line "race:" ~from:0 with
+      | None -> ()
+      | Some j ->
+          let rest =
+            String.trim (String.sub line (j + 5) (String.length line - j - 5))
+          in
+          if String.length rest >= 5 && String.sub rest 0 5 = "allow" then
+            lines := (i + 1) :: !lines)
+    (String.split_on_char '\n' src);
+  !lines
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let source_candidates ~source_roots file =
+  List.map (fun r -> Filename.concat r file) source_roots
+  @ [ file; Filename.concat ".." file; Filename.concat "_build/default" file ]
+
+let waivers_for ~source_roots =
+  let memo = Hashtbl.create 16 in
+  fun file ->
+    match Hashtbl.find_opt memo file with
+    | Some set -> set
+    | None ->
+        let set =
+          List.fold_left
+            (fun acc cand ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  if Sys.file_exists cand && not (Sys.is_directory cand) then
+                    Some (waiver_lines_of_source (read_file cand))
+                  else None)
+            None
+            (source_candidates ~source_roots file)
+        in
+        let set = Option.value ~default:[] set in
+        Hashtbl.replace memo file set;
+        set
+
+(* --- cmt discovery -------------------------------------------------- *)
+
+let rec collect_cmts acc path =
+  if not (Sys.file_exists path) then
+    invalid_arg (Printf.sprintf "no such file or directory: %s" path)
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry -> collect_cmts acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".cmt" then path :: acc
+  else acc
+
+(* --- per-root assembled info ---------------------------------------- *)
+
+type rinfo = {
+  r_name : string;
+  r_defloc : loc_info option;
+  mutable r_cls : tclass;
+  mutable r_accs : (kind * bool * bool * loc_info * int) list;
+      (* kind, guarded, shared, loc, owner *)
+}
+
+(* Merged parameter effect of a function: read/write x guarded/not. *)
+type eff = {
+  mutable e_ru : bool;
+  mutable e_wu : bool;
+  mutable e_rg : bool;
+  mutable e_wg : bool;
+}
+
+let compare_findings a b =
+  match String.compare a.f_file b.f_file with
+  | 0 -> (
+      match Int.compare a.f_line b.f_line with
+      | 0 -> String.compare a.f_root b.f_root
+      | c -> c)
+  | c -> c
+
+let analyze ?(baseline = []) ?(source_roots = [ "." ]) paths =
+  let st = new_state () in
+  let cmts =
+    List.fold_left collect_cmts [] paths |> List.sort_uniq String.compare
+  in
+  let structures = ref [] in
+  List.iter
+    (fun cmt ->
+      match Cmt_format.read_cmt cmt with
+      | { cmt_annots = Cmt_format.Implementation str; cmt_modname; _ } ->
+          let modname = strip_wrap cmt_modname in
+          if not (Hashtbl.mem st.modinfo modname) then begin
+            register_module st modname str;
+            structures := (modname, str) :: !structures
+          end
+      | _ -> ()
+      | exception Cmt_format.Error _ -> ()
+      | exception Cmi_format.Error _ -> ())
+    cmts;
+  let structures = List.rev !structures in
+  List.iter (fun (m, _) -> preregister_fn_owners st m) structures;
+  List.iter
+    (fun (modname, str) ->
+      let init =
+        add_owner st
+          {
+            ok = O_init modname;
+            o_disp = modname ^ " (module init)";
+            o_loc = no_loc;
+            o_ext = no_ext;
+            o_locks = false;
+          }
+      in
+      let w = { st; modname; cur = init } in
+      let it = walk_iterator w in
+      it.structure it str)
+    structures;
+  (* Guard regions: closure arguments at call sites of lock-wrapping
+     functions (and of [Mutex.protect] itself). *)
+  let guard_regions = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      match c.c_lambdas with
+      | [] -> ()
+      | _ :: _ -> begin
+        let is_guard =
+          (match c.c_target with
+          | T_path ("Mutex.protect" | "Mutex.lock") -> true
+          | _ -> false)
+          ||
+          match resolve_fn_owner st c.c_target with
+          | Some oi -> st.owners.(oi).o_locks
+          | None -> false
+        in
+        if is_guard then
+          List.iter
+            (fun x ->
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt guard_regions x.xf)
+              in
+              Hashtbl.replace guard_regions x.xf ((x.xs, x.xe) :: prev))
+            c.c_lambdas
+      end)
+    st.calls;
+  let lock_extents =
+    (* code lexically inside a function that takes the lock itself *)
+    let acc = ref [] in
+    for oi = 0 to st.n_owners - 1 do
+      let o = st.owners.(oi) in
+      if o.o_locks && o.o_ext.xf <> "" then acc := o.o_ext :: !acc
+    done;
+    !acc
+  in
+  let guarded_loc (l : loc_info) =
+    (match Hashtbl.find_opt guard_regions l.lf with
+    | None -> false
+    | Some regions -> List.exists (fun (s, e) -> l.lcnum >= s && l.lcnum < e) regions)
+    || List.exists (fun x -> inside l x) lock_extents
+  in
+  (* Parameter-effect fixpoint (merged over all parameters: argument
+     positions are not tracked — labels reorder anyway). *)
+  let peff : (int, eff) Hashtbl.t = Hashtbl.create 128 in
+  let eff_of oi =
+    match Hashtbl.find_opt peff oi with
+    | Some e -> e
+    | None ->
+        let e = { e_ru = false; e_wu = false; e_rg = false; e_wg = false } in
+        Hashtbl.replace peff oi e;
+        e
+  in
+  List.iter
+    (fun a ->
+      match a.a_target with
+      | T_local (m, s, _) -> (
+          match Hashtbl.find_opt st.param_of (m, s) with
+          | Some oi -> (
+              let e = eff_of oi in
+              match (a.a_kind, guarded_loc a.a_loc) with
+              | Read, false -> e.e_ru <- true
+              | Read, true -> e.e_rg <- true
+              | Write, false -> e.e_wu <- true
+              | Write, true -> e.e_wg <- true)
+          | None -> ())
+      | T_path _ -> ())
+    st.accesses;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun c ->
+        match resolve_fn_owner st c.c_target with
+        | None -> ()
+        | Some callee -> (
+            match Hashtbl.find_opt peff callee with
+            | None -> ()
+            | Some ce ->
+                List.iter
+                  (fun (r, _) ->
+                    match r with
+                    | T_local (m, s, _) -> (
+                        match Hashtbl.find_opt st.param_of (m, s) with
+                        | Some oi ->
+                            let e = eff_of oi in
+                            let bump get set =
+                              if get ce && not (get e) then begin
+                                set e;
+                                changed := true
+                              end
+                            in
+                            bump (fun x -> x.e_ru) (fun x -> x.e_ru <- true);
+                            bump (fun x -> x.e_wu) (fun x -> x.e_wu <- true);
+                            bump (fun x -> x.e_rg) (fun x -> x.e_rg <- true);
+                            bump (fun x -> x.e_wg) (fun x -> x.e_wg <- true)
+                        | None -> ())
+                    | T_path _ -> ())
+                  c.c_roots))
+      st.calls
+  done;
+  (* Parallel reachability (BFS; keeps the first spawn provenance). *)
+  let parallel = Array.make (max 1 st.n_owners) false in
+  let provenance = Array.make (max 1 st.n_owners) None in
+  let queue = Queue.create () in
+  let seed oi prov =
+    if oi >= 0 && oi < st.n_owners && not parallel.(oi) then begin
+      parallel.(oi) <- true;
+      provenance.(oi) <- Some prov;
+      Queue.push oi queue
+    end
+  in
+  List.iter
+    (fun s ->
+      let prov = (s.s_entry, s.s_loc, s.s_owner, None) in
+      match s.s_target with
+      | S_closure ci -> seed ci prov
+      | S_owner t -> (
+          match resolve_fn_owner st t with
+          | Some oi -> seed oi prov
+          | None -> ()))
+    st.spawns;
+  let calls_by_owner = Hashtbl.create 256 in
+  List.iter
+    (fun c ->
+      match resolve_fn_owner st c.c_target with
+      | None -> ()
+      | Some callee ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt calls_by_owner c.c_owner)
+          in
+          Hashtbl.replace calls_by_owner c.c_owner (callee :: prev))
+    st.calls;
+  while not (Queue.is_empty queue) do
+    let oi = Queue.pop queue in
+    List.iter
+      (fun callee ->
+        if not parallel.(callee) then begin
+          parallel.(callee) <- true;
+          (match provenance.(oi) with
+          | Some (entry, sloc, sowner, _) ->
+              provenance.(callee) <- Some (entry, sloc, sowner, Some oi)
+          | None -> ());
+          Queue.push callee queue
+        end)
+      (Option.value ~default:[] (Hashtbl.find_opt calls_by_owner oi))
+  done;
+  (* A definition site lexically inside any parallel owner's extent
+     executes per-task on the worker domain: that root is a fresh
+     per-invocation value, not shared state. *)
+  let parallel_extents = Hashtbl.create 32 in
+  Array.iteri
+    (fun oi p ->
+      if p && oi < st.n_owners then begin
+        let x = st.owners.(oi).o_ext in
+        if x.xf <> "" then
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt parallel_extents x.xf)
+          in
+          Hashtbl.replace parallel_extents x.xf ((x.xs, x.xe) :: prev)
+      end)
+    parallel;
+  let def_in_parallel (l : loc_info) =
+    match Hashtbl.find_opt parallel_extents l.lf with
+    | None -> false
+    | Some regions ->
+        List.exists (fun (s, e) -> l.lcnum >= s && l.lcnum < e) regions
+  in
+  (* Effective accesses per root: direct + parameter-translated. *)
+  let root_tbl : (root_id, rinfo) Hashtbl.t = Hashtbl.create 256 in
+  let root_info rid name =
+    match Hashtbl.find_opt root_tbl rid with
+    | Some r -> r
+    | None ->
+        let defloc, cls =
+          match rid with
+          | R_globalr n -> (
+              match Hashtbl.find_opt st.glob_roots n with
+              | Some g -> (Some g.gr_loc, g.gr_class)
+              | None -> (None, Imm))
+          | R_localr (m, s) -> (
+              match Hashtbl.find_opt st.local_defs (m, s) with
+              | Some (_, l) -> (Some l, Imm)
+              | None -> (None, Imm))
+        in
+        let r = { r_name = name; r_defloc = defloc; r_cls = cls; r_accs = [] } in
+        Hashtbl.replace root_tbl rid r;
+        r
+  in
+  let consider target k cls guarded loc owner =
+    match resolve_root st target with
+    | None -> ()
+    | Some (rid, name) ->
+        let r = root_info rid name in
+        r.r_cls <- tclass_max r.r_cls cls;
+        let shared =
+          parallel.(owner)
+          &&
+          match r.r_defloc with
+          | Some dl -> not (def_in_parallel dl)
+          | None -> true
+        in
+        r.r_accs <- (k, guarded, shared, loc, owner) :: r.r_accs
+  in
+  List.iter
+    (fun a ->
+      consider a.a_target a.a_kind a.a_class (guarded_loc a.a_loc) a.a_loc
+        a.a_owner)
+    st.accesses;
+  List.iter
+    (fun c ->
+      match resolve_fn_owner st c.c_target with
+      | None -> ()
+      | Some callee -> (
+          match Hashtbl.find_opt peff callee with
+          | None -> ()
+          | Some e ->
+              let site_guarded = guarded_loc c.c_loc in
+              List.iter
+                (fun (r, cls) ->
+                  if e.e_ru then consider r Read cls site_guarded c.c_loc c.c_owner;
+                  if e.e_wu then consider r Write cls site_guarded c.c_loc c.c_owner;
+                  if e.e_rg then consider r Read cls true c.c_loc c.c_owner;
+                  if e.e_wg then consider r Write cls true c.c_loc c.c_owner)
+                c.c_roots))
+    st.calls;
+  (* Classification and findings. *)
+  let waivers = waivers_for ~source_roots in
+  let waived_at file line =
+    file <> "" && file <> "<unknown>"
+    &&
+    let lines = waivers file in
+    List.mem line lines || List.mem (line - 1) lines
+  in
+  let baseline_used = Hashtbl.create 8 in
+  let in_baseline file root =
+    let fp = file ^ ":" ^ root in
+    if List.mem fp baseline then begin
+      Hashtbl.replace baseline_used fp ();
+      true
+    end
+    else false
+  in
+  let findings = ref [] and waived = ref 0 and baselined = ref 0 in
+  let n_confined = ref 0
+  and n_atomic = ref 0
+  and n_guarded = ref 0
+  and n_shared_read = ref 0
+  and n_unguarded = ref 0 in
+  let roots_out = ref [] in
+  Hashtbl.iter
+    (fun _rid (r : rinfo) ->
+      match r.r_cls with
+      | Imm | Sync -> ()
+      | Atom -> (
+          incr n_atomic;
+          match r.r_defloc with
+          | Some l -> roots_out := (r.r_name, l.lf, l.ll, "atomic") :: !roots_out
+          | None -> ())
+      | Mut ->
+          let accs = List.rev r.r_accs in
+          let par_unguarded k =
+            List.find_opt
+              (fun (kind, guarded, shared, _, _) ->
+                kind = k && shared && not guarded)
+              accs
+          in
+          let any_unguarded_write =
+            List.exists
+              (fun (kind, guarded, _, _, _) -> kind = Write && not guarded)
+              accs
+          in
+          let has_shared = List.exists (fun (_, _, shared, _, _) -> shared) accs in
+          let def_file, def_line =
+            match r.r_defloc with Some l -> (l.lf, l.ll) | None -> ("<unknown>", 0)
+          in
+          let primary =
+            match par_unguarded Write with
+            | Some a -> Some (Write, a)
+            | None -> (
+                match par_unguarded Read with
+                | Some a when any_unguarded_write -> Some (Read, a)
+                | _ -> None)
+          in
+          let cls_name =
+            match primary with
+            | Some _ -> "shared-unguarded"
+            | None ->
+                if not has_shared then "confined"
+                else if
+                  List.exists
+                    (fun (_, guarded, shared, _, _) -> shared && guarded)
+                    accs
+                then "mutex-guarded"
+                else "shared-read"
+          in
+          (match cls_name with
+          | "mutex-guarded" -> incr n_guarded
+          | "shared-read" -> incr n_shared_read
+          | "confined" -> incr n_confined
+          | _ -> ());
+          roots_out := (r.r_name, def_file, def_line, cls_name) :: !roots_out;
+          (match primary with
+          | None -> ()
+          | Some (k, (_, _, _, loc, owner)) ->
+              incr n_unguarded;
+              let entry, entry_loc, path =
+                match provenance.(owner) with
+                | Some (entry, sloc, sowner, via) ->
+                    let chain =
+                      [
+                        st.owners.(sowner).o_disp;
+                        Printf.sprintf "%s @ %s:%d" entry sloc.lf sloc.ll;
+                      ]
+                      @ (match via with
+                        | Some mid when mid <> owner -> [ st.owners.(mid).o_disp ]
+                        | _ -> [])
+                      @ [ st.owners.(owner).o_disp ]
+                    in
+                    (entry, sloc, chain)
+                | None -> ("<parallel>", loc, [ st.owners.(owner).o_disp ])
+              in
+              if waived_at def_file def_line || waived_at loc.lf loc.ll then
+                incr waived
+              else if in_baseline def_file r.r_name then incr baselined
+              else
+                findings :=
+                  {
+                    f_root = r.r_name;
+                    f_root_file = def_file;
+                    f_root_line = def_line;
+                    f_kind = k;
+                    f_file = loc.lf;
+                    f_line = loc.ll;
+                    f_col = loc.lc;
+                    f_entry = entry;
+                    f_entry_file = entry_loc.lf;
+                    f_entry_line = entry_loc.ll;
+                    f_path = path;
+                    f_message =
+                      Printf.sprintf
+                        "mutable root `%s` (defined %s:%d) is %s on a parallel \
+                         domain without a guard; it crosses at %s (%s:%d)"
+                        r.r_name def_file def_line
+                        (match k with
+                        | Write -> "written"
+                        | Read -> "read (while written elsewhere)")
+                        entry entry_loc.lf entry_loc.ll;
+                  }
+                  :: !findings))
+    root_tbl;
+  let unused_baseline =
+    List.filter (fun fp -> not (Hashtbl.mem baseline_used fp)) baseline
+  in
+  {
+    scanned_cmts = List.length structures;
+    roots =
+      List.sort
+        (fun (a, af, al, _) (b, bf, bl, _) ->
+          match String.compare af bf with
+          | 0 -> (
+              match Int.compare al bl with 0 -> String.compare a b | c -> c)
+          | c -> c)
+        !roots_out;
+    findings = List.sort compare_findings !findings;
+    waived = !waived;
+    baselined = !baselined;
+    unused_baseline;
+    classes =
+      {
+        n_confined = !n_confined;
+        n_atomic = !n_atomic;
+        n_guarded = !n_guarded;
+        n_shared_read = !n_shared_read;
+        n_unguarded = !n_unguarded;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let kind_name = function Read -> "read" | Write -> "write"
+
+let json_report r =
+  Json.Obj
+    [
+      ("tool", Json.String "cmvrp_race");
+      ("schema_version", Json.Int 1);
+      ("scanned_cmts", Json.Int r.scanned_cmts);
+      ("findings_count", Json.Int (List.length r.findings));
+      ("waived", Json.Int r.waived);
+      ("baselined", Json.Int r.baselined);
+      ( "classification",
+        Json.Obj
+          [
+            ("confined", Json.Int r.classes.n_confined);
+            ("atomic", Json.Int r.classes.n_atomic);
+            ("mutex_guarded", Json.Int r.classes.n_guarded);
+            ("shared_read", Json.Int r.classes.n_shared_read);
+            ("shared_unguarded", Json.Int r.classes.n_unguarded);
+          ] );
+      ( "findings",
+        Json.List
+          (List.map
+             (fun f ->
+               Json.Obj
+                 [
+                   ("root", Json.String f.f_root);
+                   ("root_file", Json.String f.f_root_file);
+                   ("root_line", Json.Int f.f_root_line);
+                   ("kind", Json.String (kind_name f.f_kind));
+                   ("file", Json.String f.f_file);
+                   ("line", Json.Int f.f_line);
+                   ("col", Json.Int f.f_col);
+                   ("entry", Json.String f.f_entry);
+                   ("entry_file", Json.String f.f_entry_file);
+                   ("entry_line", Json.Int f.f_entry_line);
+                   ("path", Json.List (List.map (fun s -> Json.String s) f.f_path));
+                   ("message", Json.String f.f_message);
+                 ])
+             r.findings) );
+      ( "unused_baseline",
+        Json.List (List.map (fun s -> Json.String s) r.unused_baseline) );
+    ]
+
+let pp_finding fmt f =
+  Format.fprintf fmt "%s:%d:%d: [race] %s@\n    capture path: %s" f.f_file
+    f.f_line f.f_col f.f_message
+    (String.concat " -> " f.f_path)
+
+let pp_summary fmt r =
+  Format.fprintf fmt
+    "cmvrp_race: %d cmts scanned; roots: %d confined, %d atomic, %d \
+     mutex-guarded, %d shared-read, %d shared-unguarded; %d finding%s (%d \
+     waived, %d baselined)"
+    r.scanned_cmts r.classes.n_confined r.classes.n_atomic r.classes.n_guarded
+    r.classes.n_shared_read r.classes.n_unguarded
+    (List.length r.findings)
+    (if List.length r.findings = 1 then "" else "s")
+    r.waived r.baselined

@@ -3,18 +3,19 @@
    Usage: cmvrp_lint [--json] [--out FILE] [PATH ...]
 
    Lints every .ml under the given files/directories (default:
-   lib bin bench).  Human-readable diagnostics go to stdout; [--json]
-   switches stdout to the machine-readable report, and [--out FILE]
-   additionally writes that report to FILE (CI uploads it as an
-   artifact).  Exit codes: 0 clean, 1 violations found, 2 usage or I/O
-   error.  Rules and waiver syntax: docs/LINT.md. *)
+   lib bin bench tools).  Human-readable diagnostics go to stdout;
+   [--json] switches stdout to the machine-readable report, and
+   [--out FILE] additionally writes that report to FILE (CI uploads it
+   as an artifact).  Exit codes: 0 clean (advisory diagnostics such as
+   unused-waiver do not fail the run), 1 violations found, 2 usage or
+   I/O error.  Rules and waiver syntax: docs/LINT.md. *)
 
 let usage () =
   print_string
     "cmvrp_lint [--json] [--out FILE] [PATH ...]\n\
-     Checks .ml sources (default scope: lib bin bench) against the\n\
-     project rules; see docs/LINT.md.  Exit 0 = clean, 1 = violations,\n\
-     2 = bad invocation.\n"
+     Checks .ml sources (default scope: lib bin bench tools) against\n\
+     the project rules; see docs/LINT.md.  Exit 0 = clean (advisories\n\
+     allowed), 1 = violations, 2 = bad invocation.\n"
 
 let () =
   let json = ref false and out = ref None and paths = ref [] in
@@ -42,7 +43,9 @@ let () =
   in
   parse_args (List.tl (Array.to_list Sys.argv));
   let paths =
-    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+    match List.rev !paths with
+    | [] -> [ "lib"; "bin"; "bench"; "tools" ]
+    | ps -> ps
   in
   match Lint_rules.run paths with
   | exception Invalid_argument m -> bad m
@@ -56,15 +59,21 @@ let () =
           output_string oc (Json.to_string report);
           output_char oc '\n';
           close_out oc);
+      let blocking =
+        List.filter (fun d -> not d.Lint_rules.advisory) diags
+      in
       if !json then print_endline (Json.to_string report)
       else begin
         List.iter
           (fun d -> Format.printf "%a@." Lint_rules.pp_diagnostic d)
           diags;
-        Format.printf "cmvrp_lint: %d file%s checked, %d violation%s@."
+        Format.printf
+          "cmvrp_lint: %d file%s checked, %d violation%s, %d advisor%s@."
           checked_files
           (if checked_files = 1 then "" else "s")
-          (List.length diags)
-          (if List.length diags = 1 then "" else "s")
+          (List.length blocking)
+          (if List.length blocking = 1 then "" else "s")
+          (List.length diags - List.length blocking)
+          (if List.length diags - List.length blocking = 1 then "y" else "ies")
       end;
-      match diags with [] -> exit 0 | _ -> exit 1
+      match blocking with [] -> exit 0 | _ -> exit 1

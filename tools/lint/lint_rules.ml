@@ -6,6 +6,9 @@ type diagnostic = {
   line : int;
   col : int;
   message : string;
+  advisory : bool;
+      (** Advisory diagnostics are reported but never fail the run
+          (exit code stays 0).  Today only [unused-waiver]. *)
 }
 
 let rule_ids =
@@ -19,6 +22,7 @@ let rule_ids =
     "energy-arith";
     "catch-all";
     "domain-confine";
+    "unused-waiver";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -53,9 +57,14 @@ let rec has_component_pair comps a b =
   | _ -> false
 
 (* ------------------------------------------------------------------ *)
-(* Waivers: [(* lint: allow rule-a, rule-b *)] on the diagnostic's line
-   or the line directly above it.                                      *)
+(* Waivers: a marker comment — "lint", a colon, then "allow rule-a,
+   rule-b" — on the diagnostic's line or the line directly above it.
+   Each waived rule id carries a used-flag; entries that end a run
+   without suppressing anything are themselves reported (advisory
+   [unused-waiver]), so stale markers cannot accumulate.              *)
 (* ------------------------------------------------------------------ *)
+
+type waiver_entry = { w_rule : string; mutable w_used : bool }
 
 let waivers_of_source src =
   let tbl = Hashtbl.create 8 in
@@ -77,6 +86,7 @@ let waivers_of_source src =
               String.map (fun c -> if c = ',' then ' ' else c) ids
               |> String.split_on_char ' '
               |> List.filter (fun s -> s <> "")
+              |> List.map (fun r -> { w_rule = r; w_used = false })
             in
             let line_no = i + 1 in
             let prev = Option.value ~default:[] (Hashtbl.find_opt tbl line_no) in
@@ -86,8 +96,45 @@ let waivers_of_source src =
   tbl
 
 let waived waivers ~rule ~line =
-  let at l = List.mem rule (Option.value ~default:[] (Hashtbl.find_opt waivers l)) in
-  at line || at (line - 1)
+  let at l =
+    List.fold_left
+      (fun hit w ->
+        if w.w_rule = rule then begin
+          w.w_used <- true;
+          true
+        end
+        else hit)
+      false
+      (Option.value ~default:[] (Hashtbl.find_opt waivers l))
+  in
+  (* Evaluate both lines so a duplicated marker is marked used too. *)
+  let here = at line in
+  let above = at (line - 1) in
+  here || above
+
+let unused_waiver_diags ~path waivers =
+  Hashtbl.fold
+    (fun line entries acc ->
+      List.fold_left
+        (fun acc w ->
+          if w.w_used then acc
+          else
+            {
+              rule = "unused-waiver";
+              file = path;
+              line;
+              col = 0;
+              message =
+                Printf.sprintf
+                  "waiver for `%s` suppresses nothing — delete the marker%s"
+                  w.w_rule
+                  (if List.mem w.w_rule rule_ids then ""
+                   else " (not a known rule id; typo?)");
+              advisory = true;
+            }
+            :: acc)
+        acc entries)
+    waivers []
 
 (* ------------------------------------------------------------------ *)
 (* Per-file context.                                                   *)
@@ -105,7 +152,7 @@ type ctx = {
           (and the mutexes Metrics locks with); everyone else goes through
           the [Pool] facade. *)
   energy_impl : bool;  (** [energy.ml] itself implements the checks *)
-  waivers : (int, string list) Hashtbl.t;
+  waivers : (int, waiver_entry list) Hashtbl.t;
   diags : diagnostic list ref;
   metric_regs : metric_reg list ref;
   (* Start offsets of identifier expressions exempt from [poly-compare]
@@ -127,6 +174,7 @@ let emit ctx ~rule ~loc message =
         line;
         col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
         message;
+        advisory = false;
       }
       :: !(ctx.diags)
 
@@ -484,7 +532,8 @@ let lint_one ~diags ~metric_regs path =
   match Parse.implementation lexbuf with
   | structure ->
       let it = iterator_for ctx in
-      it.structure it structure
+      it.structure it structure;
+      diags := unused_waiver_diags ~path ctx.waivers @ !diags
   | exception (Syntaxerr.Error _ | Lexer.Error _) ->
       let p = lexbuf.Lexing.lex_curr_p in
       diags :=
@@ -494,6 +543,7 @@ let lint_one ~diags ~metric_regs path =
           line = p.Lexing.pos_lnum;
           col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
           message = "file does not parse as OCaml — cmvrp_lint cannot check it";
+          advisory = false;
         }
         :: !diags
 
@@ -551,6 +601,7 @@ let duplicate_metric_diags regs =
                     "metric %S already registered at %s:%d — names must be \
                      unique across the tree"
                     name first.m_file first.m_line;
+                advisory = false;
               }
               :: acc)
             acc rest)
@@ -575,12 +626,14 @@ let run paths =
 (* ------------------------------------------------------------------ *)
 
 let json_report ~checked_files diags =
+  let blocking, advisories = List.partition (fun d -> not d.advisory) diags in
   Json.Obj
     [
       ("tool", Json.String "cmvrp_lint");
       ("schema_version", Json.Int 1);
       ("checked_files", Json.Int checked_files);
-      ("violations", Json.Int (List.length diags));
+      ("violations", Json.Int (List.length blocking));
+      ("advisories", Json.Int (List.length advisories));
       ( "diagnostics",
         Json.List
           (List.map
@@ -592,9 +645,12 @@ let json_report ~checked_files diags =
                    ("line", Json.Int d.line);
                    ("col", Json.Int d.col);
                    ("message", Json.String d.message);
+                   ("advisory", Json.Bool d.advisory);
                  ])
              diags) );
     ]
 
 let pp_diagnostic fmt d =
-  Format.fprintf fmt "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+  Format.fprintf fmt "%s:%d:%d: [%s%s] %s" d.file d.line d.col d.rule
+    (if d.advisory then ", advisory" else "")
+    d.message

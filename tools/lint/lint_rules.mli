@@ -11,7 +11,9 @@
 
     Any diagnostic can be waived at its line (or the line above) with a
     comment: [(* lint: allow <rule-id> *)], several ids separated by
-    commas or spaces. *)
+    commas or spaces.  A waiver that suppresses nothing is itself
+    reported under the advisory [unused-waiver] rule, so stale markers
+    cannot accumulate. *)
 
 type diagnostic = {
   rule : string;  (** one of {!rule_ids}, or ["parse-error"] *)
@@ -19,12 +21,17 @@ type diagnostic = {
   line : int;  (** 1-based *)
   col : int;  (** 0-based, as in compiler messages *)
   message : string;
+  advisory : bool;
+      (** Advisory diagnostics are reported but do not fail the run
+          (the CLI exits 0 if only advisories remain).  Today only
+          [unused-waiver] is advisory. *)
 }
 
 val rule_ids : string list
-(** The eight enforced rules, in documentation order:
+(** The enforced rules, in documentation order:
     [poly-compare], [handler-raise], [missing-mli], [print-in-lib],
-    [metric-name], [unsafe-array], [energy-arith], [catch-all]. *)
+    [metric-name], [unsafe-array], [energy-arith], [catch-all],
+    [domain-confine], plus the advisory [unused-waiver]. *)
 
 val run : string list -> int * diagnostic list
 (** [run paths] lints every [.ml] file under the given files/directories
