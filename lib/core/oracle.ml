@@ -95,7 +95,11 @@ let omega_star ?(scale = default_scale) dm =
            and the minimal capacity is lp_value m, so the bracket's optimum is
            max(m, lp_value m) when that stays below m+1.  The incremental
            builder carries the radius-m instance into bracket m+1 as a
-           delta. *)
+           delta — and because every bracket queries the same Transport
+           instance at the same scale, the transport's cached parametric
+           driver (Paramflow) carries its flow and breakpoint family across
+           brackets too: each lp call costs one warm re-sweep, not a fresh
+           supply search. *)
         let b = builder_create dm ~demand_scale:1 in
         let rec scan m =
           Metrics.incr m_radius_brackets;

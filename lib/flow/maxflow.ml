@@ -1,27 +1,61 @@
-(* Dinic's algorithm with an edge-array representation: edge 2k and its
-   residual twin 2k+1 are stored adjacently, so the reverse of edge [e] is
-   [e lxor 1].  Adjacency is CSR-style — edge ids grouped by source vertex
-   in one flat array with a prefix-sum index — rebuilt lazily after edge
-   insertions, so the hot loops (BFS, current-arc DFS) touch nothing but
-   int arrays. *)
+(* Max-flow arena with two interchangeable cores on one edge-array
+   representation: edge 2k and its residual twin 2k+1 are stored adjacently,
+   so the reverse of edge [e] is [e lxor 1].  Adjacency is CSR-style — edge
+   ids grouped by source vertex in one flat array with a prefix-sum index —
+   rebuilt lazily after edge insertions, so the hot loops (BFS, current-arc
+   scans, discharge) touch nothing but int arrays.
+
+   The default core is push-relabel with highest-label selection, the gap
+   heuristic and periodic global relabeling (two backward BFS passes over
+   the existing ring buffer).  It runs single-phase with heights up to 2n,
+   so leftover excess drains back to the source and the terminal state is a
+   valid *flow*, not a preflow — required by the arena contract
+   ([flow_on], warm restarts, [drain_even_caps]).  The previous Dinic
+   augmenter is kept behind [CMVRP_FLOW_CORE=dinic] (or [create ~core])
+   as a differential-testing oracle. *)
 
 let m_augmentations = Metrics.counter "maxflow.augmentations"
 let m_bfs_phases = Metrics.counter "maxflow.bfs_phases"
 let m_runs = Metrics.counter "maxflow.runs"
 let m_residual_edges = Metrics.gauge "maxflow.residual_edges"
+let m_relabels = Metrics.counter "maxflow.relabels"
+let m_gap_hits = Metrics.counter "maxflow.gap_hits"
+let m_global_relabels = Metrics.counter "maxflow.global_relabels"
+
+type core = Dinic | Push_relabel
+
+(* Read once at module load into an immutable value: core selection must
+   not be mutable shared state (domain-confine / race discipline). *)
+let env_core =
+  match Sys.getenv_opt "CMVRP_FLOW_CORE" with
+  | Some v -> begin
+      match String.lowercase_ascii (String.trim v) with
+      | "dinic" -> Dinic
+      | _ -> Push_relabel
+    end
+  | None -> Push_relabel
+
+let default_core () = env_core
 
 type t = {
-  n : int;
+  core : core;
+  mutable n : int;
   mutable dst : int array; (* destination per directed edge *)
   mutable cap : int array; (* remaining capacity per directed edge *)
   mutable m : int; (* number of directed edges (including twins) *)
-  level : int array;
-  queue : int array; (* BFS ring buffer, length n *)
+  mutable level : int array; (* Dinic levels / push-relabel heights *)
+  mutable queue : int array; (* BFS ring buffer, length >= n *)
   mutable adj : int array; (* CSR payload: edge ids grouped by source *)
-  adj_start : int array; (* CSR index, length n+1 *)
-  cur : int array; (* current-arc pointer per vertex *)
+  mutable adj_start : int array; (* CSR index, length >= n+1 *)
+  mutable cur : int array; (* current-arc pointer per vertex *)
   mutable csr_valid : bool;
   mutable initial_cap : int array; (* original capacity of even edges *)
+  (* push-relabel scratch *)
+  mutable excess : int array; (* length >= n *)
+  mutable hcount : int array; (* vertices per height, length >= 2n+1 *)
+  mutable bucket : int array; (* head of height bucket, length >= 2n+1 *)
+  mutable bnext : int array; (* bucket chaining, length >= n *)
+  mutable active : bool array; (* queued-for-discharge flag, length >= n *)
   (* [mark]/[rewind] scratch: capacity snapshot for warm-started probing *)
   mutable saved_cap : int array;
   mutable saved_initial : int array;
@@ -29,20 +63,28 @@ type t = {
   mutable marked : bool;
 }
 
-let create n =
+let create ?core n =
   if n < 0 then invalid_arg "Maxflow.create: negative size";
+  let core = match core with Some c -> c | None -> env_core in
+  let n1 = max n 1 in
   {
+    core;
     n;
     dst = Array.make 16 0;
     cap = Array.make 16 0;
     m = 0;
-    level = Array.make (max n 1) (-1);
-    queue = Array.make (max n 1) 0;
+    level = Array.make n1 (-1);
+    queue = Array.make n1 0;
     adj = [||];
     adj_start = Array.make (n + 1) 0;
-    cur = Array.make (max n 1) 0;
+    cur = Array.make n1 0;
     csr_valid = false;
     initial_cap = Array.make 8 0;
+    excess = Array.make n1 0;
+    hcount = Array.make ((2 * n1) + 1) 0;
+    bucket = Array.make ((2 * n1) + 1) (-1);
+    bnext = Array.make n1 (-1);
+    active = Array.make n1 false;
     saved_cap = [||];
     saved_initial = [||];
     saved_m = 0;
@@ -51,23 +93,39 @@ let create n =
 
 let n_vertices t = t.n
 
+let grow_array a fill want =
+  let len = max want (2 * Array.length a) in
+  let bigger = Array.make (max 1 len) fill in
+  Array.blit a 0 bigger 0 (Array.length a);
+  bigger
+
+let add_vertex t =
+  let v = t.n in
+  t.n <- v + 1;
+  if Array.length t.level < t.n then begin
+    t.level <- grow_array t.level (-1) t.n;
+    t.queue <- grow_array t.queue 0 t.n;
+    t.cur <- grow_array t.cur 0 t.n;
+    t.excess <- grow_array t.excess 0 t.n;
+    t.bnext <- grow_array t.bnext (-1) t.n;
+    t.active <- grow_array t.active false t.n
+  end;
+  if Array.length t.adj_start < t.n + 1 then
+    t.adj_start <- grow_array t.adj_start 0 (t.n + 1);
+  if Array.length t.hcount < (2 * t.n) + 1 then begin
+    t.hcount <- grow_array t.hcount 0 ((2 * t.n) + 1);
+    t.bucket <- grow_array t.bucket (-1) ((2 * t.n) + 1)
+  end;
+  t.csr_valid <- false;
+  v
+
 let ensure_edge_room t =
   if t.m + 2 > Array.length t.dst then begin
-    let grow a fill =
-      let bigger = Array.make (2 * Array.length a) fill in
-      Array.blit a 0 bigger 0 (Array.length a);
-      bigger
-    in
-    t.dst <- grow t.dst 0;
-    t.cap <- grow t.cap 0
+    t.dst <- grow_array t.dst 0 (t.m + 2);
+    t.cap <- grow_array t.cap 0 (t.m + 2)
   end;
-  if (t.m / 2) + 1 > Array.length t.initial_cap then begin
-    (* Doubling an array *length* is allocator bookkeeping, not capacity
-       accounting — exempt from the checked-Energy rule. *)
-    let bigger = Array.make (2 * Array.length t.initial_cap) 0 (* lint: allow energy-arith *) in
-    Array.blit t.initial_cap 0 bigger 0 (Array.length t.initial_cap);
-    t.initial_cap <- bigger
-  end
+  if (t.m / 2) + 1 > Array.length t.initial_cap then
+    t.initial_cap <- grow_array t.initial_cap 0 ((t.m / 2) + 1)
 
 let add_edge t ~src ~dst ~cap =
   if cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
@@ -83,6 +141,10 @@ let add_edge t ~src ~dst ~cap =
   t.m <- t.m + 2;
   t.csr_valid <- false;
   id
+
+let edge_dst t id =
+  if id < 0 || id >= t.m then invalid_arg "Maxflow.edge_dst: bad edge id";
+  t.dst.(id)
 
 (* Counting sort of edge ids by source vertex.  The source of edge [e] is
    the destination of its twin, so no separate src array is stored. *)
@@ -106,6 +168,10 @@ let build_csr t =
   t.csr_valid <- true
 
 let ensure_csr t = if not t.csr_valid then build_csr t
+
+(* ------------------------------------------------------------------ *)
+(* Dinic core (kept as the differential-testing oracle)               *)
+(* ------------------------------------------------------------------ *)
 
 let build_levels t ~source ~sink =
   Array.fill t.level 0 t.n (-1);
@@ -159,11 +225,7 @@ let rec augment t v ~sink pushed =
     try_edges ()
   end
 
-let max_flow t ~source ~sink =
-  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
-  Metrics.incr m_runs;
-  Metrics.set_gauge m_residual_edges (float_of_int t.m);
-  ensure_csr t;
+let dinic_max_flow t ~source ~sink =
   let total = ref 0 in
   while build_levels t ~source ~sink do
     Metrics.incr m_bfs_phases;
@@ -179,6 +241,211 @@ let max_flow t ~source ~sink =
     push ()
   done;
   !total
+
+(* ------------------------------------------------------------------ *)
+(* Push-relabel core                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact height labeling by two backward BFS passes over the ring buffer:
+   first distances-to-sink through residual arcs (the sink side of any
+   min cut), then [n + distance-to-source] for what is left (the source
+   side).  No residual arc leaves the source side into the sink side —
+   such an arc would have put its tail in the sink-side BFS — so the
+   labeling is valid for the current flow. *)
+let global_relabel t ~source ~sink =
+  Metrics.incr m_global_relabels;
+  let n = t.n in
+  let unreached = 2 * n in
+  let h = t.level and q = t.queue in
+  Array.fill h 0 n unreached;
+  h.(sink) <- 0;
+  q.(0) <- sink;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let w = q.(!head) in
+    incr head;
+    for i = t.adj_start.(w) to t.adj_start.(w + 1) - 1 do
+      let e = t.adj.(i) in
+      let v = t.dst.(e) in
+      (* residual arc v->w exists iff the reverse of [e] has capacity *)
+      if v <> source && h.(v) = unreached && t.cap.(e lxor 1) > 0 then begin
+        h.(v) <- h.(w) + 1;
+        q.(!tail) <- v;
+        incr tail
+      end
+    done
+  done;
+  h.(source) <- n;
+  q.(0) <- source;
+  head := 0;
+  tail := 1;
+  while !head < !tail do
+    let w = q.(!head) in
+    incr head;
+    for i = t.adj_start.(w) to t.adj_start.(w + 1) - 1 do
+      let e = t.adj.(i) in
+      let v = t.dst.(e) in
+      if h.(v) = unreached && t.cap.(e lxor 1) > 0 then begin
+        h.(v) <- h.(w) + 1;
+        q.(!tail) <- v;
+        incr tail
+      end
+    done
+  done
+
+(* Rebuild height counts and the active-vertex buckets from scratch; used
+   after every global relabel.  Returns the highest active height. *)
+let rebuild_active t ~source ~sink =
+  let n = t.n in
+  Array.fill t.hcount 0 ((2 * n) + 1) 0;
+  for v = 0 to n - 1 do
+    t.hcount.(t.level.(v)) <- t.hcount.(t.level.(v)) + 1
+  done;
+  Array.fill t.bucket 0 ((2 * n) + 1) (-1);
+  Array.fill t.active 0 n false;
+  let highest = ref (-1) in
+  for v = 0 to n - 1 do
+    if v <> source && v <> sink && t.excess.(v) > 0 && t.level.(v) < 2 * n
+    then begin
+      t.active.(v) <- true;
+      t.bnext.(v) <- t.bucket.(t.level.(v));
+      t.bucket.(t.level.(v)) <- v;
+      if t.level.(v) > !highest then highest := t.level.(v)
+    end
+  done;
+  !highest
+
+let pr_max_flow t ~source ~sink =
+  let n = t.n in
+  Array.fill t.excess 0 n 0;
+  (* Saturate every residual source-adjacent arc: each positive-capacity
+     arc out of the source becomes excess at its head.  On a warm restart
+     this is exactly the capacity head-room added since the last run.
+     This must happen before the labeling pass — the reverse arcs it
+     creates are what connect otherwise-dead-end heads back to the
+     source, so every vertex holding excess gets a finite height. *)
+  for i = t.adj_start.(source) to t.adj_start.(source + 1) - 1 do
+    let e = t.adj.(i) in
+    let c = t.cap.(e) in
+    if c > 0 then begin
+      let v = t.dst.(e) in
+      if v <> source then begin
+        t.cap.(e) <- 0;
+        t.cap.(e lxor 1) <- Energy.add t.cap.(e lxor 1) c;
+        t.excess.(v) <- Energy.add t.excess.(v) c
+      end
+    end
+  done;
+  global_relabel t ~source ~sink;
+  Array.blit t.adj_start 0 t.cur 0 n;
+  let highest = ref (rebuild_active t ~source ~sink) in
+  let relabels_since = ref 0 in
+  let gr_period = n + (t.m / 4) + 1 in
+  while !highest >= 0 do
+    let b = !highest in
+    let v = t.bucket.(b) in
+    if v = -1 then decr highest
+    else begin
+      t.bucket.(b) <- t.bnext.(v);
+      if not t.active.(v) then () (* stale after a global relabel rebuild *)
+      else if t.level.(v) <> b then begin
+        (* lifted (gap heuristic) while queued: re-file at its height *)
+        let hv = t.level.(v) in
+        t.bnext.(v) <- t.bucket.(hv);
+        t.bucket.(hv) <- v;
+        if hv > !highest then highest := hv
+      end
+      else begin
+        t.active.(v) <- false;
+        (* discharge v *)
+        let discharging = ref true in
+        while !discharging do
+          let limit = t.adj_start.(v + 1) in
+          let i = ref t.cur.(v) in
+          let emptied = ref false in
+          while (not !emptied) && !i < limit do
+            let e = t.adj.(!i) in
+            let w = t.dst.(e) in
+            if t.cap.(e) > 0 && t.level.(v) = t.level.(w) + 1 then begin
+              let delta = min t.excess.(v) t.cap.(e) in
+              t.cap.(e) <- Energy.sub t.cap.(e) delta;
+              t.cap.(e lxor 1) <- Energy.add t.cap.(e lxor 1) delta;
+              t.excess.(v) <- Energy.sub t.excess.(v) delta;
+              t.excess.(w) <- Energy.add t.excess.(w) delta;
+              if w <> source && w <> sink && not t.active.(w) then begin
+                t.active.(w) <- true;
+                t.bnext.(w) <- t.bucket.(t.level.(w));
+                t.bucket.(t.level.(w)) <- w
+              end;
+              if t.excess.(v) = 0 then emptied := true else incr i
+            end
+            else incr i
+          done;
+          t.cur.(v) <- !i;
+          if !emptied then discharging := false
+          else begin
+            (* relabel v to one above its lowest residual neighbor *)
+            Metrics.incr m_relabels;
+            incr relabels_since;
+            let old = t.level.(v) in
+            let nh = ref (2 * n) in
+            for j = t.adj_start.(v) to limit - 1 do
+              let e = t.adj.(j) in
+              if t.cap.(e) > 0 && t.level.(t.dst.(e)) + 1 < !nh then
+                nh := t.level.(t.dst.(e)) + 1
+            done;
+            t.hcount.(old) <- t.hcount.(old) - 1;
+            if t.hcount.(old) = 0 && old < n then begin
+              (* gap: heights strictly between [old] and [n] are dead —
+                 no residual path to the sink can cross the empty level,
+                 so lift those vertices straight past [n]. *)
+              Metrics.incr m_gap_hits;
+              for u = 0 to n - 1 do
+                let hu = t.level.(u) in
+                if hu > old && hu < n then begin
+                  t.hcount.(hu) <- t.hcount.(hu) - 1;
+                  t.level.(u) <- n + 1;
+                  t.hcount.(n + 1) <- t.hcount.(n + 1) + 1
+                end
+              done;
+              if !nh < n + 1 then nh := n + 1
+            end;
+            if !nh >= 2 * n then begin
+              (* no residual arc at all: park the vertex (cannot happen
+                 when the run starts from a valid flow) *)
+              t.level.(v) <- 2 * n;
+              t.hcount.(2 * n) <- t.hcount.(2 * n) + 1;
+              discharging := false
+            end
+            else begin
+              t.level.(v) <- !nh;
+              t.hcount.(!nh) <- t.hcount.(!nh) + 1;
+              t.cur.(v) <- t.adj_start.(v);
+              if !nh > !highest then highest := !nh
+            end
+          end
+        done;
+        if !relabels_since >= gr_period then begin
+          relabels_since := 0;
+          global_relabel t ~source ~sink;
+          Array.blit t.adj_start 0 t.cur 0 n;
+          highest := rebuild_active t ~source ~sink
+        end
+      end
+    end
+  done;
+  t.excess.(sink)
+
+let max_flow t ~source ~sink =
+  if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+  if source < 0 || source >= t.n || sink < 0 || sink >= t.n then
+    invalid_arg "Maxflow.max_flow: vertex out of range";
+  Metrics.incr m_runs;
+  Metrics.set_gauge m_residual_edges (float_of_int t.m);
+  ensure_csr t;
+  match t.core with
+  | Dinic -> dinic_max_flow t ~source ~sink
+  | Push_relabel -> pr_max_flow t ~source ~sink
 
 let flow_on t id =
   if id < 0 || id >= t.m || id mod 2 <> 0 then
@@ -204,6 +471,139 @@ let set_even_caps t ids c =
       t.cap.(id) <- residual;
       t.initial_cap.(id / 2) <- c)
     ids
+
+(* ------------------------------------------------------------------ *)
+(* Capacity lowering: flow cancellation along the decomposition       *)
+(* ------------------------------------------------------------------ *)
+
+(* To lower an even edge's capacity below its routed flow, the surplus is
+   cancelled one decomposition walk at a time.  Each walk starts at the
+   edge's head and follows flow-carrying even arcs (skipping the edge
+   itself).  Reaching the sink cancels a source→sink path: the flow value
+   drops.  Reaching the source cancels a cycle through the edge: the
+   value is unchanged.  A revisited vertex closes an internal cycle, which
+   is cancelled on the spot and does not count against the surplus.  The
+   edge itself is decremented together with every terminal walk, so flow
+   conservation holds at both endpoints after each cancellation — which is
+   exactly why the edges must be source-adjacent: for an interior tail the
+   cancellation would have to continue upstream of the edge.  Flow on
+   arcs only ever decreases here, so the per-vertex scan pointers advance
+   monotonically and the whole drain is near-linear in practice. *)
+let drain_even_caps t ids c ~source ~sink =
+  if c < 0 then invalid_arg "Maxflow.drain_even_caps: negative capacity";
+  if source < 0 || source >= t.n || sink < 0 || sink >= t.n || source = sink
+  then invalid_arg "Maxflow.drain_even_caps: bad source/sink";
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= t.m || id mod 2 <> 0 then
+        invalid_arg "Maxflow.drain_even_caps: bad edge id";
+      if t.dst.(id lxor 1) <> source then
+        invalid_arg "Maxflow.drain_even_caps: edge tail is not the source")
+    ids;
+  ensure_csr t;
+  let n = t.n in
+  let drained = ref 0 in
+  let pos = Array.make n (-1) in
+  (* path_vert.(i) is on the walk; path_edge.(i) is the arc taken from it *)
+  let path_vert = Array.make n 0 in
+  let path_edge = Array.make n 0 in
+  let ptr = Array.copy t.adj_start in
+  let cancel_surplus e =
+    let tail = source in
+    let head = t.dst.(e) in
+    while flow_on t e > c do
+      let need = Energy.sub (flow_on t e) c in
+      (* walk from [head] until sink or the source *)
+      let len = ref 0 in
+      pos.(head) <- 0;
+      path_vert.(0) <- head;
+      let w = ref head in
+      let terminal = ref (-1) in
+      while !terminal < 0 do
+        if !w = sink || !w = tail then terminal := !w
+        else begin
+          (* next flow-carrying even arc out of !w, skipping [e] *)
+          let limit = t.adj_start.(!w + 1) in
+          let i = ref ptr.(!w) in
+          let chosen = ref (-1) in
+          while !chosen < 0 && !i < limit do
+            let e' = t.adj.(!i) in
+            if e' <> e && e' land 1 = 0 && t.cap.(e' lxor 1) > 0 then
+              chosen := e'
+            else incr i
+          done;
+          ptr.(!w) <- !i;
+          (* conservation guarantees an arc exists while surplus remains *)
+          assert (!chosen >= 0);
+          let e' = !chosen in
+          let u = t.dst.(e') in
+          if u <> sink && u <> tail && pos.(u) >= 0 then begin
+            (* internal cycle u -> ... -> w -> u: cancel its bottleneck *)
+            let j0 = pos.(u) in
+            let bottleneck = ref (t.cap.(e' lxor 1)) in
+            for j = j0 to !len - 1 do
+              let pe = path_edge.(j) in
+              if t.cap.(pe lxor 1) < !bottleneck then
+                bottleneck := t.cap.(pe lxor 1)
+            done;
+            let d = !bottleneck in
+            t.cap.(e') <- Energy.add t.cap.(e') d;
+            t.cap.(e' lxor 1) <- Energy.sub t.cap.(e' lxor 1) d;
+            for j = j0 to !len - 1 do
+              let pe = path_edge.(j) in
+              t.cap.(pe) <- Energy.add t.cap.(pe) d;
+              t.cap.(pe lxor 1) <- Energy.sub t.cap.(pe lxor 1) d
+            done;
+            (* truncate the walk back to u and continue from there; the
+               current vertex sits at path_vert.(!len) and must be
+               unmarked too *)
+            for j = j0 + 1 to !len do
+              pos.(path_vert.(j)) <- -1
+            done;
+            len := j0;
+            w := u
+          end
+          else begin
+            path_edge.(!len) <- e';
+            incr len;
+            if u <> sink && u <> tail then begin
+              pos.(u) <- !len;
+              path_vert.(!len) <- u
+            end;
+            w := u
+          end
+        end
+      done;
+      (* cancel the terminal walk together with [e] itself *)
+      let bottleneck = ref need in
+      for j = 0 to !len - 1 do
+        let pe = path_edge.(j) in
+        if t.cap.(pe lxor 1) < !bottleneck then bottleneck := t.cap.(pe lxor 1)
+      done;
+      let d = !bottleneck in
+      for j = 0 to !len - 1 do
+        let pe = path_edge.(j) in
+        t.cap.(pe) <- Energy.add t.cap.(pe) d;
+        t.cap.(pe lxor 1) <- Energy.sub t.cap.(pe lxor 1) d
+      done;
+      t.cap.(e) <- Energy.add t.cap.(e) d;
+      t.cap.(e lxor 1) <- Energy.sub t.cap.(e lxor 1) d;
+      if !terminal = sink then drained := Energy.add !drained d;
+      (* clear path marks *)
+      for j = 0 to !len - 1 do
+        pos.(path_vert.(j)) <- -1
+      done;
+      pos.(head) <- -1
+    done
+  in
+  Array.iter
+    (fun id ->
+      cancel_surplus id;
+      let flow = flow_on t id in
+      t.cap.(id) <- Energy.sub c flow;
+      t.initial_cap.(id / 2) <- c)
+    ids;
+  !drained
 
 let mark t =
   let half = t.m / 2 in

@@ -1,33 +1,57 @@
-(** Dinic's maximum-flow algorithm on integer capacities.
+(** Maximum flow on integer capacities, with a choice of cores.
 
     This is the combinatorial engine behind the paper's linear program
     (2.1): for a fixed supply [ω] and radius [r], feasibility of the
     supply-demand transport is a bipartite max-flow question, and the exact
-    LP value is recovered by a search over [ω] (see {!Transport}).
+    LP value is recovered by a search over [ω] (see {!Transport} and
+    {!Paramflow}).
 
     The network is an {e arena}: one allocation serves a whole family of
     related flow problems.  After a [max_flow] run the residual state is
-    kept, and {!set_even_caps} can raise or lower edge capacities while
-    preserving the routed flow, so a monotone parameter search (the supply
-    bisection in [Transport.min_uniform_supply]) re-augments incrementally
-    instead of rebuilding.  {!mark}/{!rewind} snapshot and restore the
-    capacity state so an over-shooting probe can be undone in O(m). *)
+    kept, and {!set_even_caps} / {!drain_even_caps} can raise or lower edge
+    capacities while preserving as much routed flow as the new capacities
+    admit, so a parameter sweep (the supply search in
+    [Transport.min_uniform_supply]) re-augments incrementally instead of
+    rebuilding.  {!mark}/{!rewind} snapshot and restore the capacity state
+    so an over-shooting probe can be undone in O(m).
+
+    Two cores share the arena representation: the default push-relabel
+    engine (highest-label selection, gap heuristic, periodic global
+    relabeling) and the earlier Dinic augmenter, kept for differential
+    testing.  Both leave a valid maximum {e flow} (not a preflow), so
+    {!flow_on}, warm restarts and cut extraction behave identically. *)
 
 type t
 
-val create : int -> t
+type core = Dinic | Push_relabel
+
+val default_core : unit -> core
+(** The core used when {!create} is not given one: [Push_relabel], unless
+    the environment variable [CMVRP_FLOW_CORE] is set to [dinic].  Read
+    once at module load. *)
+
+val create : ?core:core -> int -> t
 (** [create n] is an empty flow network on vertices [0 .. n-1]. *)
+
+val add_vertex : t -> int
+(** Appends one vertex and returns its index.  Existing edges, flow and
+    marks are unaffected.  Incremental instance builders (the oracle's
+    radius scan) grow the network as the coverage radius dilates. *)
 
 val add_edge : t -> src:int -> dst:int -> cap:int -> int
 (** Adds a directed edge with the given capacity (and its residual twin of
     capacity 0).  Returns an edge id usable with {!flow_on}.  Capacities
     must be non-negative. *)
 
+val edge_dst : t -> int -> int
+(** Destination vertex of the edge with the given id (twins included: the
+    destination of [id lxor 1] is the source of [id]). *)
+
 val max_flow : t -> source:int -> sink:int -> int
-(** Runs Dinic to completion and returns the flow value {e pushed by this
-    call}.  The network keeps its residual state: after raising capacities
-    with {!set_even_caps}, a subsequent call continues from the current
-    flow and returns only the increment. *)
+(** Runs the selected core to completion and returns the flow value
+    {e pushed by this call}.  The network keeps its residual state: after
+    raising capacities with {!set_even_caps}, a subsequent call continues
+    from the current flow and returns only the increment. *)
 
 val flow_on : t -> int -> int
 (** Flow currently routed through the edge with the given id. *)
@@ -40,8 +64,21 @@ val set_even_caps : t -> int array -> int -> unit
 (** [set_even_caps t ids c] sets the capacity of each (even) edge id in
     [ids] to [c], preserving the flow currently routed through it — the
     new residual is [c - flow].  Raises [Invalid_argument] if any edge
-    carries more than [c] flow (lower below current flow by {!rewind}ing
-    or {!reset}ting first). *)
+    carries more than [c] flow (lower below current flow with
+    {!drain_even_caps}, or by {!rewind}ing / {!reset}ting). *)
+
+val drain_even_caps : t -> int array -> int -> source:int -> sink:int -> int
+(** [drain_even_caps t ids c ~source ~sink] sets the capacity of each
+    (even) edge id in [ids] to [c] like {!set_even_caps}, but edges
+    carrying more than [c] flow have the surplus cancelled first, by
+    walking the flow decomposition from the edge head to [sink] (lowering
+    the flow value) or back to [source] (cancelling a cycle, value
+    unchanged).  Every edge in [ids] must have [source] as its tail —
+    for an interior tail the cancellation would not stay conservative.
+    Returns the total amount of sink-terminated cancellation, i.e. how
+    much the flow value decreased.  The terminal state is again a valid
+    flow.  Intended for parametric sweeps that move the parameter {e
+    down} (see {!Paramflow}). *)
 
 val mark : t -> unit
 (** Snapshots the capacity state (residuals and nominal capacities). *)
@@ -54,4 +91,6 @@ val n_vertices : t -> int
 
 val min_cut_side : t -> source:int -> bool array
 (** After [max_flow], the source side of a minimum cut (vertices reachable
-    in the residual network).  Certifies optimality in tests. *)
+    in the residual network).  This is the unique {e minimal} source side,
+    identical for every maximum flow — so it is core-independent, which
+    the differential tests rely on.  Certifies optimality in tests. *)

@@ -1,0 +1,174 @@
+(* Parametric max-flow driver in the Gallo–Grigoriadis–Tarjan mold: all
+   source-adjacent edges carry one integer parameter [u] as their
+   capacity, and the min-cut value F(u) is a concave piecewise-linear
+   function whose slope at [u] is the number of source edges crossing the
+   min cut.  Because the sweep over [u] is monotone and the arena retains
+   its flow between probes, the whole breakpoint family costs about one
+   flow computation — each probe only augments the delta its capacity
+   raise opened up, and the discrete-Newton jump rule visits at most one
+   level per distinct cut slope.
+
+   [solve] finds the minimal level with F(u) = target (the supply search
+   of [Transport.min_uniform_supply]); [refine_all] fills in the full
+   integer lower envelope between the probes by divide and conquer, so
+   range queries over [u] become lookups.  [grow] re-targets the driver
+   after the caller added suppliers/links to the same arena: the routed
+   flow is kept, and the next [solve] re-normalizes with a drain instead
+   of recomputing from scratch. *)
+
+let m_probes = Metrics.counter "paramflow.probes"
+
+type t = {
+  net : Maxflow.t;
+  source : int;
+  sink : int;
+  mutable src_edges : int array;
+  target : int;
+  mutable routed : int; (* current flow value in the arena *)
+  mutable level : int; (* uniform capacity on src_edges; -1 = mixed *)
+  mutable answer : int option;
+  mutable solved : bool;
+  mutable family : (int * int * int) list; (* (level, value, slope) *)
+}
+
+let create ~net ~source ~sink ~src_edges ~target =
+  if target < 0 then invalid_arg "Paramflow.create: negative target";
+  {
+    net;
+    source;
+    sink;
+    src_edges = Array.copy src_edges;
+    target;
+    routed = 0;
+    level = -1;
+    answer = None;
+    solved = false;
+    family = [];
+  }
+
+let target t = t.target
+let solved t = t.solved
+
+(* Slope of the min-cut line at the current state: the number of source
+   edges crossing the cut (head outside the residually-reachable side). *)
+let cut_slope t =
+  let side = Maxflow.min_cut_side t.net ~source:t.source in
+  let k = ref 0 in
+  Array.iter
+    (fun e -> if not side.(Maxflow.edge_dst t.net e) then incr k)
+    t.src_edges;
+  !k
+
+let move_to t u =
+  if t.level <> u then begin
+    let drained =
+      Maxflow.drain_even_caps t.net t.src_edges u ~source:t.source
+        ~sink:t.sink
+    in
+    t.routed <- Energy.sub t.routed drained;
+    t.level <- u
+  end
+
+let probe_here t =
+  Metrics.incr m_probes;
+  let inc = Maxflow.max_flow t.net ~source:t.source ~sink:t.sink in
+  t.routed <- Energy.add t.routed inc;
+  t.routed
+
+let solve t =
+  if t.solved then t.answer
+  else begin
+    let s = Array.length t.src_edges in
+    let result =
+      if t.target = 0 then Some 0
+      else if s = 0 then None
+      else begin
+        (* the all-source-edges cut gives F(u) <= s*u, so any feasible
+           level is at least ceil(target / s) — jump straight there *)
+        move_to t ((t.target + s - 1) / s);
+        let res = ref None and finished = ref false in
+        while not !finished do
+          let value = probe_here t in
+          let k = cut_slope t in
+          t.family <- (t.level, value, k) :: t.family;
+          if value = t.target then begin
+            res := Some t.level;
+            finished := true
+          end
+          else if k = 0 then begin
+            (* a cut of constant capacity < target: no finite level *)
+            res := None;
+            finished := true
+          end
+          else begin
+            let deficit = t.target - value in
+            move_to t (t.level + ((deficit + k - 1) / k))
+          end
+        done;
+        !res
+      end
+    in
+    t.answer <- result;
+    t.solved <- true;
+    result
+  end
+
+let breakpoints t =
+  let arr = Array.of_list t.family in
+  Array.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) arr;
+  arr
+
+(* Probe F at an arbitrary level below the sweep state, without moving it:
+   snapshot, drain down, re-augment, read value and slope, restore.  The
+   driver owns the arena's mark while refining. *)
+let probe_at t u =
+  if t.solved && u = t.level then (t.routed, cut_slope t)
+  else begin
+    Metrics.incr m_probes;
+    Maxflow.mark t.net;
+    let drained =
+      Maxflow.drain_even_caps t.net t.src_edges u ~source:t.source
+        ~sink:t.sink
+    in
+    let inc = Maxflow.max_flow t.net ~source:t.source ~sink:t.sink in
+    let value = Energy.add (Energy.sub t.routed drained) inc in
+    let k = cut_slope t in
+    Maxflow.rewind t.net;
+    (value, k)
+  end
+
+let refine_all t =
+  ignore (solve t);
+  (* Divide and conquer between consecutive recorded pieces: probe at the
+     floor of the two lines' intersection; a value below both lines is a
+     new piece (its slope falls strictly between theirs), recurse on both
+     sides.  Equality means no further piece is visible at integer
+     levels. *)
+  let rec refine (u1, v1, k1) (u2, v2, k2) acc =
+    if k1 <= k2 || u2 - u1 < 2 then acc
+    else begin
+      let b1 = v1 - (k1 * u1) and b2 = v2 - (k2 * u2) in
+      let m = (b2 - b1) / (k1 - k2) in
+      let m = max (u1 + 1) (min m (u2 - 1)) in
+      let vm, km = probe_at t m in
+      let line1 = (k1 * m) + b1 and line2 = (k2 * m) + b2 in
+      if vm >= min line1 line2 then acc
+      else
+        let mid = (m, vm, km) in
+        refine (u1, v1, k1) mid (refine mid (u2, v2, k2) (mid :: acc))
+    end
+  in
+  let bps = Array.to_list (breakpoints t) in
+  let rec sweep acc = function
+    | a :: (b :: _ as rest) -> sweep (refine a b acc) rest
+    | _ -> acc
+  in
+  let extra = sweep [] bps in
+  t.family <- extra @ t.family
+
+let grow t ~src_edges =
+  t.src_edges <- Array.copy src_edges;
+  t.answer <- None;
+  t.solved <- false;
+  t.family <- [];
+  t.level <- -1

@@ -1,0 +1,67 @@
+(** Parametric max-flow in the Gallo–Grigoriadis–Tarjan mold.
+
+    A driver for flow networks whose source-adjacent edges all carry one
+    integer parameter [u] as their capacity.  The max-flow/min-cut value
+    [F u] is then concave, piecewise linear and non-decreasing in [u]; the
+    slope of the piece at [u] is the number of source edges crossing the
+    minimum cut.  Because the sweep over [u] is monotone and the
+    {!Maxflow} arena keeps its flow between probes, discovering the whole
+    breakpoint family costs roughly {e one} flow computation: each probe
+    augments only the delta opened by its capacity raise, and the
+    discrete-Newton jump rule touches at most one level per distinct cut
+    slope.
+
+    This is the engine behind [Transport.min_uniform_supply]: the supply
+    search asks for the minimal [u] with [F u = target], and the oracle's
+    radius scan re-asks after growing the network — which {!grow} turns
+    into a warm re-sweep instead of a recomputation. *)
+
+type t
+
+val create :
+  net:Maxflow.t ->
+  source:int ->
+  sink:int ->
+  src_edges:int array ->
+  target:int ->
+  t
+(** [create ~net ~source ~sink ~src_edges ~target] wraps an arena whose
+    parametric (source-adjacent, even) edge ids are [src_edges].  The
+    arena must carry no flow yet; the driver takes ownership of the
+    source-edge capacities and of {!Maxflow.mark}/{!Maxflow.rewind}.
+    [target] is the flow value that counts as feasible (in the transport
+    reduction: total scaled demand). *)
+
+val target : t -> int
+
+val solve : t -> int option
+(** The minimal integer level [u] with [F u = target], or [None] when no
+    finite level reaches the target (a cut of slope 0 and constant
+    capacity below [target] exists).  The first call runs the monotone
+    sweep; later calls return the cached answer.  After {!grow}, the next
+    call re-normalizes the retained flow with a drain and re-sweeps. *)
+
+val solved : t -> bool
+(** Whether {!solve} has already run since creation or the last {!grow} —
+    i.e. whether the next {!solve} is a pure lookup. *)
+
+val breakpoints : t -> (int * int * int) array
+(** The recorded probe family [(level, value, slope)] sorted by level:
+    levels strictly increase, values do not decrease, slopes do not
+    increase (strictly decreasing across infeasible probes).  After
+    {!solve} it contains the Newton probes; after {!refine_all} the full
+    integer lower envelope of [F] between the first probe and the
+    answer. *)
+
+val refine_all : t -> unit
+(** Extends the family to every piece of [F] distinguishable at integer
+    levels between consecutive probes, by divide-and-conquer probing at
+    line intersections (each probe is snapshot/drain/augment/rewind, so
+    the sweep state is unchanged). *)
+
+val grow : t -> src_edges:int array -> unit
+(** Replace the parametric edge set after the caller added vertices,
+    suppliers or links to the same arena ([src_edges] is the {e full} new
+    id set).  The routed flow and the answer-so-far are kept in the arena;
+    the cached answer and family are dropped, and the next {!solve}
+    extends the old flow instead of starting over. *)

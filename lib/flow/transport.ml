@@ -1,5 +1,21 @@
-let m_bisection_steps = Metrics.counter "transport.bisection_steps"
 let m_feasibility_checks = Metrics.counter "transport.feasibility_checks"
+let m_breakpoint_lookups = Metrics.counter "transport.breakpoint_lookups"
+
+(* Parametric state cached across [min_uniform_supply] queries: one
+   {!Maxflow} arena plus a {!Paramflow} driver, valid for one [scale] and
+   one demands generation.  The arena uses its own vertex layout — source
+   0, sink 1, demand [j] at [2 + j], supplier [i] after all demands — so
+   demand vertex ids stay stable while the supplier set grows (the
+   oracle's radius scan), and growth is a pure extension. *)
+type pstate = {
+  p_scale : int;
+  p_gen : int; (* demands generation this state was built for *)
+  p_net : Maxflow.t;
+  pf : Paramflow.t;
+  mutable p_suppliers : int; (* suppliers materialized in the arena *)
+  mutable p_links : int; (* links materialized in the arena *)
+  mutable p_src : int array; (* parametric edge id per supplier *)
+}
 
 type t = {
   mutable n_suppliers : int;
@@ -8,6 +24,8 @@ type t = {
   mutable links : int array; (* flattened pairs: 2k = supplier, 2k+1 = demand *)
   mutable n_links : int;
   linked : bool array; (* demand j has at least one link *)
+  mutable demands_gen : int; (* bumped by set_demand *)
+  mutable pstate : pstate option;
 }
 
 let create ~n_suppliers ~n_demands =
@@ -20,6 +38,8 @@ let create ~n_suppliers ~n_demands =
     links = [||];
     n_links = 0;
     linked = Array.make n_demands false;
+    demands_gen = 0;
+    pstate = None;
   }
 
 let n_suppliers t = t.n_suppliers
@@ -32,7 +52,10 @@ let add_supplier t =
 
 let set_demand t j d =
   if d < 0 then invalid_arg "Transport.set_demand: negative demand";
-  t.demands.(j) <- d
+  if t.demands.(j) <> d then begin
+    t.demands.(j) <- d;
+    t.demands_gen <- t.demands_gen + 1
+  end
 
 let demand t j = t.demands.(j)
 
@@ -60,8 +83,8 @@ let iter_links t f =
 
 let total_demand t = Array.fold_left ( + ) 0 t.demands
 
-(* Network layout: 0 = source, 1 = sink, suppliers at 2..2+S-1, demands
-   after that. *)
+(* Throw-away network layout (max_served, witnesses): 0 = source,
+   1 = sink, suppliers at 2..2+S-1, demands after that. *)
 let supplier_vertex i = 2 + i
 let demand_vertex t j = 2 + t.n_suppliers + j
 
@@ -97,74 +120,107 @@ let every_demand_linked t =
   in
   loop 0
 
+(* Parametric-arena layout: demand [j] at [2 + j] (stable), supplier [i]
+   at [2 + n_demands + i] (appended by Maxflow.add_vertex as the supplier
+   set grows). *)
+let p_demand_vertex j = 2 + j
+
+(* Build or extend the cached parametric state for this scale.  Returns
+   the state with all current suppliers and links materialized; [fresh]
+   in the triple tells the caller whether the driver must re-solve. *)
+let ensure_pstate t ~scale ~target =
+  let ps =
+    match t.pstate with
+    | Some ps when ps.p_scale = scale && ps.p_gen = t.demands_gen -> ps
+    | _ ->
+        let net = Maxflow.create (2 + t.n_demands) in
+        for j = 0 to t.n_demands - 1 do
+          if t.demands.(j) > 0 then
+            ignore
+              (Maxflow.add_edge net ~src:(p_demand_vertex j) ~dst:1
+                 ~cap:(Energy.mul t.demands.(j) scale))
+        done;
+        let pf =
+          Paramflow.create ~net ~source:0 ~sink:1 ~src_edges:[||] ~target
+        in
+        let ps =
+          {
+            p_scale = scale;
+            p_gen = t.demands_gen;
+            p_net = net;
+            pf;
+            p_suppliers = 0;
+            p_links = 0;
+            p_src = [||];
+          }
+        in
+        t.pstate <- Some ps;
+        ps
+  in
+  let grew = ps.p_suppliers < t.n_suppliers || ps.p_links < t.n_links in
+  if ps.p_suppliers < t.n_suppliers then begin
+    if Array.length ps.p_src < t.n_suppliers then begin
+      let bigger = Array.make (max 16 (2 * t.n_suppliers)) 0 in
+      Array.blit ps.p_src 0 bigger 0 ps.p_suppliers;
+      ps.p_src <- bigger
+    end;
+    for i = ps.p_suppliers to t.n_suppliers - 1 do
+      let v = Maxflow.add_vertex ps.p_net in
+      ps.p_src.(i) <- Maxflow.add_edge ps.p_net ~src:0 ~dst:v ~cap:0
+    done;
+    ps.p_suppliers <- t.n_suppliers
+  end;
+  if ps.p_links < t.n_links then begin
+    (* "infinite" capacity: never the binding constraint at any level *)
+    let inf = max 1 target in
+    for k = ps.p_links to t.n_links - 1 do
+      let i = t.links.(2 * k) and j = t.links.((2 * k) + 1) in
+      ignore
+        (Maxflow.add_edge ps.p_net
+           ~src:(2 + t.n_demands + i)
+           ~dst:(p_demand_vertex j) ~cap:inf)
+    done;
+    ps.p_links <- t.n_links
+  end;
+  if grew then
+    Paramflow.grow ps.pf ~src_edges:(Array.sub ps.p_src 0 ps.p_suppliers);
+  ps
+
 let min_uniform_supply t ~scale =
-  if scale <= 0 then invalid_arg "Transport.min_uniform_supply: scale must be positive";
+  if scale <= 0 then
+    invalid_arg "Transport.min_uniform_supply: scale must be positive";
   let total = total_demand t in
-  if total = 0 then Some 0.0
+  if total = 0 then
+    (* Empty (or all-zero-demand) instance: no arena, no probe — the
+       answer is 0 supply regardless of suppliers and links. *)
+    Some 0.0
   else if not (every_demand_linked t) then None
   else begin
     (* Scaled problem: demands d*scale, integer uniform capacity u; answer
-       u/scale.  Feasible at u = total*scale (one linked supplier can carry
-       everything).
-
-       The flow network is an arena built ONCE.  Source edges start at
-       capacity 0; between probes only their capacities change
-       (Maxflow.set_even_caps preserves routed flow), so each probe pushes
-       only the flow *increment* over the previous level.
-
-       The search itself is a discrete Newton iteration on the parametric
-       min cut rather than a blind bisection: at an infeasible level u the
-       min cut is crossed by k >= 1 source edges (never by an "infinite"
-       link edge), so its capacity is the line k*u + b with
-       b = maxflow(u) - k*u, and ANY feasible integer level must be at
-       least u + ceil((target - maxflow(u)) / k).  Jumping straight there
-       keeps every probe infeasible until the last, which lands exactly on
-       the minimal feasible u — the same value a bisection returns — after
-       at most one probe per distinct cut slope. *)
+       u/scale.  The cached parametric driver (GGT-style: one monotone
+       push-relabel sweep discovers the whole breakpoint family) answers
+       repeated queries at this scale as lookups, and the oracle's radius
+       scan only extends the arena — warm flow kept — instead of
+       rebuilding it. *)
     let target = Energy.mul total scale in
-    let net = Maxflow.create (2 + t.n_suppliers + t.n_demands) in
-    let src_edges =
-      Array.init t.n_suppliers (fun i ->
-          Maxflow.add_edge net ~src:0 ~dst:(supplier_vertex i) ~cap:0)
-    in
-    let inf = max 1 target in
-    iter_links t (fun ~supplier:i ~demand:j ->
-        ignore
-          (Maxflow.add_edge net ~src:(supplier_vertex i)
-             ~dst:(demand_vertex t j) ~cap:inf));
-    for j = 0 to t.n_demands - 1 do
-      if t.demands.(j) > 0 then
-        ignore
-          (Maxflow.add_edge net ~src:(demand_vertex t j) ~dst:1
-             ~cap:(Energy.mul t.demands.(j) scale))
-    done;
-    (* Flow currently routed in the arena = max-flow at the last probed
-       level; levels only increase, so it is never discarded. *)
-    let routed = ref 0 in
-    let u = ref 0 in
-    let result = ref None in
-    while Option.is_none !result do
-      Metrics.incr m_feasibility_checks;
-      Maxflow.set_even_caps net src_edges !u;
-      let pushed = Maxflow.max_flow net ~source:0 ~sink:1 in
-      routed := !routed + pushed;
-      if !routed = target then
-        result := Some (float_of_int !u /. float_of_int scale)
-      else begin
-        Metrics.incr m_bisection_steps;
-        let side = Maxflow.min_cut_side net ~source:0 in
-        let k = ref 0 in
-        for i = 0 to t.n_suppliers - 1 do
-          if not side.(supplier_vertex i) then incr k
-        done;
-        (* k = 0 would mean a cut of constant capacity < target, i.e. no
-           finite level is feasible — excluded by every_demand_linked. *)
-        assert (!k > 0);
-        let deficit = target - !routed in
-        u := !u + ((deficit + !k - 1) / !k)
-      end
-    done;
-    !result
+    let ps = ensure_pstate t ~scale ~target in
+    if Paramflow.solved ps.pf then Metrics.incr m_breakpoint_lookups
+    else Metrics.incr m_feasibility_checks;
+    match Paramflow.solve ps.pf with
+    | Some u -> Some (float_of_int u /. float_of_int scale)
+    | None -> None
+  end
+
+let breakpoints t ~scale =
+  if scale <= 0 then
+    invalid_arg "Transport.breakpoints: scale must be positive";
+  let total = total_demand t in
+  if total = 0 then [||]
+  else begin
+    let target = Energy.mul total scale in
+    let ps = ensure_pstate t ~scale ~target in
+    Paramflow.refine_all ps.pf;
+    Paramflow.breakpoints ps.pf
   end
 
 let dual_value_exhaustive t =
@@ -200,11 +256,12 @@ let dual_value_exhaustive t =
   done;
   !best
 
-let infeasibility_witness t ~supply =
-  let net = Maxflow.create (2 + t.n_suppliers + t.n_demands) in
+let infeasibility_witness ?core t ~supply =
+  let net = Maxflow.create ?core (2 + t.n_suppliers + t.n_demands) in
   for i = 0 to t.n_suppliers - 1 do
     let cap = supply i in
-    if cap > 0 then ignore (Maxflow.add_edge net ~src:0 ~dst:(supplier_vertex i) ~cap)
+    if cap > 0 then
+      ignore (Maxflow.add_edge net ~src:0 ~dst:(supplier_vertex i) ~cap)
   done;
   let inf = max 1 (total_demand t) in
   iter_links t (fun ~supplier:i ~demand:j ->
@@ -213,7 +270,9 @@ let infeasibility_witness t ~supply =
            ~cap:inf));
   for j = 0 to t.n_demands - 1 do
     if t.demands.(j) > 0 then
-      ignore (Maxflow.add_edge net ~src:(demand_vertex t j) ~dst:1 ~cap:t.demands.(j))
+      ignore
+        (Maxflow.add_edge net ~src:(demand_vertex t j) ~dst:1
+           ~cap:t.demands.(j))
   done;
   let flow = Maxflow.max_flow net ~source:0 ~sink:1 in
   if flow >= total_demand t then None

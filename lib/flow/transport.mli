@@ -7,7 +7,9 @@
     capacity [ω] is a max-flow question; by LP duality the minimal uniform
     real capacity equals [max_J Σ_{j∈J} d(j) / |N(J)|] over demand subsets
     [J] (Lemma 2.2.2 of the paper).  [min_uniform_supply] computes it to
-    any requested resolution by binary search on a scaled integer flow. *)
+    any requested resolution with one parametric max-flow sweep on a
+    scaled integer network ({!Paramflow}), cached so repeated queries and
+    the oracle's growing radius scan become lookups and extensions. *)
 
 type t
 
@@ -48,23 +50,37 @@ val feasible : t -> supply:(int -> int) -> bool
 val min_uniform_supply : t -> scale:int -> float option
 (** Smallest [ω], a multiple of [1/scale], such that uniform per-supplier
     capacity [ω] is feasible.  [None] when no finite capacity suffices
-    (some positive demand has no link).  Exact whenever the true optimum
-    [max_J D(J)/|N(J)|] has a denominator dividing [scale].
+    (some positive demand has no link).  [Some 0.] immediately — no arena,
+    no probe — when the total demand is zero, links or not.  Exact
+    whenever the true optimum [max_J D(J)/|N(J)|] has a denominator
+    dividing [scale].
 
-    Internally one {!Maxflow} arena serves the whole search: only the
-    source-edge capacities mutate between probes and each probe
-    warm-starts from the previous flow.  The level sequence is a discrete
-    Newton iteration on the parametric min cut (monotonically increasing,
-    so no flow is ever discarded) that lands exactly on the minimal
-    feasible grid level — the same value a rebuild-per-probe bisection
-    returns, in far fewer probes and a fraction of the flow work. *)
+    Internally a cached {!Paramflow} driver on one {!Maxflow} arena
+    serves every query at the same [scale]: the first call runs the
+    monotone parametric sweep (cost ≈ one push-relabel flow, counted as
+    one [transport.feasibility_checks]); repeated calls are pure lookups
+    ([transport.breakpoint_lookups]); and after [add_supplier]/[add_link]
+    growth — the oracle's radius scan — the next call re-normalizes the
+    retained flow and extends the family instead of starting over.
+    Changing a demand ([set_demand]) invalidates the cache.  The value is
+    bit-identical to the discrete-Newton search it replaces: both land on
+    the unique minimal feasible grid level. *)
+
+val breakpoints : t -> scale:int -> (int * int * int) array
+(** The integer lower envelope of the parametric min-cut function for
+    this instance at this [scale], as [(level, value, slope)] triples
+    sorted by level — levels strictly increasing, slopes non-increasing.
+    Runs (or reuses) the cached sweep, then refines the family to every
+    breakpoint distinguishable at integer levels.  [[||]] when the total
+    demand is zero. *)
 
 val dual_value_exhaustive : t -> float
 (** [max_J Σ_{j∈J} d(j) / |N(J)|] by enumerating all demand subsets.
     Exponential — test witness for tiny instances only (raises
     [Invalid_argument] beyond 20 demand sites). *)
 
-val infeasibility_witness : t -> supply:(int -> int) -> int list option
+val infeasibility_witness :
+  ?core:Maxflow.core -> t -> supply:(int -> int) -> int list option
 (** When the instance is infeasible at the given supplies, returns a
     Hall-type violating set of demand indices [J] with
     [Σ_{j∈J} d(j) > Σ_{i∈N(J)} supply i], extracted from a minimum cut

@@ -198,6 +198,105 @@ let test_warm_start_matches_cold () =
       !total
   done
 
+(* Core differential: Dinic and push-relabel must agree not only on the
+   flow value (both are max flows) but on [min_cut_side], which returns
+   the unique minimal source side and is therefore core-independent. *)
+
+let prop_cores_agree =
+  QCheck.Test.make ~name:"push-relabel = dinic (value and min-cut side)"
+    ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n, edges = random_network rng in
+      let run core =
+        let net = Maxflow.create ~core n in
+        List.iter
+          (fun (u, v, c) -> ignore (Maxflow.add_edge net ~src:u ~dst:v ~cap:c))
+          edges;
+        let f = Maxflow.max_flow net ~source:0 ~sink:(n - 1) in
+        (f, Maxflow.min_cut_side net ~source:0)
+      in
+      let fd, sd = run Maxflow.Dinic in
+      let fp, sp = run Maxflow.Push_relabel in
+      fd = fp && sd = sp)
+
+let test_add_vertex () =
+  let net = Maxflow.create 2 in
+  ignore (Maxflow.add_edge net ~src:0 ~dst:1 ~cap:3);
+  Alcotest.(check int) "cold run" 3 (Maxflow.max_flow net ~source:0 ~sink:1);
+  let v = Maxflow.add_vertex net in
+  Alcotest.(check int) "appended index" 2 v;
+  Alcotest.(check int) "vertex count grows" 3 (Maxflow.n_vertices net);
+  ignore (Maxflow.add_edge net ~src:0 ~dst:v ~cap:2);
+  ignore (Maxflow.add_edge net ~src:v ~dst:1 ~cap:2);
+  (* The old flow is retained; only the path through the new vertex is
+     augmented. *)
+  Alcotest.(check int) "increment through new vertex" 2
+    (Maxflow.max_flow net ~source:0 ~sink:1)
+
+let test_drain_even_caps_basic () =
+  let net = Maxflow.create 3 in
+  let e = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:5 in
+  ignore (Maxflow.add_edge net ~src:1 ~dst:2 ~cap:4);
+  Alcotest.(check int) "cold run" 4 (Maxflow.max_flow net ~source:0 ~sink:2);
+  let drained = Maxflow.drain_even_caps net [| e |] 2 ~source:0 ~sink:2 in
+  Alcotest.(check int) "surplus cancelled to the sink" 2 drained;
+  Alcotest.(check int) "flow lowered to the new cap" 2 (Maxflow.flow_on net e);
+  Alcotest.(check int) "still maximal at the lower level" 0
+    (Maxflow.max_flow net ~source:0 ~sink:2);
+  (* Raising through the same entry point drains nothing and leaves the
+     delta for the next run. *)
+  Alcotest.(check int) "raise drains nothing" 0
+    (Maxflow.drain_even_caps net [| e |] 5 ~source:0 ~sink:2);
+  Alcotest.(check int) "re-augments the delta" 2
+    (Maxflow.max_flow net ~source:0 ~sink:2)
+
+let test_drain_even_caps_guards () =
+  let net = Maxflow.create 3 in
+  let src = Maxflow.add_edge net ~src:0 ~dst:1 ~cap:2 in
+  let interior = Maxflow.add_edge net ~src:1 ~dst:2 ~cap:2 in
+  ignore (Maxflow.max_flow net ~source:0 ~sink:2);
+  (match Maxflow.drain_even_caps net [| interior |] 1 ~source:0 ~sink:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "interior tail must raise");
+  (match Maxflow.drain_even_caps net [| src lxor 1 |] 1 ~source:0 ~sink:2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "odd (residual) id must raise")
+
+let prop_drain_resume_matches_fresh =
+  (* Lowering the parametric source edges with a drain and re-augmenting
+     must land exactly where a fresh solve at the lower level lands, on
+     either core. *)
+  QCheck.Test.make ~name:"drain then warm resume = fresh solve (both cores)"
+    ~count:150
+    QCheck.(pair (int_range 0 1_000_000) bool)
+    (fun (seed, use_dinic) ->
+      let core = if use_dinic then Maxflow.Dinic else Maxflow.Push_relabel in
+      let rng = Rng.create seed in
+      let n, edges = random_network rng in
+      let k = 1 + Rng.int rng 3 in
+      let dsts = Array.init k (fun _ -> Rng.int rng n) in
+      let hi = 6 and lo = Rng.int rng 6 in
+      let build cap =
+        let net = Maxflow.create ~core (n + 1) in
+        let src =
+          Array.map (fun v -> Maxflow.add_edge net ~src:n ~dst:v ~cap) dsts
+        in
+        List.iter
+          (fun (u, v, c) -> ignore (Maxflow.add_edge net ~src:u ~dst:v ~cap:c))
+          edges;
+        (net, src)
+      in
+      let net, src = build hi in
+      let f0 = Maxflow.max_flow net ~source:n ~sink:(n - 1) in
+      let drained = Maxflow.drain_even_caps net src lo ~source:n ~sink:(n - 1) in
+      let within = Array.for_all (fun e -> Maxflow.flow_on net e <= lo) src in
+      let inc = Maxflow.max_flow net ~source:n ~sink:(n - 1) in
+      let fresh, _ = build lo in
+      let fv = Maxflow.max_flow fresh ~source:n ~sink:(n - 1) in
+      within && drained >= 0 && inc >= 0 && f0 - drained + inc = fv)
+
 let suite =
   [
     Alcotest.test_case "single edge" `Quick test_single_edge;
@@ -216,4 +315,10 @@ let suite =
     Alcotest.test_case "rewind guards" `Quick test_rewind_guards;
     Alcotest.test_case "warm start matches cold" `Quick
       test_warm_start_matches_cold;
+    Alcotest.test_case "add_vertex keeps flow" `Quick test_add_vertex;
+    Alcotest.test_case "drain_even_caps basic" `Quick test_drain_even_caps_basic;
+    Alcotest.test_case "drain_even_caps guards" `Quick
+      test_drain_even_caps_guards;
+    QCheck_alcotest.to_alcotest prop_cores_agree;
+    QCheck_alcotest.to_alcotest prop_drain_resume_matches_fresh;
   ]

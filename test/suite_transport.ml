@@ -169,6 +169,115 @@ let prop_newton_matches_reference_bisection =
       | Some a, Some b -> a = b
       | Some _, None | None, Some _ -> false)
 
+let copy_instance t =
+  let c =
+    Transport.create ~n_suppliers:(Transport.n_suppliers t)
+      ~n_demands:(Transport.n_demands t)
+  in
+  for j = 0 to Transport.n_demands t - 1 do
+    Transport.set_demand c j (Transport.demand t j)
+  done;
+  Transport.iter_links t (fun ~supplier ~demand ->
+      Transport.add_link c ~supplier ~demand);
+  c
+
+let test_empty_fast_path () =
+  (* Zero total demand short-circuits before any arena is built: the
+     answer is [Some 0.] and no flow runs. *)
+  let runs = Metrics.counter "maxflow.runs" in
+  let check_instant t =
+    let before = Metrics.count runs in
+    (match Transport.min_uniform_supply t ~scale:7 with
+    | Some 0.0 -> ()
+    | _ -> Alcotest.fail "zero-demand instance must answer Some 0.");
+    Alcotest.(check int) "no flow run" before (Metrics.count runs)
+  in
+  check_instant (Transport.create ~n_suppliers:0 ~n_demands:0);
+  let t = Transport.create ~n_suppliers:1 ~n_demands:2 in
+  Transport.add_link t ~supplier:0 ~demand:0;
+  check_instant t;
+  Alcotest.(check (array (triple int int int))) "no breakpoints either" [||]
+    (Transport.breakpoints t ~scale:7)
+
+let test_cached_lookup_counters () =
+  (* First query at a scale pays one feasibility check; repeats are pure
+     breakpoint lookups; changing a demand invalidates the cache. *)
+  let fc = Metrics.counter "transport.feasibility_checks" in
+  let bl = Metrics.counter "transport.breakpoint_lookups" in
+  let t = simple_instance () in
+  let fc0 = Metrics.count fc and bl0 = Metrics.count bl in
+  let a = Transport.min_uniform_supply t ~scale:2 in
+  let b = Transport.min_uniform_supply t ~scale:2 in
+  Alcotest.(check (option (float 1e-9))) "first answer" (Some 4.0) a;
+  Alcotest.(check (option (float 1e-9))) "cached answer" (Some 4.0) b;
+  Alcotest.(check int) "one real solve" 1 (Metrics.count fc - fc0);
+  Alcotest.(check int) "one lookup" 1 (Metrics.count bl - bl0);
+  Transport.set_demand t 0 4;
+  (match Transport.min_uniform_supply t ~scale:2 with
+  | Some v -> Alcotest.(check (float 1e-9)) "updated answer" 4.5 v
+  | None -> Alcotest.fail "still feasible");
+  Alcotest.(check int) "demand change forces a re-solve" 2
+    (Metrics.count fc - fc0)
+
+let test_extension_matches_fresh () =
+  (* Growing an already-queried instance (the oracle's radius scan) and
+     re-querying must match a cold solve on a fresh copy. *)
+  let rng = Rng.create 99 in
+  let scale = 60 in
+  for _ = 1 to 30 do
+    let t = random_instance rng in
+    ignore (Transport.min_uniform_supply t ~scale);
+    let i = Transport.add_supplier t in
+    let linked_any = ref false in
+    for j = 0 to Transport.n_demands t - 1 do
+      if Rng.bool rng then begin
+        Transport.add_link t ~supplier:i ~demand:j;
+        linked_any := true
+      end
+    done;
+    if not !linked_any && Transport.n_demands t > 0 then
+      Transport.add_link t ~supplier:i ~demand:0;
+    let warm = Transport.min_uniform_supply t ~scale in
+    let cold = Transport.min_uniform_supply (copy_instance t) ~scale in
+    Alcotest.(check (option (float 1e-9))) "warm extension = cold solve" cold
+      warm
+  done
+
+let prop_lookup_matches_reference_at_random_scales =
+  (* The cached sweep and its lookup path, against the bisection
+     reference, at 50 random scales (not just the lcm the other property
+     uses). *)
+  QCheck.Test.make
+    ~name:"lookup = reference bisection (random scales)" ~count:50
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 97))
+    (fun (seed, scale) ->
+      let rng = Rng.create seed in
+      let t = random_instance rng in
+      let a = Transport.min_uniform_supply t ~scale in
+      let b = Transport.min_uniform_supply t ~scale in
+      let r = reference_min_uniform_supply t ~scale in
+      a = r && b = r)
+
+let prop_witness_agrees_across_cores =
+  (* [infeasibility_witness] reads the minimal source side of a min cut,
+     which is identical for every maximum flow — so both cores must
+     return the same demand set, not merely some violating set. *)
+  QCheck.Test.make ~name:"infeasibility witness = across flow cores"
+    ~count:100
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 3))
+    (fun (seed, supply) ->
+      let rng = Rng.create seed in
+      let t = random_instance rng in
+      let wd =
+        Transport.infeasibility_witness ~core:Maxflow.Dinic t
+          ~supply:(fun _ -> supply)
+      in
+      let wp =
+        Transport.infeasibility_witness ~core:Maxflow.Push_relabel t
+          ~supply:(fun _ -> supply)
+      in
+      wd = wp)
+
 let test_max_served_monotone_in_supply () =
   let rng = Rng.create 4242 in
   for _ = 1 to 50 do
@@ -193,4 +302,11 @@ let suite =
     Alcotest.test_case "add_supplier and link iteration" `Quick
       test_add_supplier_and_links;
     QCheck_alcotest.to_alcotest prop_newton_matches_reference_bisection;
+    Alcotest.test_case "zero demand fast path" `Quick test_empty_fast_path;
+    Alcotest.test_case "cached lookup counters" `Quick
+      test_cached_lookup_counters;
+    Alcotest.test_case "warm extension matches fresh" `Quick
+      test_extension_matches_fresh;
+    QCheck_alcotest.to_alcotest prop_lookup_matches_reference_at_random_scales;
+    QCheck_alcotest.to_alcotest prop_witness_agrees_across_cores;
   ]

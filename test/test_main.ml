@@ -11,6 +11,7 @@ let () =
       ("graph", Suite_graph.suite);
       ("flow", Suite_flow.suite);
       ("transport", Suite_transport.suite);
+      ("paramflow", Suite_paramflow.suite);
       ("demand", Suite_demand.suite);
       ("io", Suite_io.suite);
       ("des", Suite_des.suite);
