@@ -1147,6 +1147,40 @@ let json_scenarios ~quick =
         match Loadgen.replay_engine engine reqs with
         | Ok _ -> ()
         | Error m -> failwith m );
+    (* stream/*: the incremental oracle under sustained churn — one
+       Oracle.Session absorbing a long add/remove trace with a query
+       after every event.  The delta cost shows up in two deterministic
+       counters CI gates tightly: transport.feasibility_checks (one warm
+       solve per visited bracket per event — the "handful of probes"
+       contract) and paramflow.probes; oracle.session_latency_ns keeps
+       the per-event latency distribution (observation count gated, wall
+       time not). *)
+    ( "stream/churn",
+      fun () ->
+        let rng = Rng.create 21 in
+        let s = Oracle.Session.create (Demand_map.empty 2) in
+        let live = ref (Array.make 16 [||]) and n = ref 0 in
+        for _ = 1 to scale 100_000 do
+          if !n >= 64 || (!n > 0 && Rng.int rng 2 = 0) then begin
+            let k = Rng.int rng !n in
+            let p = !live.(k) in
+            !live.(k) <- !live.(!n - 1);
+            decr n;
+            Oracle.Session.remove_job s p
+          end
+          else begin
+            let p = [| Rng.int rng 6; Rng.int rng 6 |] in
+            Oracle.Session.add_job s p;
+            if !n = Array.length !live then begin
+              let bigger = Array.make (2 * !n) [||] in
+              Array.blit !live 0 bigger 0 !n;
+              live := bigger
+            end;
+            !live.(!n) <- p;
+            incr n
+          end;
+          ignore (Oracle.Session.omega_star s)
+        done );
   ]
 
 let run_json_suite ~quick ~jobs ~revision path =

@@ -3,6 +3,9 @@ let default_scale = 720720 (* lcm(1..14): exact for small dual denominators *)
 let m_lp_calls = Metrics.counter "oracle.lp_calls"
 let m_radius_brackets = Metrics.counter "oracle.radius_brackets"
 let m_omega_star = Metrics.timer "oracle.omega_star"
+let m_session_events = Metrics.counter "oracle.session_events"
+let m_session_queries = Metrics.counter "oracle.session_queries"
+let m_session_latency = Metrics.histogram "oracle.session_latency_ns"
 
 (* Incremental transport-instance builder.  Suppliers are the grid points
    within the current radius of the demand support; rather than re-running
@@ -112,6 +115,7 @@ let omega_star ?(scale = default_scale) dm =
 
 let lower_bound_woff = omega_star
 
+
 let witness ?(scale = default_scale) dm =
   if Demand_map.total dm = 0 then None
   else begin
@@ -148,3 +152,125 @@ let witness ?(scale = default_scale) dm =
       (fun acc r -> match acc with Some _ -> acc | None -> r)
       None results
   end
+
+(* ------------------------------------------------------------------ *)
+(* Streaming sessions: incremental ω* under job arrival / retirement  *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  (* One persistent bracket per integer radius [m] the scan has ever
+     visited: a frozen-radius builder (its transport holds exactly the
+     links at distance <= m) plus a demand-site index.  A job delta
+     touches every live bracket in O(1) amortized — a sink-cap patch on
+     the cached parametric arena — except when the job lands on a
+     position the bracket has never seen, which appends a demand site,
+     absorbs the new ball of suppliers into the frozen frontier
+     ({!Ball.absorb}) and links it by sphere enumeration, exactly the
+     radius-scan construction.  Sites whose demand returns to 0 stay in
+     the arena with a zero-capacity sink edge: they carry no flow and
+     shift no cut, so every bracket value — and therefore ω* — is
+     bit-identical to a from-scratch recomputation on the live demand. *)
+  type bracket = { bk : builder; bk_dindex : int Point.Tbl.t }
+
+  type t = {
+    s_scale : int;
+    mutable s_dm : Demand_map.t;
+    mutable s_brackets : bracket array; (* index = bracket radius *)
+    mutable s_value : float; (* cached ω*; valid when not dirty *)
+    mutable s_dirty : bool;
+  }
+
+  let create ?(scale = default_scale) dm =
+    if scale <= 0 then invalid_arg "Oracle.Session.create: scale must be positive";
+    { s_scale = scale; s_dm = dm; s_brackets = [||]; s_value = 0.0; s_dirty = true }
+
+  let demand s = s.s_dm
+  let scale s = s.s_scale
+
+  let make_bracket dm radius =
+    let b = builder_create dm ~demand_scale:1 in
+    builder_to_radius b radius;
+    let dindex = Point.Tbl.create 64 in
+    Array.iteri (fun j p -> Point.Tbl.add dindex p j) b.b_support;
+    { bk = b; bk_dindex = dindex }
+
+  let bracket s m =
+    while Array.length s.s_brackets <= m do
+      let bk = make_bracket s.s_dm (Array.length s.s_brackets) in
+      s.s_brackets <- Array.append s.s_brackets [| bk |]
+    done;
+    s.s_brackets.(m)
+
+  (* Propagate [d(p) = v] into one bracket.  The radius is the bracket's
+     frozen builder radius. *)
+  let bracket_set bk v p =
+    let inst = bk.bk.b_inst in
+    match Point.Tbl.find_opt bk.bk_dindex p with
+    | Some j -> Transport.set_demand inst j v
+    | None ->
+        let radius = bk.bk.b_radius in
+        let j = Transport.add_demand inst in
+        Point.Tbl.add bk.bk_dindex p j;
+        (* Suppliers: the part of B_radius(p) the frontier has not
+           reached yet.  [absorb] returns them and keeps the shell exact
+           for any future extension. *)
+        List.iter
+          (fun q -> Point.Tbl.add bk.bk.b_index q (Transport.add_supplier inst))
+          (Ball.absorb bk.bk.b_frontier p);
+        (* Links: every supplier within distance <= radius of [p]; after
+           the absorb every such point is registered. *)
+        for k = 0 to radius do
+          Ball.iter_sphere ~center:p ~radius:k (fun q ->
+              match Point.Tbl.find_opt bk.bk.b_index q with
+              | Some i -> Transport.add_link inst ~supplier:i ~demand:j
+              | None -> ())
+        done;
+        Transport.set_demand inst j v
+
+  let apply s p =
+    let v = Demand_map.value s.s_dm p in
+    Array.iter (fun bk -> bracket_set bk v p) s.s_brackets;
+    Metrics.incr m_session_events;
+    s.s_dirty <- true
+
+  let add_job s p =
+    if Point.dim p <> Demand_map.dim s.s_dm then
+      invalid_arg "Oracle.Session.add_job: dimension mismatch";
+    let p = Array.copy p in
+    s.s_dm <- Demand_map.add s.s_dm p 1;
+    apply s p
+
+  let remove_job s p =
+    (* raises Invalid_argument when no job lives at [p] *)
+    s.s_dm <- Demand_map.remove s.s_dm p 1;
+    apply s p
+
+  let recompute s =
+    if Demand_map.total s.s_dm = 0 then 0.0
+    else
+      let rec scan m =
+        let bk = bracket s m in
+        let v =
+          match Transport.min_uniform_supply bk.bk.b_inst ~scale:s.s_scale with
+          | Some v -> v
+          | None ->
+              (* Impossible: every live demand site links to itself. *)
+              assert false
+        in
+        let candidate = Float.max (float_of_int m) v in
+        if candidate < float_of_int (m + 1) then candidate else scan (m + 1)
+      in
+      scan 0
+
+  let omega_star s =
+    if s.s_dirty then begin
+      Metrics.incr m_session_queries;
+      let t0 = Metrics.now_ns () in
+      s.s_value <- recompute s;
+      Metrics.observe m_session_latency (Metrics.now_ns () -. t0);
+      s.s_dirty <- false
+    end;
+    s.s_value
+
+  let witness s = witness ~scale:s.s_scale s.s_dm
+end

@@ -40,3 +40,51 @@ val witness : ?scale:int -> Demand_map.t -> (Point.t list * float) option
     from a minimum cut of the just-infeasible transport.  [None] for
     empty demand.  This is the certificate the duality proof of
     Lemma 2.2.3 promises. *)
+
+(** Streaming oracle sessions: jobs arrive and retire one at a time and
+    [ω*] is maintained incrementally instead of recomputed from scratch.
+
+    A session keeps one persistent transport instance per integer radius
+    bracket the ω* scan has ever visited.  A single-job delta costs a
+    sink-capacity patch per bracket on the cached parametric arena
+    (plus, for a never-seen position, one ball absorption and sphere
+    enumeration), and the next {!Session.omega_star} re-runs the bracket
+    scan as warm {!Paramflow} re-sweeps of the retained flow — a handful
+    of max-flow probes, never an arena rebuild.  Values are bit-identical
+    to {!omega_star} on the same demand at every step (see
+    [docs/STREAMING.md] for the invalidation rules and cost model). *)
+module Session : sig
+  type t
+
+  val create : ?scale:int -> Demand_map.t -> t
+  (** A session seeded with an initial demand (often
+      [Demand_map.empty l]).  [scale] is fixed for the session's
+      lifetime (default {!omega_star}'s).  Bracket instances are built
+      lazily at the first query. *)
+
+  val add_job : t -> Point.t -> unit
+  (** One unit job arrives at the point.  O(1) sink-cap patch per live
+      bracket; a never-seen position additionally absorbs its supplier
+      ball into each bracket's frontier.
+      @raise Invalid_argument on dimension mismatch. *)
+
+  val remove_job : t -> Point.t -> unit
+  (** One unit job at the point retires.  The surplus flow is cancelled
+      in place at the next query ({!Maxflow.drain_sink_caps}); the
+      arena, suppliers and links are all retained.
+      @raise Invalid_argument when no job lives at the point. *)
+
+  val omega_star : t -> float
+  (** The current [ω*]; cached between mutations, recomputed
+      incrementally when dirty.  Bit-identical to
+      [Oracle.omega_star (demand t)]. *)
+
+  val demand : t -> Demand_map.t
+  (** The live demand snapshot (immutable). *)
+
+  val scale : t -> int
+
+  val witness : t -> (Point.t list * float) option
+  (** Tight-set certificate for the current demand; delegates to the
+      stateless {!Oracle.witness}. *)
+end

@@ -19,6 +19,16 @@ let add t x k =
           t.map;
     }
 
+let remove t x k =
+  if k < 0 then invalid_arg "Demand_map.remove: negative demand";
+  if Point.dim x <> t.l then invalid_arg "Demand_map.remove: dimension mismatch";
+  if k = 0 then t
+  else
+    let v = match Point.Map.find_opt x t.map with None -> 0 | Some v -> v in
+    if k > v then invalid_arg "Demand_map.remove: demand would become negative"
+    else if k = v then { t with map = Point.Map.remove x t.map }
+    else { t with map = Point.Map.add x (v - k) t.map }
+
 let of_alist l alist = List.fold_left (fun t (x, k) -> add t x k) (empty l) alist
 
 let of_jobs l jobs = List.fold_left (fun t x -> add t x 1) (empty l) jobs

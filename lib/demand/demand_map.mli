@@ -12,7 +12,14 @@ val empty : int -> t
 val dim : t -> int
 
 val add : t -> Point.t -> int -> t
-(** [add t x k] increases [d(x)] by [k >= 0]. *)
+(** [add t x k] increases [d(x)] by [k >= 0].
+    @raise Invalid_argument if [k < 0] or the dimension of [x] differs. *)
+
+val remove : t -> Point.t -> int -> t
+(** [remove t x k] decreases [d(x)] by [k >= 0]; the binding is dropped
+    when it reaches 0, so {!support} stays strictly positive.
+    @raise Invalid_argument if [k < 0], if the dimension of [x] differs,
+    or if the removal would drive [d(x)] below 0. *)
 
 val of_alist : int -> (Point.t * int) list -> t
 (** Builds a map from (position, demand) pairs, summing duplicates. *)

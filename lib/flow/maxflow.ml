@@ -605,6 +605,130 @@ let drain_even_caps t ids c ~source ~sink =
     ids;
   !drained
 
+(* Mirror image of [drain_even_caps] for sink-adjacent edges: the surplus
+   on an edge (v -> sink) is cancelled by walking the flow decomposition
+   BACKWARD from [v], following flow-carrying arcs into each vertex.
+   Reaching the source cancels a full source→sink path (the flow value
+   drops); reaching the sink closes a cycle through the edge (value
+   unchanged).  Internal cycles are cancelled on the spot exactly as in
+   the forward drain.  The head must be the sink for the same
+   conservation reason the forward drain requires a source tail. *)
+let drain_sink_caps t ids c ~source ~sink =
+  if c < 0 then invalid_arg "Maxflow.drain_sink_caps: negative capacity";
+  if source < 0 || source >= t.n || sink < 0 || sink >= t.n || source = sink
+  then invalid_arg "Maxflow.drain_sink_caps: bad source/sink";
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= t.m || id mod 2 <> 0 then
+        invalid_arg "Maxflow.drain_sink_caps: bad edge id";
+      if t.dst.(id) <> sink then
+        invalid_arg "Maxflow.drain_sink_caps: edge head is not the sink")
+    ids;
+  ensure_csr t;
+  let n = t.n in
+  let drained = ref 0 in
+  let pos = Array.make n (-1) in
+  (* path_vert.(i) is on the walk; path_edge.(i) is the even arc whose
+     flow ENTERS path_vert.(i) (its tail is the next walk vertex) *)
+  let path_vert = Array.make n 0 in
+  let path_edge = Array.make n 0 in
+  let ptr = Array.copy t.adj_start in
+  let cancel_surplus e =
+    let head = sink in
+    let tail = t.dst.(e lxor 1) in
+    while flow_on t e > c do
+      let need = Energy.sub (flow_on t e) c in
+      (* walk from [tail] until the source or the sink *)
+      let len = ref 0 in
+      pos.(tail) <- 0;
+      path_vert.(0) <- tail;
+      let w = ref tail in
+      let terminal = ref (-1) in
+      while !terminal < 0 do
+        if !w = source || !w = head then terminal := !w
+        else begin
+          (* next flow-carrying arc INTO !w: an odd residual arc out of
+             !w with positive capacity is the reverse view of an even
+             edge carrying flow into !w.  Skip the reverse view of [e]. *)
+          let limit = t.adj_start.(!w + 1) in
+          let i = ref ptr.(!w) in
+          let chosen = ref (-1) in
+          while !chosen < 0 && !i < limit do
+            let o = t.adj.(!i) in
+            if o <> e lxor 1 && o land 1 = 1 && t.cap.(o) > 0 then
+              chosen := o
+            else incr i
+          done;
+          ptr.(!w) <- !i;
+          (* conservation guarantees an arc exists while surplus remains *)
+          assert (!chosen >= 0);
+          let pe = !chosen lxor 1 in
+          let u = t.dst.(!chosen) in
+          if u <> source && u <> head && pos.(u) >= 0 then begin
+            (* internal flow cycle u -> ... -> w -> ... -> u through [pe]
+               and the path arcs from pos.(u): cancel its bottleneck *)
+            let j0 = pos.(u) in
+            let bottleneck = ref (t.cap.(pe lxor 1)) in
+            for j = j0 to !len - 1 do
+              let qe = path_edge.(j) in
+              if t.cap.(qe lxor 1) < !bottleneck then
+                bottleneck := t.cap.(qe lxor 1)
+            done;
+            let d = !bottleneck in
+            t.cap.(pe) <- Energy.add t.cap.(pe) d;
+            t.cap.(pe lxor 1) <- Energy.sub t.cap.(pe lxor 1) d;
+            for j = j0 to !len - 1 do
+              let qe = path_edge.(j) in
+              t.cap.(qe) <- Energy.add t.cap.(qe) d;
+              t.cap.(qe lxor 1) <- Energy.sub t.cap.(qe lxor 1) d
+            done;
+            for j = j0 + 1 to !len do
+              pos.(path_vert.(j)) <- -1
+            done;
+            len := j0;
+            w := u
+          end
+          else begin
+            path_edge.(!len) <- pe;
+            incr len;
+            if u <> source && u <> head then begin
+              pos.(u) <- !len;
+              path_vert.(!len) <- u
+            end;
+            w := u
+          end
+        end
+      done;
+      (* cancel the terminal walk together with [e] itself *)
+      let bottleneck = ref need in
+      for j = 0 to !len - 1 do
+        let pe = path_edge.(j) in
+        if t.cap.(pe lxor 1) < !bottleneck then bottleneck := t.cap.(pe lxor 1)
+      done;
+      let d = !bottleneck in
+      for j = 0 to !len - 1 do
+        let pe = path_edge.(j) in
+        t.cap.(pe) <- Energy.add t.cap.(pe) d;
+        t.cap.(pe lxor 1) <- Energy.sub t.cap.(pe lxor 1) d
+      done;
+      t.cap.(e) <- Energy.add t.cap.(e) d;
+      t.cap.(e lxor 1) <- Energy.sub t.cap.(e lxor 1) d;
+      if !terminal = source then drained := Energy.add !drained d;
+      for j = 0 to !len - 1 do
+        pos.(path_vert.(j)) <- -1
+      done;
+      pos.(tail) <- -1
+    done
+  in
+  Array.iter
+    (fun id ->
+      cancel_surplus id;
+      let flow = flow_on t id in
+      t.cap.(id) <- Energy.sub c flow;
+      t.initial_cap.(id / 2) <- c)
+    ids;
+  !drained
+
 let mark t =
   let half = t.m / 2 in
   if Array.length t.saved_cap < t.m then

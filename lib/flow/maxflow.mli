@@ -80,6 +80,17 @@ val drain_even_caps : t -> int array -> int -> source:int -> sink:int -> int
     flow.  Intended for parametric sweeps that move the parameter {e
     down} (see {!Paramflow}). *)
 
+val drain_sink_caps : t -> int array -> int -> source:int -> sink:int -> int
+(** Mirror image of {!drain_even_caps} for sink-adjacent edges: every
+    edge in [ids] must have [sink] as its head.  Surplus flow is
+    cancelled by walking the flow decomposition backward from the edge
+    tail — reaching [source] cancels a full source→sink path (the flow
+    value drops), reaching [sink] cancels a cycle through the edge
+    (value unchanged).  Returns how much the flow value decreased.  The
+    terminal state is again a valid flow.  Intended for lowering a
+    demand's sink capacity in place when a streamed job retires (see
+    {!Paramflow} and [Transport]). *)
+
 val mark : t -> unit
 (** Snapshots the capacity state (residuals and nominal capacities). *)
 

@@ -23,7 +23,7 @@ type t = {
   source : int;
   sink : int;
   mutable src_edges : int array;
-  target : int;
+  mutable target : int;
   mutable routed : int; (* current flow value in the arena *)
   mutable level : int; (* uniform capacity on src_edges; -1 = mixed *)
   mutable answer : int option;
@@ -172,3 +172,30 @@ let grow t ~src_edges =
   t.solved <- false;
   t.family <- [];
   t.level <- -1
+
+let retarget t ~target =
+  if target < 0 then invalid_arg "Paramflow.retarget: negative target";
+  t.target <- target;
+  t.answer <- None;
+  t.solved <- false;
+  t.family <- []
+
+(* Patch one non-parametric sink-adjacent edge's capacity in place.  A
+   raise keeps the routed flow (the residual just widens); a lowering
+   below the edge's current flow cancels the surplus along the flow
+   decomposition and the routed value drops accordingly.  Either way the
+   cached answer and family describe the old network and are dropped;
+   the sweep level and retained flow survive, so the next [solve] is a
+   warm re-sweep. *)
+let patch_sink_cap t edge c =
+  if Maxflow.flow_on t.net edge > c then begin
+    let d =
+      Maxflow.drain_sink_caps t.net [| edge |] c ~source:t.source
+        ~sink:t.sink
+    in
+    t.routed <- Energy.sub t.routed d
+  end
+  else Maxflow.set_even_caps t.net [| edge |] c;
+  t.answer <- None;
+  t.solved <- false;
+  t.family <- []

@@ -65,3 +65,18 @@ val grow : t -> src_edges:int array -> unit
     id set).  The routed flow and the answer-so-far are kept in the arena;
     the cached answer and family are dropped, and the next {!solve}
     extends the old flow instead of starting over. *)
+
+val retarget : t -> target:int -> unit
+(** Change the feasibility target after the caller patched the demand
+    side of the arena.  The routed flow and sweep level are kept; the
+    cached answer and family are dropped, so the next {!solve} re-sweeps
+    warm from wherever the last one stopped. *)
+
+val patch_sink_cap : t -> int -> int -> unit
+(** [patch_sink_cap t edge c] sets the capacity of the (even,
+    sink-adjacent, non-parametric) [edge] to [c] in place.  Raising keeps
+    the routed flow; lowering below the edge's current flow cancels the
+    surplus along the flow decomposition ({!Maxflow.drain_sink_caps}).
+    Invalidate-only for the cached envelope: the answer and family are
+    dropped, the retained flow and sweep level survive.  This is the
+    streamed-demand delta path of [Transport.set_demand]. *)

@@ -2,28 +2,40 @@ let m_feasibility_checks = Metrics.counter "transport.feasibility_checks"
 let m_breakpoint_lookups = Metrics.counter "transport.breakpoint_lookups"
 
 (* Parametric state cached across [min_uniform_supply] queries: one
-   {!Maxflow} arena plus a {!Paramflow} driver, valid for one [scale] and
-   one demands generation.  The arena uses its own vertex layout — source
-   0, sink 1, demand [j] at [2 + j], supplier [i] after all demands — so
-   demand vertex ids stay stable while the supplier set grows (the
-   oracle's radius scan), and growth is a pure extension. *)
+   {!Maxflow} arena plus a {!Paramflow} driver, valid for one [scale].
+   The arena uses its own vertex layout — source 0, sink 1, then demand
+   and supplier vertices appended by [Maxflow.add_vertex] as the instance
+   grows, with their ids recorded per site — so every kind of growth
+   (suppliers from the oracle's radius scan, demand sites and demand
+   values from streamed jobs) is a pure in-place extension or patch.
+   Every demand site gets a sink edge at materialization time, capacity 0
+   when its demand is 0, so a later demand change is a single-edge
+   capacity patch: a raise keeps the routed flow, a lowering cancels the
+   surplus via {!Maxflow.drain_sink_caps} — never an arena rebuild. *)
 type pstate = {
   p_scale : int;
-  p_gen : int; (* demands generation this state was built for *)
+  mutable p_gen : int; (* demands generation the arena's caps match *)
   p_net : Maxflow.t;
   pf : Paramflow.t;
   mutable p_suppliers : int; (* suppliers materialized in the arena *)
   mutable p_links : int; (* links materialized in the arena *)
   mutable p_src : int array; (* parametric edge id per supplier *)
+  mutable p_sup_vertex : int array; (* arena vertex per supplier *)
+  mutable p_demands : int; (* demand sites materialized in the arena *)
+  mutable p_dem_vertex : int array; (* arena vertex per demand site *)
+  mutable p_dem_edge : int array; (* sink edge id per demand site *)
+  mutable p_dem_val : int array; (* demand value the sink cap encodes *)
+  mutable p_link_edges : int array; (* arena edge id per link *)
+  mutable p_inf : int; (* current "infinite" link capacity *)
 }
 
 type t = {
   mutable n_suppliers : int;
-  n_demands : int;
-  demands : int array;
+  mutable n_demands : int;
+  mutable demands : int array;
   mutable links : int array; (* flattened pairs: 2k = supplier, 2k+1 = demand *)
   mutable n_links : int;
-  linked : bool array; (* demand j has at least one link *)
+  mutable linked : bool array; (* demand j has at least one link *)
   mutable demands_gen : int; (* bumped by set_demand *)
   mutable pstate : pstate option;
 }
@@ -50,14 +62,36 @@ let add_supplier t =
   t.n_suppliers <- i + 1;
   i
 
+let add_demand t =
+  let j = t.n_demands in
+  t.n_demands <- j + 1;
+  if Array.length t.demands < t.n_demands then begin
+    let bigger = Array.make (max 16 (2 * t.n_demands)) 0 in
+    Array.blit t.demands 0 bigger 0 j;
+    t.demands <- bigger
+  end;
+  if Array.length t.linked < t.n_demands then begin
+    let bigger = Array.make (max 16 (2 * t.n_demands)) false in
+    Array.blit t.linked 0 bigger 0 j;
+    t.linked <- bigger
+  end;
+  t.demands.(j) <- 0;
+  t.linked.(j) <- false;
+  j
+
 let set_demand t j d =
   if d < 0 then invalid_arg "Transport.set_demand: negative demand";
+  if j < 0 || j >= t.n_demands then
+    invalid_arg "Transport.set_demand: demand out of range";
   if t.demands.(j) <> d then begin
     t.demands.(j) <- d;
     t.demands_gen <- t.demands_gen + 1
   end
 
-let demand t j = t.demands.(j)
+let demand t j =
+  if j < 0 || j >= t.n_demands then
+    invalid_arg "Transport.demand: demand out of range";
+  t.demands.(j)
 
 let add_link t ~supplier ~demand =
   if supplier < 0 || supplier >= t.n_suppliers then
@@ -120,28 +154,31 @@ let every_demand_linked t =
   in
   loop 0
 
-(* Parametric-arena layout: demand [j] at [2 + j] (stable), supplier [i]
-   at [2 + n_demands + i] (appended by Maxflow.add_vertex as the supplier
-   set grows). *)
-let p_demand_vertex j = 2 + j
+let grow_int_array arr n =
+  if Array.length arr >= n then arr
+  else begin
+    let bigger = Array.make (max 16 (max n (2 * Array.length arr))) 0 in
+    Array.blit arr 0 bigger 0 (Array.length arr);
+    bigger
+  end
 
 (* Build or extend the cached parametric state for this scale.  Returns
-   the state with all current suppliers and links materialized; [fresh]
-   in the triple tells the caller whether the driver must re-solve. *)
+   the state with all current demand sites, demand values, suppliers and
+   links materialized.  Everything short of a scale change is an in-place
+   delta: new demand sites and suppliers are appended ([Maxflow.add_vertex]),
+   changed demand values patch their sink edge ([Paramflow.patch_sink_cap] —
+   flow-preserving raise, or cancellation drain), link capacities are
+   raised when the target outgrows the previous "infinity", and the
+   driver is re-pointed with [Paramflow.grow]/[retarget] so the next
+   solve is a warm re-sweep of the retained flow. *)
 let ensure_pstate t ~scale ~target =
   let ps =
     match t.pstate with
-    | Some ps when ps.p_scale = scale && ps.p_gen = t.demands_gen -> ps
+    | Some ps when ps.p_scale = scale -> ps
     | _ ->
-        let net = Maxflow.create (2 + t.n_demands) in
-        for j = 0 to t.n_demands - 1 do
-          if t.demands.(j) > 0 then
-            ignore
-              (Maxflow.add_edge net ~src:(p_demand_vertex j) ~dst:1
-                 ~cap:(Energy.mul t.demands.(j) scale))
-        done;
+        let net = Maxflow.create 2 in
         let pf =
-          Paramflow.create ~net ~source:0 ~sink:1 ~src_edges:[||] ~target
+          Paramflow.create ~net ~source:0 ~sink:1 ~src_edges:[||] ~target:0
         in
         let ps =
           {
@@ -152,38 +189,82 @@ let ensure_pstate t ~scale ~target =
             p_suppliers = 0;
             p_links = 0;
             p_src = [||];
+            p_sup_vertex = [||];
+            p_demands = 0;
+            p_dem_vertex = [||];
+            p_dem_edge = [||];
+            p_dem_val = [||];
+            p_link_edges = [||];
+            p_inf = 0;
           }
         in
         t.pstate <- Some ps;
         ps
   in
+  (* 1. materialize new demand sites: a vertex plus a sink edge each,
+     capacity 0 when the demand is 0 — later changes are patches *)
+  if ps.p_demands < t.n_demands then begin
+    ps.p_dem_vertex <- grow_int_array ps.p_dem_vertex t.n_demands;
+    ps.p_dem_edge <- grow_int_array ps.p_dem_edge t.n_demands;
+    ps.p_dem_val <- grow_int_array ps.p_dem_val t.n_demands;
+    for j = ps.p_demands to t.n_demands - 1 do
+      let v = Maxflow.add_vertex ps.p_net in
+      ps.p_dem_vertex.(j) <- v;
+      ps.p_dem_edge.(j) <-
+        Maxflow.add_edge ps.p_net ~src:v ~dst:1
+          ~cap:(Energy.mul t.demands.(j) scale);
+      ps.p_dem_val.(j) <- t.demands.(j)
+    done;
+    ps.p_demands <- t.n_demands
+  end;
+  (* 2. patch demand values changed since the arena's caps last matched *)
+  if ps.p_gen <> t.demands_gen then begin
+    for j = 0 to ps.p_demands - 1 do
+      if ps.p_dem_val.(j) <> t.demands.(j) then begin
+        Paramflow.patch_sink_cap ps.pf ps.p_dem_edge.(j)
+          (Energy.mul t.demands.(j) scale);
+        ps.p_dem_val.(j) <- t.demands.(j)
+      end
+    done;
+    ps.p_gen <- t.demands_gen
+  end;
+  (* 3. materialize new suppliers *)
   let grew = ps.p_suppliers < t.n_suppliers || ps.p_links < t.n_links in
   if ps.p_suppliers < t.n_suppliers then begin
-    if Array.length ps.p_src < t.n_suppliers then begin
-      let bigger = Array.make (max 16 (2 * t.n_suppliers)) 0 in
-      Array.blit ps.p_src 0 bigger 0 ps.p_suppliers;
-      ps.p_src <- bigger
-    end;
+    ps.p_src <- grow_int_array ps.p_src t.n_suppliers;
+    ps.p_sup_vertex <- grow_int_array ps.p_sup_vertex t.n_suppliers;
     for i = ps.p_suppliers to t.n_suppliers - 1 do
       let v = Maxflow.add_vertex ps.p_net in
+      ps.p_sup_vertex.(i) <- v;
       ps.p_src.(i) <- Maxflow.add_edge ps.p_net ~src:0 ~dst:v ~cap:0
     done;
     ps.p_suppliers <- t.n_suppliers
   end;
+  (* 4. "infinite" link capacity: never the binding constraint at any
+     level.  Raising is flow-preserving, so when the target outgrows the
+     previous infinity the existing links are patched in place. *)
+  if target > ps.p_inf then begin
+    if ps.p_links > 0 then
+      Maxflow.set_even_caps ps.p_net
+        (Array.sub ps.p_link_edges 0 ps.p_links)
+        (max 1 target);
+    ps.p_inf <- max 1 target
+  end;
+  (* 5. materialize new links *)
   if ps.p_links < t.n_links then begin
-    (* "infinite" capacity: never the binding constraint at any level *)
-    let inf = max 1 target in
+    ps.p_link_edges <- grow_int_array ps.p_link_edges t.n_links;
     for k = ps.p_links to t.n_links - 1 do
       let i = t.links.(2 * k) and j = t.links.((2 * k) + 1) in
-      ignore
-        (Maxflow.add_edge ps.p_net
-           ~src:(2 + t.n_demands + i)
-           ~dst:(p_demand_vertex j) ~cap:inf)
+      ps.p_link_edges.(k) <-
+        Maxflow.add_edge ps.p_net ~src:ps.p_sup_vertex.(i)
+          ~dst:ps.p_dem_vertex.(j) ~cap:ps.p_inf
     done;
     ps.p_links <- t.n_links
   end;
+  (* 6. re-point the driver *)
   if grew then
     Paramflow.grow ps.pf ~src_edges:(Array.sub ps.p_src 0 ps.p_suppliers);
+  if Paramflow.target ps.pf <> target then Paramflow.retarget ps.pf ~target;
   ps
 
 let min_uniform_supply t ~scale =

@@ -23,8 +23,18 @@ val add_supplier : t -> int
     instance builders (the oracle's radius scan) grow the supplier set as
     the coverage radius dilates. *)
 
+val add_demand : t -> int
+(** Registers one more demand site (initial demand 0, no links) and
+    returns its index.  Streaming instance builders ([Oracle.Session])
+    grow the demand side as new job positions appear; the cached
+    parametric arena appends a vertex and a capacity-0 sink edge in
+    place. *)
+
 val set_demand : t -> int -> int -> unit
-(** [set_demand t j d] with [d >= 0]; demands default to 0. *)
+(** [set_demand t j d] with [d >= 0]; demands default to 0.  On the
+    cached parametric arena this is a single sink-edge capacity patch at
+    the next query — a raise keeps the routed flow, a lowering cancels
+    the surplus flow ({!Maxflow.drain_sink_caps}) — never a rebuild. *)
 
 val demand : t -> int -> int
 
@@ -62,9 +72,11 @@ val min_uniform_supply : t -> scale:int -> float option
     ([transport.breakpoint_lookups]); and after [add_supplier]/[add_link]
     growth — the oracle's radius scan — the next call re-normalizes the
     retained flow and extends the family instead of starting over.
-    Changing a demand ([set_demand]) invalidates the cache.  The value is
-    bit-identical to the discrete-Newton search it replaces: both land on
-    the unique minimal feasible grid level. *)
+    Changing a demand ([set_demand]/[add_demand]) invalidates the cached
+    answer but {e not} the arena: the affected sink edges are patched in
+    place and the next call re-sweeps warm from the retained flow.  The
+    value is bit-identical to the discrete-Newton search it replaces:
+    both land on the unique minimal feasible grid level. *)
 
 val breakpoints : t -> scale:int -> (int * int * int) array
 (** The integer lower envelope of the parametric min-cut function for

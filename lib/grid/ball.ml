@@ -154,6 +154,48 @@ let expand f =
   f.f_radius <- f.f_radius + 1;
   f.f_shell
 
+let absorb f p =
+  let r = f.f_radius in
+  (* BFS from [p] out to the current radius.  The flood traverses
+     already-seen points (they may shield unseen ones behind them) but
+     only unseen points are new.  A newly seen point at flood depth
+     exactly [r] has distance exactly [r] from the enlarged seed set
+     (its BFS depth is its exact distance to [p], and its distance to
+     the old seeds exceeds [r] or it would have been seen), so appending
+     those to the shell keeps {!expand} exact.  Old shell entries whose
+     distance just dropped below [r] are harmless there: each of their
+     unseen neighbors is at distance [r + 1] regardless. *)
+  let added = ref [] in
+  let shell_add = ref [] in
+  let dist = Point.Tbl.create 64 in
+  let queue = Queue.create () in
+  Point.Tbl.add dist p 0;
+  Queue.add p queue;
+  if not (Point.Tbl.mem f.f_seen p) then begin
+    Point.Tbl.add f.f_seen p ();
+    added := p :: !added;
+    if r = 0 then shell_add := p :: !shell_add
+  end;
+  while not (Queue.is_empty queue) do
+    let q = Queue.pop queue in
+    let d = Point.Tbl.find dist q in
+    if d < r then
+      List.iter
+        (fun w ->
+          if not (Point.Tbl.mem dist w) then begin
+            Point.Tbl.add dist w (d + 1);
+            Queue.add w queue;
+            if not (Point.Tbl.mem f.f_seen w) then begin
+              Point.Tbl.add f.f_seen w ();
+              added := w :: !added;
+              if d + 1 = r then shell_add := w :: !shell_add
+            end
+          end)
+        (Point.neighbors q)
+  done;
+  f.f_shell <- f.f_shell @ List.rev !shell_add;
+  List.rev !added
+
 let dilate_shells points ~max_radius =
   if max_radius < 0 then invalid_arg "Ball.dilate_shells: negative radius";
   let shells = Array.make (max_radius + 1) [] in

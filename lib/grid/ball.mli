@@ -56,6 +56,19 @@ val expand : frontier -> Point.t list
     the seed set, in deterministic discovery order.  The union of the
     shells up to radius [r] equals [dilate_set ~radius:r]. *)
 
+val absorb : frontier -> Point.t -> Point.t list
+(** [absorb f p] adds [p] to the frontier's {e seed} set in place: the
+    points within the current radius of [p] that the frontier had not
+    reached yet become reached, and are returned in BFS discovery order
+    ([[]] when the ball around [p] was already covered).  Newly reached
+    points at distance exactly [frontier_radius f] join the shell, so
+    subsequent {!expand}s stay exact for the enlarged seed set.  The
+    shell may retain entries whose exact distance dropped below the
+    radius; they are harmless to {!expand} (their unseen neighbors are
+    necessarily at the next radius).  This is the streaming counterpart
+    of rebuilding the frontier when a job arrives at a new position
+    ([Oracle.Session]). *)
+
 val frontier_radius : frontier -> int
 val frontier_shell : frontier -> Point.t list
 (** The current shell (radius 0: the deduplicated seed set). *)

@@ -8,13 +8,29 @@ let m_cache_size = Metrics.gauge "serve.cache_size"
 let m_batch_size = Metrics.gauge "serve.batch_size"
 let m_batch_span = Metrics.timer "serve.batch"
 let m_latency = Metrics.histogram "serve.request_latency_ns"
+let m_session_ops = Metrics.counter "serve.session_ops"
+let m_sessions = Metrics.gauge "serve.sessions"
 
-type t = { cache : Protocol.answer Qcache.t }
+(* A server-side streaming session: the incremental oracle plus the
+   running digest row sum of its live demand, updated in O(1) per
+   mutation so a query's cache key never recomputes the digest from
+   scratch (and shares entries with stateless [Omega_star] requests on
+   the same demand). *)
+type session = { ses : Oracle.Session.t; mutable s_rowsum : int }
+
+type t = {
+  cache : Protocol.answer Qcache.t;
+  sessions : (string, session) Hashtbl.t;
+}
 
 let create ?(cache_capacity = 4096) () =
-  { cache = Qcache.create ~capacity:cache_capacity () }
+  {
+    cache = Qcache.create ~capacity:cache_capacity ();
+    sessions = Hashtbl.create 16;
+  }
 
 let cache_size t = Qcache.size t.cache
+let session_count t = Hashtbl.length t.sessions
 
 let wants_shutdown (r : Protocol.request) =
   match r.Protocol.op with Protocol.Shutdown -> true | _ -> false
@@ -38,6 +54,9 @@ let evaluate (req : Protocol.request) : (Protocol.answer, string) result =
   | Protocol.Witness -> (
       try Ok (Protocol.Tight_set (Oracle.witness ~scale:req.Protocol.scale req.Protocol.demand))
       with Invalid_argument m | Failure m -> Error m)
+  | Protocol.Session_add _ | Protocol.Session_remove _ | Protocol.Session_query
+    ->
+      Error "session ops are stateful and have no stateless evaluation"
 
 (* Per-request disposition after the probe phase. *)
 type slot =
@@ -46,7 +65,96 @@ type slot =
   | Miss of { key : Qcache.key; compute : int }
       (** [compute] indexes the deduplicated computation array; several
           batch slots may share one index (coalescing). *)
+  | Done of { d_answer : (Protocol.answer, string) result; d_cached : bool }
+      (** session ops: fully handled during the probe phase, because the
+          session state is control-domain confined and must never cross
+          the [Pool] fan-out *)
   | Malformed of string
+
+(* Session ops run entirely in the control domain.  Mutations patch the
+   incremental oracle and the running digest row sum; queries close the
+   row sum into a cache key over the live demand snapshot under the
+   stateless [Omega_star] op, so a session query and a one-shot
+   [Omega_star] request on the same demand share one cache entry. *)
+let session_slot t (req : Protocol.request) =
+  Metrics.incr m_session_ops;
+  match req.Protocol.session with
+  | None -> Malformed "session ops require a \"session\" name"
+  | Some name -> (
+      let live =
+        match Hashtbl.find_opt t.sessions name with
+        | Some s when Oracle.Session.scale s.ses <> req.Protocol.scale ->
+            Error
+              (Printf.sprintf "session %S runs at scale %d" name
+                 (Oracle.Session.scale s.ses))
+        | found -> Ok found
+      in
+      match (live, req.Protocol.op) with
+      | Error m, _ -> Malformed m
+      | Ok found, Protocol.Session_add p -> (
+          let s =
+            match found with
+            | Some s -> s
+            | None ->
+                let s =
+                  {
+                    ses =
+                      Oracle.Session.create ~scale:req.Protocol.scale
+                        (Demand_map.empty (Array.length p));
+                    s_rowsum = 0;
+                  }
+                in
+                Hashtbl.replace t.sessions name s;
+                s
+          in
+          let dm = Oracle.Session.demand s.ses in
+          let before = Demand_map.value dm p in
+          match Oracle.Session.add_job s.ses p with
+          | exception Invalid_argument m -> Malformed m
+          | () ->
+              s.s_rowsum <-
+                Protocol.rowsum_update ~dim:(Demand_map.dim dm)
+                  ~rowsum:s.s_rowsum p ~before ~after:(before + 1);
+              Done { d_answer = Ok Protocol.Pong; d_cached = false })
+      | Ok None, (Protocol.Session_remove _ | Protocol.Session_query) ->
+          Malformed (Printf.sprintf "unknown session %S" name)
+      | Ok (Some s), Protocol.Session_remove p -> (
+          let dm = Oracle.Session.demand s.ses in
+          let before = Demand_map.value dm p in
+          match Oracle.Session.remove_job s.ses p with
+          | exception Invalid_argument m -> Malformed m
+          | () ->
+              s.s_rowsum <-
+                Protocol.rowsum_update ~dim:(Demand_map.dim dm)
+                  ~rowsum:s.s_rowsum p ~before ~after:(before - 1);
+              Done { d_answer = Ok Protocol.Pong; d_cached = false })
+      | Ok (Some s), Protocol.Session_query -> (
+          let dm = Oracle.Session.demand s.ses in
+          let digest =
+            Protocol.digest_of_rowsum ~dim:(Demand_map.dim dm)
+              ~rowsum:s.s_rowsum
+              ~support:(Demand_map.support_size dm)
+          in
+          let key =
+            Qcache.key_with_digest ~digest ~op:Protocol.Omega_star
+              ~scale:req.Protocol.scale dm
+          in
+          match Qcache.find t.cache key with
+          | Some answer ->
+              Metrics.incr m_hits;
+              Done { d_answer = Ok answer; d_cached = true }
+          | None ->
+              Metrics.incr m_misses;
+              Metrics.incr m_oracle_calls;
+              let answer =
+                try Ok (Protocol.Value (Oracle.Session.omega_star s.ses))
+                with Invalid_argument m | Failure m -> Error m
+              in
+              (match answer with
+              | Ok a -> Qcache.add t.cache key a
+              | Error _ -> ());
+              Done { d_answer = answer; d_cached = false })
+      | Ok _, _ -> assert false (* session_slot is only called on session ops *))
 
 let process_batch t (reqs : Protocol.request array) =
   let n = Array.length reqs in
@@ -63,6 +171,9 @@ let process_batch t (reqs : Protocol.request array) =
         (fun (req : Protocol.request) ->
           match req.Protocol.op with
           | Protocol.Ping | Protocol.Shutdown -> Control
+          | Protocol.Session_add _ | Protocol.Session_remove _
+          | Protocol.Session_query ->
+              session_slot t req
           | Protocol.Omega_star | Protocol.Lp_value _ | Protocol.Witness -> (
               match Qcache.key ~op:req.Protocol.op ~scale:req.Protocol.scale req.Protocol.demand with
               | exception Invalid_argument m -> Malformed m
@@ -102,6 +213,7 @@ let process_batch t (reqs : Protocol.request array) =
         | Error _ -> ())
       uniques;
     Metrics.set_gauge m_cache_size (float_of_int (Qcache.size t.cache));
+    Metrics.set_gauge m_sessions (float_of_int (Hashtbl.length t.sessions));
     let responses =
       Array.map2
         (fun (req : Protocol.request) slot ->
@@ -113,6 +225,9 @@ let process_batch t (reqs : Protocol.request array) =
           | Miss { compute; _ } ->
               if Result.is_error computed.(compute) then Metrics.incr m_errors;
               { Protocol.r_id = req.Protocol.id; r_cached = false; r_result = computed.(compute) }
+          | Done { d_answer; d_cached } ->
+              if Result.is_error d_answer then Metrics.incr m_errors;
+              { Protocol.r_id = req.Protocol.id; r_cached = d_cached; r_result = d_answer }
           | Malformed m ->
               Metrics.incr m_errors;
               { Protocol.r_id = req.Protocol.id; r_cached = false; r_result = Error m })

@@ -19,6 +19,17 @@
     response order (and every [serve.*] counter) is deterministic at any
     [Pool] width.
 
+    {b Streaming sessions} ([Session_add]/[Session_remove]/[Session_query])
+    are handled entirely inside phase 1: each named session wraps an
+    {!Oracle.Session} (incremental ω*, persistent flow arenas) plus an
+    O(1)-maintained digest row sum, and that mutable state is
+    control-domain confined — it never crosses the [Pool].  A
+    [Session_query] keys the cache with the maintained digest over the
+    session's live demand snapshot under the stateless [Omega_star] op,
+    so session queries and one-shot [Omega_star] requests on the same
+    demand share cache entries — legitimately, because session answers
+    are bit-identical to from-scratch oracle calls.
+
     Answers are bit-identical to one-shot {!Oracle} calls: a cache hit
     returns the stored float/witness unchanged, and a miss runs exactly
     the code path the CLI's [solve] would. *)
@@ -31,7 +42,9 @@ val create : ?cache_capacity:int -> unit -> t
 val evaluate : Protocol.request -> (Protocol.answer, string) result
 (** One fresh oracle evaluation, bypassing the cache — the reference the
     load generator's [--check] mode compares served answers against.
-    Control ops answer [Pong]; oracle failures come back as [Error]. *)
+    Control ops answer [Pong]; oracle failures come back as [Error].
+    Session ops are [Error]: they need engine state, so there is no
+    stateless reference path for them. *)
 
 val process_batch : t -> Protocol.request array -> Protocol.response array
 (** [(process_batch t reqs).(i)] answers [reqs.(i)].  Malformed requests
@@ -42,6 +55,11 @@ val process : t -> Protocol.request -> Protocol.response
 (** Singleton batch. *)
 
 val cache_size : t -> int
+
+val session_count : t -> int
+(** Live streaming sessions (also published as the [serve.sessions]
+    gauge).  Sessions persist for the engine's lifetime; [Session_add]
+    with a fresh name creates one. *)
 
 val wants_shutdown : Protocol.request -> bool
 (** True on [Shutdown] — transports decide what to do with it; the

@@ -6,12 +6,16 @@ type op =
   | Witness
   | Ping
   | Shutdown
+  | Session_add of Point.t
+  | Session_remove of Point.t
+  | Session_query
 
 type request = {
   id : int;
   op : op;
   scale : int;
   demand : Demand_map.t;
+  session : string option;
 }
 
 type answer =
@@ -21,21 +25,43 @@ type answer =
 
 type response = { r_id : int; r_cached : bool; r_result : (answer, string) result }
 
-let request ?(scale = default_scale) ~id op demand = { id; op; scale; demand }
+let request ?(scale = default_scale) ?session ~id op demand =
+  { id; op; scale; demand; session }
 
 (* --- canonical digest --- *)
 
-(* Demand_map iterates in ascending Point.compare order and has already
-   summed duplicate rows, so folding (coords, value) in iteration order
-   is invariant under any permutation of the rows the map was built
-   from.  The dimension seeds the fold: the 1-D demand {(0) -> 3} must
-   not collide with the 2-D {(0,0) -> 3}. *)
+(* A commutative construction: each (coords, value) row hashes through
+   FNV independently (seeded by the dimension), and the rows combine by
+   wrapping integer addition.  Permutation invariance is then algebraic
+   rather than an artifact of map iteration order — and, because wrapping
+   addition forms a group, a streaming session can maintain the row sum
+   in O(1) per mutation ({!rowsum_update}) and close it into the exact
+   digest a from-scratch {!demand_digest} of the same demand produces.
+   The digest is a bucket index, not a proof: {!Qcache} re-verifies
+   structurally, so the weaker-than-FNV mixing of the sum only ever
+   costs a miss. *)
+
+let row_digest ~dim p v =
+  let h = ref (Fnv.add_int Fnv.basis dim) in
+  Array.iter (fun c -> h := Fnv.add_int !h c) p;
+  Fnv.add_int !h v
+
+let digest_of_rowsum ~dim ~rowsum ~support =
+  Fnv.add_int (Fnv.add_int (Fnv.add_int Fnv.basis dim) (rowsum land max_int)) support
+
+let rowsum_update ~dim ~rowsum p ~before ~after =
+  let s = ref rowsum in
+  if before > 0 then s := (!s - row_digest ~dim p before) land max_int;
+  if after > 0 then s := (!s + row_digest ~dim p after) land max_int;
+  !s
+
 let demand_digest dm =
-  let h = ref (Fnv.add_int Fnv.basis (Demand_map.dim dm)) in
-  Demand_map.iter dm (fun p v ->
-      Array.iter (fun c -> h := Fnv.add_int !h c) p;
-      h := Fnv.add_int !h v);
-  Fnv.add_int !h (Demand_map.support_size dm)
+  let dim = Demand_map.dim dm in
+  let rowsum =
+    Demand_map.fold dm ~init:0 ~f:(fun acc p v ->
+        (acc + row_digest ~dim p v) land max_int)
+  in
+  digest_of_rowsum ~dim ~rowsum ~support:(Demand_map.support_size dm)
 
 (* --- JSON codec --- *)
 
@@ -45,6 +71,9 @@ let op_name = function
   | Witness -> "witness"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
+  | Session_add _ -> "session_add"
+  | Session_remove _ -> "session_remove"
+  | Session_query -> "session_query"
 
 let json_of_point p = Json.List (Array.to_list (Array.map (fun c -> Json.Int c) p))
 
@@ -66,8 +95,15 @@ let request_to_json r =
       ("demand", json_of_demand r.demand);
     ]
   in
+  let base =
+    match r.session with
+    | Some name -> base @ [ ("session", Json.String name) ]
+    | None -> base
+  in
   match r.op with
   | Lp_value radius -> Json.Obj (base @ [ ("radius", Json.Int radius) ])
+  | Session_add p | Session_remove p ->
+      Json.Obj (base @ [ ("point", json_of_point p) ])
   | _ -> Json.Obj base
 
 let request_to_string r = Json.to_string ~compact:true (request_to_json r)
@@ -120,6 +156,17 @@ let request_of_json j =
       | Some _ -> Error "\"dim\" must be at least 1"
       | None -> Ok 2
     in
+    let point_of_member () =
+      match Option.bind (Json.member "point" j) Json.to_list_opt with
+      | None -> Error (Printf.sprintf "op %S requires a \"point\" array" name)
+      | Some cells ->
+          let coords = List.filter_map Json.to_int_opt cells in
+          if List.length coords <> List.length cells then
+            Error "\"point\" with a non-integer coordinate"
+          else if List.length coords <> dim then
+            Error (Printf.sprintf "\"point\" must have %d coordinates" dim)
+          else Ok (Array.of_list coords)
+    in
     let* op =
       match name with
       | "omega_star" -> Ok Omega_star
@@ -131,14 +178,22 @@ let request_of_json j =
       | "witness" -> Ok Witness
       | "ping" -> Ok Ping
       | "shutdown" -> Ok Shutdown
+      | "session_add" ->
+          let* p = point_of_member () in
+          Ok (Session_add p)
+      | "session_remove" ->
+          let* p = point_of_member () in
+          Ok (Session_remove p)
+      | "session_query" -> Ok Session_query
       | other -> Error (Printf.sprintf "unknown op %S" other)
     in
+    let session = Option.bind (Json.member "session" j) Json.to_string_opt in
     let* demand =
       match Json.member "demand" j with
       | None -> Ok (Demand_map.empty dim)
       | Some dj -> demand_of_json ~dim dj
     in
-    Ok { id; op; scale; demand }
+    Ok { id; op; scale; demand; session }
 
 let request_of_string s =
   let* j = Json.of_string s in

@@ -9,10 +9,11 @@
     clients can pipeline.
 
     The module also defines the {e canonical demand-set digest} the
-    result cache keys on: the demand rows are aggregated into a
-    {!Demand_map.t} (summing duplicate positions) and folded in the map's
-    sorted support order through {!Fnv}, so any two row permutations of
-    the same demand function digest identically. *)
+    result cache keys on: each aggregated demand row hashes through
+    {!Fnv} independently and the rows combine by wrapping integer
+    addition, so the digest is algebraically permutation-invariant and a
+    streaming session can maintain it in O(1) per mutation
+    ({!rowsum_update}). *)
 
 type op =
   | Omega_star  (** [ω*] of program (2.8) — {!Oracle.omega_star} *)
@@ -21,12 +22,22 @@ type op =
   | Witness  (** a tight set for (2.8) — {!Oracle.witness} *)
   | Ping  (** liveness probe; never touches the oracle or the cache *)
   | Shutdown  (** ask the daemon to stop after answering *)
+  | Session_add of Point.t
+      (** one unit job arrives at the point — {!Oracle.Session.add_job};
+          requires a [session] name, creates the session on first use *)
+  | Session_remove of Point.t
+      (** one unit job retires — {!Oracle.Session.remove_job} *)
+  | Session_query
+      (** current [ω*] of the named session — {!Oracle.Session.omega_star} *)
 
 type request = {
   id : int;  (** echoed verbatim; clients use it to match pipelined replies *)
   op : op;
   scale : int;  (** resolution denominator, default [720720] *)
   demand : Demand_map.t;  (** already aggregated — the canonical form *)
+  session : string option;
+      (** names the server-side streaming session the [Session_*] ops
+          address; ignored by the stateless ops *)
 }
 
 type answer =
@@ -38,13 +49,30 @@ type response = { r_id : int; r_cached : bool; r_result : (answer, string) resul
 
 val default_scale : int
 
-val request : ?scale:int -> id:int -> op -> Demand_map.t -> request
+val request : ?scale:int -> ?session:string -> id:int -> op -> Demand_map.t -> request
 
 val demand_digest : Demand_map.t -> int
 (** Canonical digest of a demand function: permutation-invariant over the
     rows it was built from, dimension- and multiplicity-sensitive.  A
     fingerprint, not a proof of equality — cache consumers pair it with
-    structural comparison ({!Qcache}). *)
+    structural comparison ({!Qcache}).  Equals
+    [digest_of_rowsum ~dim ~rowsum ~support] where [rowsum] is the
+    wrapping sum of [row_digest] over the support. *)
+
+val row_digest : dim:int -> Point.t -> int -> int
+(** FNV hash of one aggregated [(position, value)] row, seeded by the
+    demand dimension. *)
+
+val rowsum_update : dim:int -> rowsum:int -> Point.t -> before:int -> after:int -> int
+(** The row sum after one site's aggregated demand changes from [before]
+    to [after]: subtracts the old row's digest and adds the new one
+    (zero-demand rows contribute nothing).  Wrapping addition forms a
+    group, so a maintained row sum stays exactly equal to the
+    from-scratch fold at every step. *)
+
+val digest_of_rowsum : dim:int -> rowsum:int -> support:int -> int
+(** Close a maintained row sum into the canonical digest; agrees with
+    {!demand_digest} on the demand it tracks. *)
 
 val request_to_string : request -> string
 val request_of_string : string -> (request, string) result

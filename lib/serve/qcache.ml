@@ -16,14 +16,15 @@ let op_tag : Protocol.op -> string = function
   | Protocol.Lp_value r -> "lp_value:" ^ string_of_int r
   | Protocol.Ping | Protocol.Shutdown ->
       invalid_arg "Qcache.key: control ops are never cached"
+  | Protocol.Session_add _ | Protocol.Session_remove _ | Protocol.Session_query
+    ->
+      invalid_arg "Qcache.key: session ops key through their snapshot"
+
+let key_with_digest ~digest ~op ~scale demand =
+  { k_digest = digest; k_op = op_tag op; k_scale = scale; k_demand = demand }
 
 let key ~op ~scale demand =
-  {
-    k_digest = Protocol.demand_digest demand;
-    k_op = op_tag op;
-    k_scale = scale;
-    k_demand = demand;
-  }
+  key_with_digest ~digest:(Protocol.demand_digest demand) ~op ~scale demand
 
 let demand_equal a b =
   Demand_map.dim a = Demand_map.dim b

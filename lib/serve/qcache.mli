@@ -19,8 +19,17 @@
 type key
 
 val key : op:Protocol.op -> scale:int -> Demand_map.t -> key
-(** [Ping]/[Shutdown] requests are never cached; asking for a key on them
-    raises [Invalid_argument]. *)
+(** [Ping]/[Shutdown] requests are never cached, and [Session_*] ops key
+    through their demand snapshot under a stateless op instead; asking
+    for a key on any of them raises [Invalid_argument]. *)
+
+val key_with_digest : digest:int -> op:Protocol.op -> scale:int -> Demand_map.t -> key
+(** {!key} with a caller-maintained digest (an incrementally updated
+    {!Protocol.rowsum_update} closure) instead of a from-scratch
+    {!Protocol.demand_digest}.  The two agree whenever the caller's row
+    sum tracks the demand exactly; a stale digest degrades to a cache
+    miss, never a wrong answer, because lookups still verify
+    structurally. *)
 
 val equal : key -> key -> bool
 (** Full structural equality (digest, op tag, scale, then the demand maps

@@ -139,3 +139,42 @@ let test_moving_hotspot_shape () =
   done
 
 let suite = suite @ [ Alcotest.test_case "moving hotspot shape" `Quick test_moving_hotspot_shape ]
+
+(* appended: add/remove validation (streaming deltas) *)
+let test_add_negative_raises () =
+  let dm = Demand_map.empty 2 in
+  Alcotest.check_raises "negative add"
+    (Invalid_argument "Demand_map.add: negative demand") (fun () ->
+      ignore (Demand_map.add dm (point2 0 0) (-1)))
+
+let test_remove_semantics () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 3); (point2 1 1, 1) ] in
+  let dm = Demand_map.remove dm (point2 0 0) 2 in
+  Alcotest.(check int) "partial removal" 1 (Demand_map.value dm (point2 0 0));
+  Alcotest.(check int) "support kept" 2 (Demand_map.support_size dm);
+  let dm = Demand_map.remove dm (point2 1 1) 1 in
+  Alcotest.(check int) "binding dropped at 0" 1 (Demand_map.support_size dm);
+  Alcotest.(check int) "value gone" 0 (Demand_map.value dm (point2 1 1));
+  let same = Demand_map.remove dm (point2 0 0) 0 in
+  Alcotest.(check int) "remove 0 is identity" 1 (Demand_map.value same (point2 0 0))
+
+let test_remove_below_zero_raises () =
+  let dm = Demand_map.of_alist 2 [ (point2 0 0, 1) ] in
+  Alcotest.check_raises "below zero"
+    (Invalid_argument "Demand_map.remove: demand would become negative")
+    (fun () -> ignore (Demand_map.remove dm (point2 0 0) 2));
+  Alcotest.check_raises "absent point"
+    (Invalid_argument "Demand_map.remove: demand would become negative")
+    (fun () -> ignore (Demand_map.remove dm (point2 9 9) 1));
+  Alcotest.check_raises "negative amount"
+    (Invalid_argument "Demand_map.remove: negative demand") (fun () ->
+      ignore (Demand_map.remove dm (point2 0 0) (-1)))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "add negative raises" `Quick test_add_negative_raises;
+      Alcotest.test_case "remove semantics" `Quick test_remove_semantics;
+      Alcotest.test_case "remove below zero raises" `Quick
+        test_remove_below_zero_raises;
+    ]

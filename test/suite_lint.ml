@@ -98,16 +98,25 @@ let test_missing_path () =
 
 let exe = Filename.concat ".." (Filename.concat "tools/lint" "cmvrp_lint.exe")
 
-let run_exe args =
-  Sys.command
-    (Filename.quote_command exe ~stdout:"lint_stdout.tmp"
-       ~stderr:"lint_stderr.tmp" args)
-
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let remove_noerr path = try Sys.remove path with Sys_error _ -> ()
+
+(* Capture files go through [Filename.temp_file] and are removed on every
+   exit path — a failing assertion must not leak them into the cwd. *)
+let run_exe args =
+  let out = Filename.temp_file "cmvrp_lint_out" ".tmp" in
+  let err = Filename.temp_file "cmvrp_lint_err" ".tmp" in
+  Fun.protect
+    ~finally:(fun () ->
+      remove_noerr out;
+      remove_noerr err)
+    (fun () ->
+      Sys.command (Filename.quote_command exe ~stdout:out ~stderr:err args))
 
 let test_exe_exit_codes () =
   Alcotest.(check int) "clean fixture exits 0" 0 (run_exe [ fixture "clean.ml" ]);
@@ -123,7 +132,8 @@ let test_exe_exit_codes () =
   Alcotest.(check int) "unknown flag exits 2" 2 (run_exe [ "--bogus-flag" ])
 
 let test_exe_json_report () =
-  let report = "lint_report.tmp.json" in
+  let report = Filename.temp_file "cmvrp_lint_report" ".json" in
+  Fun.protect ~finally:(fun () -> remove_noerr report) @@ fun () ->
   let code = run_exe [ "--out"; report; fixture "poly_compare_fail.ml" ] in
   Alcotest.(check int) "exit code" 1 code;
   let doc =

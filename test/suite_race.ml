@@ -131,16 +131,31 @@ let test_missing_path () =
 let exe =
   Filename.concat ".." (Filename.concat "tools/analysis" "cmvrp_race.exe")
 
-let run_exe args =
-  Sys.command
-    (Filename.quote_command exe ~stdout:"race_stdout.tmp"
-       ~stderr:"race_stderr.tmp" args)
-
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+let remove_noerr path = try Sys.remove path with Sys_error _ -> ()
+
+(* Capture files go through [Filename.temp_file] and are removed on every
+   exit path — a failing assertion must not leak them into the cwd.
+   Returns the exit code and the captured stdout. *)
+let run_exe args =
+  let out = Filename.temp_file "cmvrp_race_out" ".tmp" in
+  let err = Filename.temp_file "cmvrp_race_err" ".tmp" in
+  Fun.protect
+    ~finally:(fun () ->
+      remove_noerr out;
+      remove_noerr err)
+    (fun () ->
+      let code =
+        Sys.command (Filename.quote_command exe ~stdout:out ~stderr:err args)
+      in
+      (code, read_file out))
+
+let run_exe_code args = fst (run_exe args)
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -150,17 +165,16 @@ let contains hay needle =
   nn > 0 && go 0
 
 let test_exe_exit_codes () =
-  Alcotest.(check int) "library tree exits 0" 0 (run_exe [ "../lib" ]);
+  Alcotest.(check int) "library tree exits 0" 0 (run_exe_code [ "../lib" ]);
   Alcotest.(check int)
     "fixture corpus exits 1" 1
-    (run_exe [ fixture_cmts ]);
-  Alcotest.(check int) "missing path exits 2" 2 (run_exe [ "no_such_dir" ]);
-  Alcotest.(check int) "unknown flag exits 2" 2 (run_exe [ "--bogus-flag" ])
+    (run_exe_code [ fixture_cmts ]);
+  Alcotest.(check int) "missing path exits 2" 2 (run_exe_code [ "no_such_dir" ]);
+  Alcotest.(check int) "unknown flag exits 2" 2 (run_exe_code [ "--bogus-flag" ])
 
 let test_exe_human_output () =
-  let code = run_exe [ fixture_cmts ] in
+  let code, out = run_exe [ fixture_cmts ] in
   Alcotest.(check int) "exit code" 1 code;
-  let out = read_file "race_stdout.tmp" in
   Alcotest.(check bool)
     "human output names the leaked ref" true
     (contains out "Leaked_ref.total");
@@ -172,8 +186,9 @@ let test_exe_human_output () =
     (contains out "Pool.map")
 
 let test_exe_json_report () =
-  let report = "race_report.tmp.json" in
-  let code = run_exe [ "--out"; report; fixture_cmts ] in
+  let report = Filename.temp_file "cmvrp_race_report" ".json" in
+  Fun.protect ~finally:(fun () -> remove_noerr report) @@ fun () ->
+  let code, _ = run_exe [ "--out"; report; fixture_cmts ] in
   Alcotest.(check int) "exit code" 1 code;
   let doc =
     match Json.of_string (read_file report) with
@@ -214,16 +229,17 @@ let test_exe_json_report () =
     findings
 
 let test_exe_baseline () =
-  let bl = "race_baseline.tmp" in
+  let bl = Filename.temp_file "cmvrp_race_baseline" ".tmp" in
+  Fun.protect ~finally:(fun () -> remove_noerr bl) @@ fun () ->
   let oc = open_out bl in
   output_string oc
     "# temporary baseline for the exe test\n\
      test/fixtures/race/baseline_case.ml:Baseline_case.counter\n";
   close_out oc;
-  let code = run_exe [ "--json"; "--baseline"; bl; fixture_cmts ] in
+  let code, out = run_exe [ "--json"; "--baseline"; bl; fixture_cmts ] in
   Alcotest.(check int) "still findings left" 1 code;
   let doc =
-    match Json.of_string (read_file "race_stdout.tmp") with
+    match Json.of_string out with
     | Ok j -> j
     | Error e -> Alcotest.failf "unparseable JSON on stdout: %s" e
   in

@@ -345,6 +345,199 @@ let test_loadgen_replay_stats () =
         (s.Loadgen.p50_ns <= s.Loadgen.p95_ns
         && s.Loadgen.p95_ns <= s.Loadgen.p99_ns)
 
+(* --- streaming sessions over the wire --- *)
+
+let test_session_request_roundtrip () =
+  let dm = Demand_map.empty 2 in
+  List.iter
+    (fun op ->
+      let req = Protocol.request ~session:"s-1" ~id:11 op dm in
+      match Protocol.request_of_string (Protocol.request_to_string req) with
+      | Error e -> Alcotest.fail e
+      | Ok back ->
+          Alcotest.(check bool) "op survives" true (back.Protocol.op = op);
+          Alcotest.(check (option string))
+            "session name survives" (Some "s-1") back.Protocol.session)
+    [
+      Protocol.Session_add [| 3; -2 |];
+      Protocol.Session_remove [| 0; 0 |];
+      Protocol.Session_query;
+    ]
+
+let test_session_request_validation () =
+  let rejects text =
+    match Protocol.request_of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "must reject %s" text)
+  in
+  rejects "{\"id\":1,\"op\":\"session_add\",\"session\":\"s\"}" (* point required *);
+  rejects "{\"id\":1,\"op\":\"session_add\",\"session\":\"s\",\"point\":[1]}"
+    (* wrong arity for dim 2 *);
+  rejects "{\"id\":1,\"op\":\"session_remove\",\"session\":\"s\",\"point\":[1,\"x\"]}";
+  match
+    Protocol.request_of_string
+      "{\"id\":1,\"op\":\"session_add\",\"session\":\"s\",\"dim\":3,\"point\":[1,2,3]}"
+  with
+  | Ok r ->
+      Alcotest.(check bool) "dim-3 point parses" true
+        (r.Protocol.op = Protocol.Session_add [| 1; 2; 3 |])
+  | Error e -> Alcotest.fail e
+
+(* The maintained row sum must close into the exact digest a from-scratch
+   demand_digest computes, through adds, partial removals and binding
+   drops — this is what keeps session cache keys fresh. *)
+let test_rowsum_tracks_digest () =
+  let dim = 2 in
+  let steps =
+    [ ([| 0; 0 |], 2); ([| 1; 4 |], 3); ([| 0; 0 |], -1); ([| 1; 4 |], -3);
+      ([| 0; 0 |], -1); ([| 5; 5 |], 1) ]
+  in
+  let dm = ref (Demand_map.empty dim) and rowsum = ref 0 in
+  List.iteri
+    (fun i (p, delta) ->
+      let before = Demand_map.value !dm p in
+      dm :=
+        (if delta >= 0 then Demand_map.add !dm p delta
+         else Demand_map.remove !dm p (-delta));
+      rowsum :=
+        Protocol.rowsum_update ~dim ~rowsum:!rowsum p ~before
+          ~after:(before + delta);
+      Alcotest.(check digest_testable)
+        (Printf.sprintf "step %d: incremental digest = from-scratch" i)
+        (Protocol.demand_digest !dm)
+        (Protocol.digest_of_rowsum ~dim ~rowsum:!rowsum
+           ~support:(Demand_map.support_size !dm)))
+    steps
+
+(* Stale-digest regression: mutating a session between two identical
+   queries must invalidate the cache key — the second query after a
+   mutation may never replay the pre-mutation answer. *)
+let test_session_digest_never_stale () =
+  let engine = Engine.create () in
+  let dm0 = Demand_map.empty 2 in
+  let run op = Engine.process engine (Protocol.request ~session:"s" ~id:0 op dm0) in
+  let value r =
+    match r.Protocol.r_result with
+    | Ok (Protocol.Value v) -> v
+    | Ok _ -> Alcotest.fail "expected a value"
+    | Error e -> Alcotest.fail e
+  in
+  ignore (run (Protocol.Session_add [| 0; 0 |]));
+  let q1 = run Protocol.Session_query in
+  Alcotest.(check bool) "first query misses" false q1.Protocol.r_cached;
+  let q2 = run Protocol.Session_query in
+  Alcotest.(check bool) "repeat query hits" true q2.Protocol.r_cached;
+  Alcotest.(check bool) "hit is bit-identical" true
+    (Float.equal (value q1) (value q2));
+  for _ = 1 to 5 do
+    ignore (run (Protocol.Session_add [| 0; 0 |]))
+  done;
+  let q3 = run Protocol.Session_query in
+  Alcotest.(check bool) "query after mutation recomputes" false
+    q3.Protocol.r_cached;
+  Alcotest.(check (float 1e-9)) "6 origin jobs" 1.2 (value q3);
+  ignore (run (Protocol.Session_remove [| 0; 0 |]));
+  let q4 = run Protocol.Session_query in
+  Alcotest.(check bool) "removal also invalidates" false q4.Protocol.r_cached;
+  Alcotest.(check bool) "removal answer is fresh" true
+    (Float.equal 1.0 (value q4));
+  (* back to the 1-job demand? no — 5 jobs; but the 6-job key must still
+     hit if we return to that exact demand *)
+  ignore (run (Protocol.Session_add [| 0; 0 |]));
+  let q5 = run Protocol.Session_query in
+  Alcotest.(check bool) "returning to a seen demand hits" true
+    q5.Protocol.r_cached;
+  Alcotest.(check bool) "and replays the exact bits" true
+    (Float.equal (value q3) (value q5))
+
+(* A session query and a stateless Omega_star on the same demand share
+   one cache entry in both directions. *)
+let test_session_shares_cache_with_stateless () =
+  let engine = Engine.create () in
+  let dm0 = Demand_map.empty 2 in
+  let run ?session op dm =
+    Engine.process engine (Protocol.request ?session ~id:0 op dm)
+  in
+  ignore (run ~session:"s" (Protocol.Session_add [| 0; 0 |]) dm0);
+  ignore (run ~session:"s" (Protocol.Session_add [| 1; 0 |]) dm0);
+  let q = run ~session:"s" Protocol.Session_query dm0 in
+  Alcotest.(check bool) "session query misses first" false q.Protocol.r_cached;
+  let dm = Demand_map.of_alist 2 [ ([| 0; 0 |], 1); ([| 1; 0 |], 1) ] in
+  let stateless = run Protocol.Omega_star dm in
+  Alcotest.(check bool) "stateless query on the same demand hits" true
+    stateless.Protocol.r_cached;
+  (match (q.Protocol.r_result, stateless.Protocol.r_result) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "shared entry, same bits" true
+        (Protocol.answer_equal a b)
+  | _ -> Alcotest.fail "expected Ok answers");
+  (* and the reverse direction: stateless first, session hits *)
+  let dm2 = Demand_map.of_alist 2 [ ([| 0; 0 |], 1); ([| 1; 0 |], 1); ([| 2; 0 |], 1) ] in
+  ignore (run Protocol.Omega_star dm2);
+  ignore (run ~session:"s" (Protocol.Session_add [| 2; 0 |]) dm0);
+  let q2 = run ~session:"s" Protocol.Session_query dm0 in
+  Alcotest.(check bool) "session query hits the stateless entry" true
+    q2.Protocol.r_cached
+
+let test_session_error_paths () =
+  let engine = Engine.create () in
+  let dm0 = Demand_map.empty 2 in
+  let run ?session ?scale op =
+    Engine.process engine (Protocol.request ?session ?scale ~id:0 op dm0)
+  in
+  let expect_error msg r =
+    match r.Protocol.r_result with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (msg ^ " must answer Error")
+  in
+  expect_error "missing session name" (run (Protocol.Session_add [| 0; 0 |]));
+  expect_error "query on unknown session" (run ~session:"ghost" Protocol.Session_query);
+  expect_error "remove on unknown session"
+    (run ~session:"ghost" (Protocol.Session_remove [| 0; 0 |]));
+  ignore (run ~session:"s" (Protocol.Session_add [| 0; 0 |]));
+  expect_error "scale mismatch"
+    (run ~session:"s" ~scale:360360 Protocol.Session_query);
+  expect_error "remove below zero"
+    (run ~session:"s" (Protocol.Session_remove [| 9; 9 |]));
+  expect_error "dimension mismatch"
+    (Engine.process engine
+       (Protocol.request ~session:"s" ~id:0 (Protocol.Session_add [| 1 |])
+          (Demand_map.empty 1)));
+  (* the session survives its errors *)
+  let q = run ~session:"s" Protocol.Session_query in
+  (match q.Protocol.r_result with
+  | Ok (Protocol.Value v) ->
+      Alcotest.(check bool) "session still answers" true (Float.equal v 1.0)
+  | _ -> Alcotest.fail "session must still answer");
+  Alcotest.(check int) "one live session" 1 (Engine.session_count engine);
+  expect_error "evaluate has no stateless session path"
+    {
+      Protocol.r_id = 0;
+      r_cached = false;
+      r_result = Engine.evaluate (Protocol.request ~session:"s" ~id:0 Protocol.Session_query dm0);
+    }
+
+let test_session_metrics () =
+  Metrics.reset ();
+  let engine = Engine.create () in
+  let dm0 = Demand_map.empty 2 in
+  let run op = Engine.process engine (Protocol.request ~session:"m" ~id:0 op dm0) in
+  ignore (run (Protocol.Session_add [| 0; 0 |]));
+  ignore (run Protocol.Session_query);
+  ignore (run Protocol.Session_query);
+  let count name =
+    match Metrics.sample name with
+    | Some (Metrics.Count n) -> n
+    | _ -> Alcotest.fail (name ^ " missing")
+  in
+  Alcotest.(check int) "session ops counted" 3 (count "serve.session_ops");
+  Alcotest.(check int) "one miss" 1 (count "serve.cache_misses");
+  Alcotest.(check int) "one hit" 1 (count "serve.cache_hits");
+  match Metrics.sample "serve.sessions" with
+  | Some (Metrics.Level { value; _ }) ->
+      Alcotest.(check (float 0.0)) "sessions gauge" 1.0 value
+  | _ -> Alcotest.fail "serve.sessions missing"
+
 let suite =
   [
     Alcotest.test_case "frame chunked roundtrip" `Quick test_frame_chunked_roundtrip;
@@ -367,4 +560,15 @@ let suite =
     Alcotest.test_case "engine error responses" `Quick test_engine_error_responses;
     Alcotest.test_case "loadgen deterministic" `Quick test_loadgen_deterministic;
     Alcotest.test_case "loadgen replay stats" `Quick test_loadgen_replay_stats;
+    Alcotest.test_case "session request roundtrip" `Quick
+      test_session_request_roundtrip;
+    Alcotest.test_case "session request validation" `Quick
+      test_session_request_validation;
+    Alcotest.test_case "rowsum tracks digest" `Quick test_rowsum_tracks_digest;
+    Alcotest.test_case "session digest never stale" `Quick
+      test_session_digest_never_stale;
+    Alcotest.test_case "session shares cache with stateless" `Quick
+      test_session_shares_cache_with_stateless;
+    Alcotest.test_case "session error paths" `Quick test_session_error_paths;
+    Alcotest.test_case "session metrics" `Quick test_session_metrics;
   ]

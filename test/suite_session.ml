@@ -1,0 +1,176 @@
+(* Streaming oracle sessions: incremental ω* must be bit-identical to
+   from-scratch recomputation after every insert/delete event, and a
+   single-job delta must cost a bounded number of max-flow probes on the
+   persistent arena. *)
+
+let point2 x y = [| x; y |]
+let m_fc = Metrics.counter "transport.feasibility_checks"
+let m_probes = Metrics.counter "paramflow.probes"
+
+let check_bit_identical msg s =
+  let inc = Oracle.Session.omega_star s in
+  let scratch = Oracle.omega_star (Oracle.Session.demand s) in
+  if not (Float.equal inc scratch) then
+    Alcotest.failf "%s: incremental %.17g <> from-scratch %.17g" msg inc scratch;
+  inc
+
+(* Hand-checkable single-site and two-site values: jobs at the origin have
+   |N_0| = 1 and |N_1| = 5, so ω* = max(1, d/5) while it stays below 2. *)
+let test_golden_trace () =
+  let s = Oracle.Session.create (Demand_map.empty 2) in
+  Alcotest.(check (float 1e-12)) "empty" 0.0 (Oracle.Session.omega_star s);
+  let o = point2 0 0 in
+  let expect msg v =
+    Alcotest.(check (float 1e-9)) msg v (check_bit_identical msg s)
+  in
+  Oracle.Session.add_job s o;
+  expect "1 job" 1.0;
+  Oracle.Session.add_job s o;
+  expect "2 jobs" 1.0;
+  for _ = 3 to 6 do
+    Oracle.Session.add_job s o
+  done;
+  expect "6 jobs" 1.2;
+  Oracle.Session.remove_job s o;
+  expect "back to 5" 1.0;
+  Oracle.Session.add_job s (point2 1 0);
+  (* J = {origin}: 5/5; J = both: 6/8 — the singleton stays binding *)
+  expect "second site" 1.0;
+  for _ = 1 to 5 do
+    Oracle.Session.remove_job s o
+  done;
+  Alcotest.(check int) "origin drained" 0
+    (Demand_map.value (Oracle.Session.demand s) o);
+  expect "one distant job left" 1.0;
+  Oracle.Session.remove_job s (point2 1 0);
+  expect "empty again" 0.0;
+  (* revival of a retired site must keep matching from-scratch *)
+  Oracle.Session.add_job s o;
+  expect "revived origin" 1.0
+
+let test_remove_absent_raises () =
+  let s = Oracle.Session.create (Demand_map.empty 2) in
+  Oracle.Session.add_job s (point2 0 0);
+  Alcotest.check_raises "no job there"
+    (Invalid_argument "Demand_map.remove: demand would become negative")
+    (fun () -> Oracle.Session.remove_job s (point2 5 5));
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Oracle.Session.add_job: dimension mismatch") (fun () ->
+      Oracle.Session.add_job s [| 1; 2; 3 |])
+
+(* After the arena is warm, one insert-then-query delta costs a bounded
+   number of probes: each live bracket re-solves warm.  The exact counts
+   are gated in bench (stream/churn); here we pin a generous constant. *)
+let test_delta_probe_bound () =
+  let s = Oracle.Session.create (Demand_map.empty 2) in
+  for _ = 1 to 4 do
+    Oracle.Session.add_job s (point2 0 0)
+  done;
+  ignore (Oracle.Session.omega_star s);
+  let fc0 = Metrics.count m_fc and pr0 = Metrics.count m_probes in
+  Oracle.Session.add_job s (point2 0 0);
+  let v = Oracle.Session.omega_star s in
+  let brackets = int_of_float (Float.floor v) + 1 in
+  let fc = Metrics.count m_fc - fc0 and pr = Metrics.count m_probes - pr0 in
+  Alcotest.(check int) "one warm solve per bracket" brackets fc;
+  Alcotest.(check bool)
+    (Printf.sprintf "a handful of probes (%d for %d brackets)" pr brackets)
+    true
+    (pr <= 8 * brackets)
+
+let run_trace ~seed ~events ~side ~witness_every =
+  let rng = Rng.create seed in
+  let s = Oracle.Session.create (Demand_map.empty 2) in
+  let live = ref [] and n_live = ref 0 in
+  let ok = ref true in
+  for e = 1 to events do
+    if !n_live > 0 && Rng.int rng 2 = 0 then begin
+      let k = Rng.int rng !n_live in
+      let p = List.nth !live k in
+      Oracle.Session.remove_job s p;
+      live := List.filteri (fun i _ -> i <> k) !live;
+      decr n_live
+    end
+    else begin
+      let p = point2 (Rng.int rng side) (Rng.int rng side) in
+      Oracle.Session.add_job s p;
+      live := p :: !live;
+      incr n_live
+    end;
+    let fc0 = Metrics.count m_fc in
+    let inc = Oracle.Session.omega_star s in
+    let fc = Metrics.count m_fc - fc0 in
+    let scratch = Oracle.omega_star (Oracle.Session.demand s) in
+    if not (Float.equal inc scratch) then begin
+      ok := false;
+      QCheck.Test.fail_reportf
+        "event %d (seed %d): incremental %.17g <> from-scratch %.17g" e seed
+        inc scratch
+    end;
+    (* one unsolved feasibility check per visited bracket, nothing more *)
+    let brackets = int_of_float (Float.floor inc) + 1 in
+    if !n_live > 0 && fc > brackets then begin
+      ok := false;
+      QCheck.Test.fail_reportf
+        "event %d (seed %d): %d feasibility checks for %d brackets" e seed fc
+        brackets
+    end;
+    if e mod witness_every = 0 && !n_live > 0 then begin
+      match Oracle.Session.witness s with
+      | None -> () (* 1/scale resolution too coarse: allowed *)
+      | Some (pts, w) ->
+          let dm = Oracle.Session.demand s in
+          List.iter
+            (fun p ->
+              if Demand_map.value dm p <= 0 then begin
+                ok := false;
+                QCheck.Test.fail_reportf
+                  "event %d (seed %d): witness point outside live support" e
+                  seed
+              end)
+            pts;
+          if Float.abs (w -. inc) > 1e-4 then begin
+            ok := false;
+            QCheck.Test.fail_reportf
+              "event %d (seed %d): witness ω_T %.17g far from ω* %.17g" e seed
+              w inc
+          end
+    end
+  done;
+  !ok
+
+let prop_trace_bit_identical =
+  QCheck.Test.make ~name:"random 10^3-event trace: session ≡ from-scratch"
+    ~count:3
+    QCheck.(int_range 0 9999)
+    (fun seed -> run_trace ~seed ~events:1000 ~side:4 ~witness_every:127)
+
+(* A denser board exercises multi-bracket scans and deep removals. *)
+let test_dense_trace () =
+  Alcotest.(check bool) "dense trace" true
+    (run_trace ~seed:42 ~events:400 ~side:2 ~witness_every:61)
+
+let test_session_metrics () =
+  let ev = Metrics.counter "oracle.session_events" in
+  let q = Metrics.counter "oracle.session_queries" in
+  let ev0 = Metrics.count ev and q0 = Metrics.count q in
+  let s = Oracle.Session.create (Demand_map.empty 2) in
+  Oracle.Session.add_job s (point2 0 0);
+  Oracle.Session.add_job s (point2 0 0);
+  ignore (Oracle.Session.omega_star s);
+  ignore (Oracle.Session.omega_star s);
+  (* cached *)
+  Oracle.Session.remove_job s (point2 0 0);
+  ignore (Oracle.Session.omega_star s);
+  Alcotest.(check int) "events counted" 3 (Metrics.count ev - ev0);
+  Alcotest.(check int) "queries = dirty recomputes" 2 (Metrics.count q - q0)
+
+let suite =
+  [
+    Alcotest.test_case "golden trace" `Quick test_golden_trace;
+    Alcotest.test_case "remove absent raises" `Quick test_remove_absent_raises;
+    Alcotest.test_case "delta probe bound" `Quick test_delta_probe_bound;
+    QCheck_alcotest.to_alcotest prop_trace_bit_identical;
+    Alcotest.test_case "dense trace" `Slow test_dense_trace;
+    Alcotest.test_case "session metrics" `Quick test_session_metrics;
+  ]

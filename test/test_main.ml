@@ -17,6 +17,7 @@ let () =
       ("des", Suite_des.suite);
       ("omega", Suite_omega.suite);
       ("oracle", Suite_oracle.suite);
+      ("session", Suite_session.suite);
       ("alg1", Suite_alg1.suite);
       ("planner", Suite_planner.suite);
       ("localsearch", Suite_localsearch.suite);
