@@ -1117,6 +1117,37 @@ let json_scenarios ~quick =
           { base with Online.chaos = Des.faults ~drop_p:0.2 ~dup_p:0.1 () }
         in
         ignore (Online.run cfg w) );
+    (* The ROADMAP production-scale target: a 10^6-vehicle window (10^4 in
+       quick mode), band-sharded across Pool workers, serving a sparse
+       arrival sequence whose every job exhausts the serving vehicle at
+       capacity 2.5 — so the replacement protocol, not the serving walk,
+       dominates and the full run moves >10^7 messages.  The corner jobs
+       pin the window to the whole box; the budget is fleet-sized (a
+       band's drain legitimately dispatches millions of deadline ticks).
+       See docs/SCALE.md. *)
+    ( "online/fleet-1M",
+      fun () ->
+        let box_side = if quick then 100 else 1000 in
+        let rng = Rng.create 77 in
+        let box =
+          Box.make ~lo:[| 0; 0 |] ~hi:[| box_side - 1; box_side - 1 |]
+        in
+        let w = Workload.uniform ~rng ~box ~jobs:(scale 200) in
+        let w =
+          {
+            w with
+            Workload.jobs =
+              Array.append w.Workload.jobs
+                [| [| 0; 0 |]; [| box_side - 1; box_side - 1 |] |];
+          }
+        in
+        let cfg =
+          Online.config ~seed:7 ~capacity:2.5 ~side:4
+            ~chaos:(Des.faults ~drop_p:0.02 ~dup_p:0.01 ())
+            ~quiesce_budget:10_000_000 ()
+        in
+        let f = Online.run_fleet ~shards:8 cfg w in
+        assert (f.Online.aggregate.Online.vehicles = box_side * box_side) );
     (* serve/*: the oracle-as-a-service path, replayed in-process so the
        scenario measures engine + cache + batching without socket noise.
        The serve.*/loadgen.* counters (requests, hits, misses, histogram

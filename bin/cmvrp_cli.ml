@@ -5,6 +5,8 @@
                   per line, arrival order)
      solve      — offline analysis of a workload: bounds, plan, Algorithm 1
      simulate   — run the distributed online strategy and report the audit
+     fleet      — run the strategy sharded across a fleet-scale window
+                  (band decomposition, Pool workers, digest --check)
      bench-diff — compare two BENCH_<rev>.json reports and fail on
                   regression (the check CI runs; see docs/OBSERVABILITY.md)
 
@@ -277,7 +279,7 @@ let simulate_cmd =
         Online.config ~comm_radius:recommended.Online.comm_radius
           ~seed:spec.seed
           ~faults:
-            { Online.silent_initiators = silent; deaths = kills; longevity = [] }
+            { Online.no_faults with Online.silent_initiators = silent; deaths = kills }
           ~chaos:(Des.faults ~drop_p ~dup_p ())
           ~partitions:partition ~retries:(not no_retries) ~quiesce_budget:budget
           ~capacity:(Option.value ~default:recommended.Online.capacity capacity)
@@ -355,6 +357,150 @@ let simulate_cmd =
     Term.(
       const run $ spec_term $ capacity $ cube_side $ kills $ silent $ find_min
       $ trace $ drop_p $ dup_p $ partition $ no_retries $ budget $ check)
+
+(* --- fleet subcommand --- *)
+
+let fleet_cmd =
+  let capacity =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "capacity"; "W" ]
+          ~doc:
+            "Per-vehicle energy.  Unlike $(b,simulate) there is no default: \
+             the Lemma 3.3.1 capacity needs the aggregate demand, which is \
+             not worth computing for a fleet-scale window.")
+  in
+  let cube_side =
+    Arg.(value & opt int 4 & info [ "cube-side" ] ~doc:"Partition cube side.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 8
+      & info [ "shards" ] ~doc:"Band count the window is split into.")
+  in
+  let workers =
+    Arg.(
+      value & opt int Pool.default_workers
+      & info [ "workers"; "j" ] ~doc:"Width of the shard Domain pool.")
+  in
+  let kills =
+    Arg.(
+      value
+      & opt (list (pair ~sep:':' int int)) []
+      & info [ "kill" ]
+          ~doc:"Comma-separated job:vehicle pairs (global window ids).")
+  in
+  let outages =
+    Arg.(
+      value
+      & opt (list (t3 ~sep:':' int int float)) []
+      & info [ "outage" ]
+          ~doc:
+            "Comma-separated job:vehicle:delay triples — vehicle falls \
+             radio-silent after the job and restarts delay time units later.")
+  in
+  let drop_p =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-p" ]
+          ~doc:"Probability that a channel silently drops each message.")
+  in
+  let dup_p =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup-p" ]
+          ~doc:"Probability that a channel delivers each message twice.")
+  in
+  let spike_p =
+    Arg.(
+      value & opt float 0.0
+      & info [ "spike-p" ] ~doc:"Probability of a delay spike per message.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 10_000_000
+      & info [ "budget" ]
+          ~doc:
+            "Events dispatched per network drain before declaring a \
+             livelock.  The default is fleet-sized: a band of 10^5 vehicles \
+             legitimately dispatches millions of deadline ticks per drain.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Re-run the fleet single-threaded and exit 1 unless every \
+             per-shard digest is bit-identical — the determinism witness CI \
+             relies on.")
+  in
+  let run spec capacity cube_side shards workers kills outages drop_p dup_p
+      spike_p budget check =
+    let w = realize spec in
+    let capacity =
+      match capacity with
+      | Some c -> c
+      | None ->
+          prerr_endline "fleet: --capacity is required";
+          exit 2
+    in
+    let cfg =
+      try
+        Online.config ~seed:spec.seed
+          ~faults:{ Online.no_faults with Online.deaths = kills; outages }
+          ~chaos:(Des.faults ~drop_p ~dup_p ~spike_p ())
+          ~quiesce_budget:budget ~capacity ~side:cube_side ()
+      with Invalid_argument m ->
+        Printf.eprintf "fleet: %s\n" m;
+        exit 2
+    in
+    let f =
+      try Online.run_fleet ~workers ~shards cfg w
+      with Invalid_argument m ->
+        Printf.eprintf "fleet: %s\n" m;
+        exit 2
+    in
+    let o = f.Online.aggregate in
+    Printf.printf "workload      : %s\n" w.Workload.name;
+    Printf.printf "fleet         : %d vehicles in %d band(s), %d worker(s)\n"
+      o.Online.vehicles f.Online.shard_count workers;
+    Printf.printf "capacity/side : %.2f / %d\n" capacity cube_side;
+    Printf.printf "served        : %d/%d\n" o.Online.served
+      (Array.length w.Workload.jobs);
+    Printf.printf "messages      : %d delivered (%d dropped, %d duplicated, %d \
+                   retransmissions)\n"
+      o.Online.messages o.Online.drops o.Online.dups o.Online.retries_sent;
+    Printf.printf "replacements  : %d (%d diffusing computations, %d \
+                   livelocked drains)\n"
+      o.Online.replacements o.Online.computations o.Online.livelocks;
+    Printf.printf "bytes/vehicle : %.0f\n" f.Online.bytes_per_vehicle;
+    Array.iteri
+      (fun s d -> Printf.printf "shard %-3d     : %016x\n" s d)
+      f.Online.shard_digests;
+    Printf.printf "aggregate     : %016x\n" o.Online.trace_digest;
+    if check then begin
+      let g = Online.run_fleet ~workers:1 ~shards cfg w in
+      let same =
+        Array.length g.Online.shard_digests = Array.length f.Online.shard_digests
+        && Array.for_all2 Int.equal g.Online.shard_digests f.Online.shard_digests
+      in
+      if same then
+        Printf.printf "check         : digests identical at %d worker(s) and 1\n"
+          workers
+      else begin
+        Printf.printf "check         : DIGEST MISMATCH between %d worker(s) and 1\n"
+          workers;
+        exit 1
+      end
+    end
+  in
+  let doc = "Run the online strategy sharded across a vehicle-fleet window." in
+  Cmd.v
+    (Cmd.info "fleet" ~doc)
+    Term.(
+      const run $ spec_term $ capacity $ cube_side $ shards $ workers $ kills
+      $ outages $ drop_p $ dup_p $ spike_p $ budget $ check)
 
 (* --- bench-diff subcommand --- *)
 
@@ -473,4 +619,5 @@ let () =
   let info = Cmd.info "cmvrp" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ workload_cmd; solve_cmd; simulate_cmd; bench_diff_cmd ]))
+       (Cmd.group info
+          [ workload_cmd; solve_cmd; simulate_cmd; fleet_cmd; bench_diff_cmd ]))

@@ -23,6 +23,10 @@ let cache_entries_term =
   let doc = "Result-cache size in entries (FIFO eviction)." in
   Arg.(value & opt int 4096 & info [ "cache-entries" ] ~doc)
 
+let max_sessions_term =
+  let doc = "Most live streaming sessions before LRU eviction." in
+  Arg.(value & opt int 64 & info [ "max-sessions" ] ~doc)
+
 let socket_term =
   let doc = "Path of the daemon's Unix socket." in
   Arg.(value & opt (some string) None & info [ "socket"; "s" ] ~doc)
@@ -40,7 +44,7 @@ let daemon_cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress lifecycle notes on stderr.")
   in
-  let run socket stdio workers cache_entries max_batch quiet =
+  let run socket stdio workers cache_entries max_sessions max_batch quiet =
     let transport =
       match (socket, stdio) with
       | Some _, true ->
@@ -52,8 +56,10 @@ let daemon_cmd =
           prerr_endline "cmvrp_serve daemon: need --socket PATH or --stdio";
           exit 2
     in
-    if workers < 1 || cache_entries < 1 || max_batch < 1 then begin
-      prerr_endline "cmvrp_serve daemon: --workers, --cache-entries and --max-batch must be positive";
+    if workers < 1 || cache_entries < 1 || max_sessions < 1 || max_batch < 1
+    then begin
+      prerr_endline
+        "cmvrp_serve daemon: --workers, --cache-entries, --max-sessions and --max-batch must be positive";
       exit 2
     end;
     Pool.set_workers workers;
@@ -61,14 +67,16 @@ let daemon_cmd =
       if quiet then fun (_ : string) -> ()
       else fun msg -> Printf.eprintf "[cmvrp_serve] %s\n%!" msg
     in
-    Daemon.run ~trace (Daemon.config ~cache_capacity:cache_entries ~max_batch transport)
+    Daemon.run ~trace
+      (Daemon.config ~cache_capacity:cache_entries ~max_sessions ~max_batch
+         transport)
   in
   let doc = "Run the oracle daemon." in
   Cmd.v
     (Cmd.info "daemon" ~doc)
     Term.(
       const run $ socket_term $ stdio $ workers_term $ cache_entries_term
-      $ max_batch $ quiet)
+      $ max_sessions_term $ max_batch $ quiet)
 
 (* --- loadgen --- *)
 

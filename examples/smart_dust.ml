@@ -47,6 +47,7 @@ let () =
       Online.capacity = base.Online.capacity +. 10.0;
       faults =
         {
+          Online.no_faults with
           Online.silent_initiators = [ 1; 2; 3; 4; 5 ];
           deaths = [ (50, 10); (120, 11); (200, 40) ];
           longevity = [ (60, 0.7) ];

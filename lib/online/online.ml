@@ -7,14 +7,17 @@ let m_starved_searches = Metrics.counter "online.starved_searches"
 let m_heartbeats = Metrics.counter "online.heartbeats"
 let m_retries = Metrics.counter "online.retries"
 let m_retry_exhausted = Metrics.counter "online.retry_exhausted"
+let m_bytes_per_vehicle = Metrics.gauge "des.bytes_per_vehicle"
 
 type fault_plan = {
   silent_initiators : int list;
   deaths : (int * int) list;
   longevity : (int * float) list;
+  outages : (int * int * float) list;
 }
 
-let no_faults = { silent_initiators = []; deaths = []; longevity = [] }
+let no_faults =
+  { silent_initiators = []; deaths = []; longevity = []; outages = [] }
 
 type config = {
   capacity : float;
@@ -44,7 +47,18 @@ let validate_plan plan =
         invalid_arg
           (Printf.sprintf
              "Online: longevity fraction %g of vehicle %d outside [0,1]" p id))
-    plan.longevity
+    plan.longevity;
+  List.iter
+    (fun (k, id, d) ->
+      if k < 0 then
+        invalid_arg
+          (Printf.sprintf "Online: outage of vehicle %d at negative job index %d"
+             id k);
+      if not (d > 0.0) then
+        invalid_arg
+          (Printf.sprintf
+             "Online: outage of vehicle %d needs a positive restart delay" id))
+    plan.outages
 
 let config ?(comm_radius = 2) ?(seed = 0) ?(faults = no_faults)
     ?(chaos = Des.reliable) ?(partitions = []) ?(retries = true)
@@ -65,6 +79,7 @@ type outcome = {
   failures : failure list;
   max_energy_used : float;
   mean_energy_used : float;
+  energy_consumers : int;
   messages : int;
   replacements : int;
   computations : int;
@@ -115,48 +130,21 @@ type event =
   | Replacement of { vehicle : int; pair : int; dest : Point.t }
   | Search_starved of { pair : int }
 
-(* --- vehicle state (§3.2.1) --- *)
+(* --- vehicle state (§3.2.1), struct-of-arrays --- *)
 
-type working = Idle | Active | Done | Dead
-type transfer = Waiting | Searching | Initiator
+(* Per-vehicle protocol state lives in parallel flat arrays indexed by
+   vehicle id (docs/SCALE.md): one byte per enum, one word per scalar, no
+   per-vehicle boxed record, so a 10^6-vehicle fleet costs a few hundred
+   megabytes and the hot path never allocates per-vehicle state.  [-1]
+   encodes the paper's NULL throughout. *)
 
-type vehicle = {
-  id : int;
-  home : Point.t;
-  cube : int;
-  mutable pos : Point.t;
-  mutable energy : float;
-  mutable working : working;
-  mutable transfer : transfer;
-  mutable pair : int;
-  (* Dijkstra–Scholten locals (§3.2.3.2); -1 encodes the paper's NULL. *)
-  mutable par : int;
-  mutable child : int;
-  mutable init : (int * int) option;
-  mutable num : int;
-}
-
-type pair_state = {
-  pair_id : int;
-  pair_cube : int;
-  cells : Point.t array; (* one or two adjacent cells *)
-  mutable active : int; (* vehicle id, or -1 while a replacement is pending *)
-}
-
-(* Per-pair monitoring-ring state.  [anchor] hosts the pair's deadline
-   self-timer (timers are fault-exempt, so any fixed vehicle works). *)
-type watch = {
-  w_pair : int;
-  anchor : int;
-  mutable beats : int; (* heartbeats received for this pair *)
-  mutable beats_at_arm : int;
-  mutable armed : bool;
-  mutable interval : float;
-  mutable searching : bool; (* a replacement computation is in flight *)
-  mutable stalls : int; (* deadline fires while a search was in flight *)
-  mutable starves : int; (* consecutive starved searches *)
-  mutable hopeless : bool; (* stop searching; the pair stays uncovered *)
-}
+let st_idle = 0
+let st_active = 1
+let st_done = 2
+let st_dead = 3
+let tr_waiting = 0
+let tr_searching = 1
+let tr_initiator = 2
 
 (* In-flight reliable message awaiting its ack. *)
 type pending = { p_src : int; p_dst : int; p_body : body; mutable attempts : int }
@@ -166,18 +154,56 @@ type world = {
   observer : event -> unit;
   dim : int;
   window : Box.t;
-  vehicles : vehicle array;
-  pairs : pair_state array;
-  pair_of_cell : int Point.Tbl.t;
-  neighbors : int list array;
-  cube_pairs : int array array;
-  watches : watch array;
+  n : int; (* fleet size = window volume; one vehicle per cell *)
+  (* vehicles *)
+  veh_pos : Point.t array;
+  veh_energy : float array;
+  veh_working : Bytes.t; (* st_* codes *)
+  veh_transfer : Bytes.t; (* tr_* codes *)
+  veh_pair : int array;
+  (* Dijkstra–Scholten locals (§3.2.3.2) *)
+  veh_par : int array;
+  veh_child : int array;
+  veh_num : int array;
+  veh_init_id : int array; (* -1 = the paper's NULL identifier *)
+  veh_init_seq : int array;
+  (* pairs: ids are assigned cube by cube, so each cube's pairs form the
+     contiguous range [cp_off.(c), cp_off.(c+1)) — the monitoring ring
+     needs no explicit member list. *)
+  n_pairs : int;
+  pair_cube : int array;
+  pair_anchor : int array; (* vehicle on cells.(0): initial active, timer host *)
+  pair_dest : Point.t array; (* cells.(0): the replacement destination *)
+  pair_active : int array; (* vehicle id, or -1 while a replacement is pending *)
+  anchor_pair : int array; (* vehicle -> pair anchored at it, or -1 *)
+  cell_pair : int array; (* cell (= vehicle id) -> owning pair *)
+  cp_off : int array; (* cube -> first pair id *)
+  (* per-pair monitoring-ring state (§3.2.5); the anchor hosts the pair's
+     deadline self-timer (timers are fault-exempt, so any fixed vehicle
+     works) *)
+  w_beats : int array; (* heartbeats received for this pair *)
+  w_beats_at_arm : int array;
+  w_armed : Bytes.t;
+  w_interval : float array;
+  w_searching : Bytes.t; (* a replacement computation is in flight *)
+  w_stalls : int array; (* deadline fires while a search was in flight *)
+  w_starves : int array; (* consecutive starved searches *)
+  w_hopeless : Bytes.t; (* stop searching; the pair stays uncovered *)
+  (* Pair-coverage accounting: [covered.(p)] caches the quiescence
+     predicate (hopeless, or active and alive) and [uncovered] counts the
+     zeros, so [protocol_idle] — polled once per dispatched event — is
+     O(1) instead of a fleet-wide scan. *)
+  covered : Bytes.t;
+  mutable uncovered : int;
+  (* depot communication graph, CSR over cube-confined neighbors *)
+  nbr_off : int array;
+  nbr_ids : int array;
   des : msg Des.t;
-  silent : (int, unit) Hashtbl.t;
+  silent : Bytes.t;
   break_at : float array; (* used-energy threshold per vehicle (Ch. 4) *)
   phase2 : (int, int) Hashtbl.t; (* pending initiator id -> pair id *)
   rel_pending : (int, pending) Hashtbl.t;
-  rel_seen : (int, unit) Hashtbl.t;
+  mutable rel_seen : Bytes.t; (* dedup bitset over dense msg_ids *)
   mutable next_msg_id : int;
   mutable seq : int;
   mutable served : int;
@@ -201,17 +227,56 @@ let max_attempts = 6
 let stall_limit = 3
 let starve_limit = 3
 
-let alive v = v.working <> Dead
+let working w v = Bytes.get_uint8 w.veh_working v
+let set_working w v s = Bytes.set_uint8 w.veh_working v s
+let transfer w v = Bytes.get_uint8 w.veh_transfer v
+let set_transfer w v s = Bytes.set_uint8 w.veh_transfer v s
+let alive w v = working w v <> st_dead
+let hopeless w pid = Bytes.get_uint8 w.w_hopeless pid = 1
+let searching w pid = Bytes.get_uint8 w.w_searching pid = 1
+let armed w pid = Bytes.get_uint8 w.w_armed pid = 1
 
-let alive_neighbors w v =
-  List.filter (fun id -> alive w.vehicles.(id)) w.neighbors.(v.id)
+let pair_covered w pid =
+  hopeless w pid
+  ||
+  let a = w.pair_active.(pid) in
+  a >= 0 && alive w a
+
+(* Re-derive one pair's coverage bit after any mutation of its active
+   vehicle, its hopeless flag, or the active vehicle's liveness. *)
+let sync_pair w pid =
+  let ok = pair_covered w pid in
+  let cur = Bytes.get_uint8 w.covered pid = 1 in
+  if ok && not cur then begin
+    Bytes.set_uint8 w.covered pid 1;
+    w.uncovered <- w.uncovered - 1
+  end
+  else if (not ok) && cur then begin
+    Bytes.set_uint8 w.covered pid 0;
+    w.uncovered <- w.uncovered + 1
+  end
+
+(* Neighbor scans preserve the CSR fill order (Box.iter, row-major within
+   the cube), which is the Query fan-out order and hence part of the
+   deterministic trace. *)
+let count_alive_neighbors w v =
+  let c = ref 0 in
+  for i = w.nbr_off.(v) to w.nbr_off.(v + 1) - 1 do
+    if alive w w.nbr_ids.(i) then incr c
+  done;
+  !c
+
+let iter_alive_neighbors w v f =
+  for i = w.nbr_off.(v) to w.nbr_off.(v + 1) - 1 do
+    if alive w w.nbr_ids.(i) then f w.nbr_ids.(i)
+  done
 
 let spend w v cost =
-  v.energy <- v.energy -. cost;
-  if v.energy < -1e-9 then begin
+  w.veh_energy.(v) <- w.veh_energy.(v) -. cost;
+  if w.veh_energy.(v) < -1e-9 then begin
     w.violations <- w.violations + 1;
     w.failures <-
-      { job = w.served; position = v.pos; reason = "energy went negative" }
+      { job = w.served; position = w.veh_pos.(v); reason = "energy went negative" }
       :: w.failures
   end
 
@@ -220,11 +285,16 @@ let spend w v cost =
    notification is sent: its pair's deadline notices the missing
    heartbeats and drives the replacement. *)
 let maybe_break w v =
-  if alive v && w.cfg.capacity -. v.energy >= w.break_at.(v.id) -. 1e-9 then begin
-    let was_active = v.working = Active in
-    v.working <- Dead;
-    w.observer (Vehicle_died { vehicle = v.id });
-    if was_active then w.pairs.(v.pair).active <- -1
+  if alive w v && w.cfg.capacity -. w.veh_energy.(v) >= w.break_at.(v) -. 1e-9
+  then begin
+    let was_active = working w v = st_active in
+    set_working w v st_dead;
+    w.observer (Vehicle_died { vehicle = v });
+    if was_active then begin
+      let pid = w.veh_pair.(v) in
+      w.pair_active.(pid) <- -1;
+      sync_pair w pid
+    end
   end
 
 (* --- world construction --- *)
@@ -269,11 +339,15 @@ let validate_ids ~n plan partitions =
   List.iter (check "silent_initiators") plan.silent_initiators;
   List.iter (fun (_, id) -> check "deaths" id) plan.deaths;
   List.iter (fun (id, _) -> check "longevity" id) plan.longevity;
+  List.iter (fun (_, id, _) -> check "outages" id) plan.outages;
   List.iter
     (fun (a, b) ->
       check "partitions" a;
       check "partitions" b)
     partitions
+
+(* Forward declarations resolved after the handlers: the Des restart hook
+   needs [arm_deadline], which needs the world built first. *)
 
 let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
   let side = cfg.side in
@@ -300,92 +374,93 @@ let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
   let n = Box.volume window in
   validate_plan cfg.faults;
   validate_ids ~n cfg.faults cfg.partitions;
-  let vehicles =
-    Array.init n (fun id ->
-        let home = Box.point_of_index window id in
-        {
-          id;
-          home;
-          cube = cube_of_point home;
-          pos = home;
-          energy = cfg.capacity;
-          working = Idle;
-          transfer = Waiting;
-          pair = -1;
-          par = -1;
-          child = -1;
-          init = None;
-          num = 0;
-        })
-  in
-  let pair_of_cell = Point.Tbl.create (2 * n) in
-  let pairs = ref [] and n_pairs = ref 0 in
-  let cube_pairs =
-    Array.map
-      (fun cube ->
-        let { Snake.pairs = matched; unpaired } = Snake.pairing cube in
-        let ids = ref [] in
-        let register cells =
-          let pid = !n_pairs in
-          incr n_pairs;
-          let cube_id = cube_of_point cells.(0) in
-          pairs := { pair_id = pid; pair_cube = cube_id; cells; active = -1 } :: !pairs;
-          Array.iter (fun c -> Point.Tbl.replace pair_of_cell c pid) cells;
-          ids := pid :: !ids
+  (* Pairs, cube by cube (Snake.pairing), ids contiguous per cube. *)
+  let n_cubes = Array.length cubes in
+  let cp_off = Array.make (n_cubes + 1) 0 in
+  let cell_pair = Array.make n (-1) in
+  let rev_pairs = ref [] (* (cube, anchor vehicle, dest cell, partner) *)
+  and n_pairs = ref 0 in
+  Array.iteri
+    (fun c cube ->
+      cp_off.(c) <- !n_pairs;
+      let { Snake.pairs = matched; unpaired } = Snake.pairing cube in
+      let register cells =
+        let pid = !n_pairs in
+        incr n_pairs;
+        let cube_id = cube_of_point cells.(0) in
+        let anchor = Box.index window cells.(0) in
+        let partner =
+          if Array.length cells = 2 then Box.index window cells.(1) else -1
         in
-        Array.iter (fun (a, b) -> register [| a; b |]) matched;
-        (match unpaired with None -> () | Some c -> register [| c |]);
-        Array.of_list (List.rev !ids))
-      cubes
-  in
-  let pairs = Array.of_list (List.rev !pairs) in
-  (* Initial roles: the first cell of each pair hosts the active vehicle,
+        rev_pairs := (cube_id, anchor, cells.(0), partner) :: !rev_pairs;
+        Array.iter (fun cell -> cell_pair.(Box.index window cell) <- pid) cells
+      in
+      Array.iter (fun (a, b) -> register [| a; b |]) matched;
+      match unpaired with None -> () | Some cell -> register [| cell |])
+    cubes;
+  cp_off.(n_cubes) <- !n_pairs;
+  let n_pairs = !n_pairs in
+  let pair_cube = Array.make n_pairs 0 in
+  let pair_anchor = Array.make n_pairs 0 in
+  let pair_dest = Array.make n_pairs [||] in
+  let pair_partner = Array.make n_pairs (-1) in
+  List.iteri
+    (fun i (cube_id, anchor, dest, partner) ->
+      let pid = n_pairs - 1 - i in
+      pair_cube.(pid) <- cube_id;
+      pair_anchor.(pid) <- anchor;
+      pair_dest.(pid) <- dest;
+      pair_partner.(pid) <- partner)
+    !rev_pairs;
+  (* Initial roles: the anchor cell of each pair hosts the active vehicle,
      its partner stays idle (the paper's black/white split). *)
+  let veh_working = Bytes.make n (Char.chr st_idle) in
+  let veh_pair = Array.make n (-1) in
+  let pair_active = Array.make n_pairs (-1) in
+  let anchor_pair = Array.make n (-1) in
+  for pid = 0 to n_pairs - 1 do
+    let a = pair_anchor.(pid) in
+    pair_active.(pid) <- a;
+    anchor_pair.(a) <- pid;
+    Bytes.set_uint8 veh_working a st_active;
+    veh_pair.(a) <- pid;
+    let partner = pair_partner.(pid) in
+    if partner >= 0 then veh_pair.(partner) <- pid
+  done;
+  (* Depot-based communication graph, confined to cubes (§3.2.3), in CSR
+     form: count pass, prefix sum, fill pass — all in Box.iter order so
+     the adjacency order (and hence the Query fan-out) is unchanged. *)
+  let nbr_off = Array.make (n + 1) 0 in
   Array.iter
-    (fun pr ->
-      let active_vehicle = Box.index window pr.cells.(0) in
-      pr.active <- active_vehicle;
-      let v = vehicles.(active_vehicle) in
-      v.working <- Active;
-      v.pair <- pr.pair_id;
-      if Array.length pr.cells = 2 then begin
-        let idle = vehicles.(Box.index window pr.cells.(1)) in
-        idle.working <- Idle;
-        idle.pair <- pr.pair_id
-      end)
-    pairs;
-  (* Depot-based communication graph, confined to cubes (§3.2.3). *)
-  let neighbors =
-    Array.map
-      (fun v ->
-        let cube = cubes.(v.cube) in
-        let out = ref [] in
-        Box.iter cube (fun p ->
-            let d = Point.l1_dist p v.home in
-            if d > 0 && d <= cfg.comm_radius then
-              out := Box.index window p :: !out);
-        List.rev !out)
-      vehicles
-  in
-  let watches =
-    Array.map
-      (fun pr ->
-        {
-          w_pair = pr.pair_id;
-          anchor = Box.index window pr.cells.(0);
-          beats = 0;
-          beats_at_arm = 0;
-          armed = false;
-          interval = heartbeat_timeout;
-          searching = false;
-          stalls = 0;
-          starves = 0;
-          hopeless = false;
-        })
-      pairs
-  in
-  let silent = Hashtbl.create 8 in
-  List.iter (fun id -> Hashtbl.replace silent id ()) cfg.faults.silent_initiators;
+    (fun cube ->
+      Box.iter cube (fun home ->
+          let id = Box.index window home in
+          let c = ref 0 in
+          Box.iter cube (fun p ->
+              let d = Point.l1_dist p home in
+              if d > 0 && d <= cfg.comm_radius then incr c);
+          nbr_off.(id + 1) <- !c))
+    cubes;
+  for i = 1 to n do
+    nbr_off.(i) <- nbr_off.(i) + nbr_off.(i - 1)
+  done;
+  let nbr_ids = Array.make nbr_off.(n) 0 in
+  Array.iter
+    (fun cube ->
+      Box.iter cube (fun home ->
+          let id = Box.index window home in
+          let at = ref nbr_off.(id) in
+          Box.iter cube (fun p ->
+              let d = Point.l1_dist p home in
+              if d > 0 && d <= cfg.comm_radius then begin
+                nbr_ids.(!at) <- Box.index window p;
+                incr at
+              end)))
+    cubes;
+  let silent = Bytes.make n '\000' in
+  List.iter
+    (fun id -> Bytes.set_uint8 silent id 1)
+    cfg.faults.silent_initiators;
   let break_at = Array.make n infinity in
   List.iter
     (fun (id, p) -> break_at.(id) <- p *. cfg.capacity)
@@ -398,18 +473,43 @@ let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
       observer;
       dim;
       window;
-      vehicles;
-      pairs;
-      pair_of_cell;
-      neighbors;
-      cube_pairs;
-      watches;
+      n;
+      veh_pos = Array.init n (fun id -> Box.point_of_index window id);
+      veh_energy = Array.make n cfg.capacity;
+      veh_working;
+      veh_transfer = Bytes.make n (Char.chr tr_waiting);
+      veh_pair;
+      veh_par = Array.make n (-1);
+      veh_child = Array.make n (-1);
+      veh_num = Array.make n 0;
+      veh_init_id = Array.make n (-1);
+      veh_init_seq = Array.make n (-1);
+      n_pairs;
+      pair_cube;
+      pair_anchor;
+      pair_dest;
+      pair_active;
+      anchor_pair;
+      cell_pair;
+      cp_off;
+      w_beats = Array.make n_pairs 0;
+      w_beats_at_arm = Array.make n_pairs 0;
+      w_armed = Bytes.make n_pairs '\000';
+      w_interval = Array.make n_pairs heartbeat_timeout;
+      w_searching = Bytes.make n_pairs '\000';
+      w_stalls = Array.make n_pairs 0;
+      w_starves = Array.make n_pairs 0;
+      w_hopeless = Bytes.make n_pairs '\000';
+      covered = Bytes.make n_pairs '\001'; (* every pair starts covered *)
+      uncovered = 0;
+      nbr_off;
+      nbr_ids;
       des;
       silent;
       break_at;
       phase2 = Hashtbl.create 8;
       rel_pending = Hashtbl.create 32;
-      rel_seen = Hashtbl.create 64;
+      rel_seen = Bytes.make 64 '\000';
       next_msg_id = 0;
       seq = 0;
       served = 0;
@@ -425,13 +525,13 @@ let build ?(observer = fun (_ : event) -> ()) cfg ~dim ~jobs_box =
   in
   (* Bootstrap the monitoring ring: every pair starts with one armed
      deadline, so even a death before the first job is detected. *)
-  Array.iter
-    (fun wt ->
-      wt.armed <- true;
-      wt.beats_at_arm <- wt.beats;
-      Des.send_after ~weak:true des ~delay:heartbeat_timeout ~src:wt.anchor
-        ~dst:wt.anchor (Deadline { pair = wt.w_pair }))
-    watches;
+  for pid = 0 to n_pairs - 1 do
+    Bytes.set_uint8 w.w_armed pid 1;
+    w.w_beats_at_arm.(pid) <- w.w_beats.(pid);
+    Des.send_after ~weak:true des ~delay:heartbeat_timeout
+      ~src:w.pair_anchor.(pid) ~dst:w.pair_anchor.(pid)
+      (Deadline { pair = pid })
+  done;
   w
 
 (* --- reliable send layer --- *)
@@ -447,55 +547,73 @@ let send_reliable w ~src ~dst body =
       (Retry { msg_id })
   end
 
+(* Receiver-side dedup over dense message ids: a growable bitset instead
+   of a hashtable, one bit per id ever sent. *)
+let seen_mem w id =
+  let byte = id lsr 3 in
+  byte < Bytes.length w.rel_seen
+  && Bytes.get_uint8 w.rel_seen byte land (1 lsl (id land 7)) <> 0
+
+let seen_add w id =
+  let byte = id lsr 3 in
+  if byte >= Bytes.length w.rel_seen then begin
+    let cap = max (2 * Bytes.length w.rel_seen) (byte + 1) in
+    let grown = Bytes.make cap '\000' in
+    Bytes.blit w.rel_seen 0 grown 0 (Bytes.length w.rel_seen);
+    w.rel_seen <- grown
+  end;
+  Bytes.set_uint8 w.rel_seen byte
+    (Bytes.get_uint8 w.rel_seen byte lor (1 lsl (id land 7)))
+
 (* --- monitoring ring (§3.2.5, scenarios 2 and 3) --- *)
 
 let monitor_of w ~pair_id =
-  let order = w.cube_pairs.(w.pairs.(pair_id).pair_cube) in
-  let n = Array.length order in
-  let start =
-    let rec find i = if order.(i) = pair_id then i else find (i + 1) in
-    find 0
-  in
+  let cube = w.pair_cube.(pair_id) in
+  let first = w.cp_off.(cube) in
+  let count = w.cp_off.(cube + 1) - first in
+  let start = pair_id - first in
   let rec scan k =
-    if k >= n then None
+    if k >= count then None
     else begin
-      let candidate = w.pairs.(order.((start + k) mod n)).active in
-      if candidate >= 0 && alive w.vehicles.(candidate) then Some candidate
+      let candidate = w.pair_active.(first + ((start + k) mod count)) in
+      if candidate >= 0 && alive w candidate then Some candidate
       else scan (k + 1)
     end
   in
   scan 1
 
 let arm_deadline w ~pair_id ~delay =
-  let wt = w.watches.(pair_id) in
-  wt.armed <- true;
-  wt.beats_at_arm <- wt.beats;
-  wt.interval <- delay;
-  Des.send_after ~weak:true w.des ~delay ~src:wt.anchor ~dst:wt.anchor
+  Bytes.set_uint8 w.w_armed pair_id 1;
+  w.w_beats_at_arm.(pair_id) <- w.w_beats.(pair_id);
+  w.w_interval.(pair_id) <- delay;
+  Des.send_after ~weak:true w.des ~delay ~src:w.pair_anchor.(pair_id)
+    ~dst:w.pair_anchor.(pair_id)
     (Deadline { pair = pair_id })
 
 let send_heartbeat w v =
-  if v.working = Active && v.pair >= 0 then
-    match monitor_of w ~pair_id:v.pair with
+  if working w v = st_active && w.veh_pair.(v) >= 0 then
+    match monitor_of w ~pair_id:w.veh_pair.(v) with
     | None -> ()
     | Some m ->
         Metrics.incr m_heartbeats;
-        Des.send ~weak:true w.des ~src:v.id ~dst:m (Heartbeat { pair = v.pair })
+        Des.send ~weak:true w.des ~src:v ~dst:m
+          (Heartbeat { pair = w.veh_pair.(v) })
 
 let on_heartbeat w ~pair_id =
-  let wt = w.watches.(pair_id) in
-  wt.beats <- wt.beats + 1;
-  if (not wt.armed) && not wt.hopeless then
+  w.w_beats.(pair_id) <- w.w_beats.(pair_id) + 1;
+  if (not (armed w pair_id)) && not (hopeless w pair_id) then
     arm_deadline w ~pair_id ~delay:heartbeat_timeout
 
 let note_starved w ~pair_id =
   w.starved <- w.starved + 1;
   Metrics.incr m_starved_searches;
   w.observer (Search_starved { pair = pair_id });
-  let wt = w.watches.(pair_id) in
-  wt.searching <- false;
-  wt.starves <- wt.starves + 1;
-  if wt.starves >= starve_limit then wt.hopeless <- true
+  Bytes.set_uint8 w.w_searching pair_id 0;
+  w.w_starves.(pair_id) <- w.w_starves.(pair_id) + 1;
+  if w.w_starves.(pair_id) >= starve_limit then begin
+    Bytes.set_uint8 w.w_hopeless pair_id 1;
+    sync_pair w pair_id
+  end
 
 (* --- diffusing computation (Algorithm 2) --- *)
 
@@ -504,99 +622,114 @@ let start_computation w ~initiator ~pair_id =
   w.computations <- w.computations + 1;
   Metrics.incr m_computations;
   w.seq <- w.seq + 1;
-  let init = (v.id, w.seq) in
-  v.init <- Some init;
-  v.par <- -1;
-  v.child <- -1;
-  let ns = alive_neighbors w v in
-  v.num <- List.length ns;
-  if v.num = 0 then note_starved w ~pair_id
+  let init = (v, w.seq) in
+  w.veh_init_id.(v) <- v;
+  w.veh_init_seq.(v) <- w.seq;
+  w.veh_par.(v) <- -1;
+  w.veh_child.(v) <- -1;
+  let num = count_alive_neighbors w v in
+  w.veh_num.(v) <- num;
+  if num = 0 then note_starved w ~pair_id
   else begin
-    w.observer (Computation_started { initiator = v.id; pair = pair_id });
-    v.transfer <- Initiator;
-    w.watches.(pair_id).searching <- true;
-    Hashtbl.replace w.phase2 v.id pair_id;
-    List.iter (fun q -> send_reliable w ~src:v.id ~dst:q (Query { init })) ns
+    w.observer (Computation_started { initiator = v; pair = pair_id });
+    set_transfer w v tr_initiator;
+    Bytes.set_uint8 w.w_searching pair_id 1;
+    Hashtbl.replace w.phase2 v pair_id;
+    iter_alive_neighbors w v (fun q ->
+        send_reliable w ~src:v ~dst:q (Query { init }))
   end
 
 let complete_initiator w v =
-  v.transfer <- Waiting;
-  match Hashtbl.find_opt w.phase2 v.id with
+  set_transfer w v tr_waiting;
+  match Hashtbl.find_opt w.phase2 v with
   | None -> ()
   | Some pair_id ->
-      Hashtbl.remove w.phase2 v.id;
-      if v.child >= 0 then begin
-        w.observer (Candidate_found { initiator = v.id; pair = pair_id });
-        let dest = w.pairs.(pair_id).cells.(0) in
-        send_reliable w ~src:v.id ~dst:v.child
-          (Move { init = Option.get v.init; dest; pair = pair_id })
+      Hashtbl.remove w.phase2 v;
+      if w.veh_child.(v) >= 0 then begin
+        w.observer (Candidate_found { initiator = v; pair = pair_id });
+        let dest = w.pair_dest.(pair_id) in
+        send_reliable w ~src:v ~dst:w.veh_child.(v)
+          (Move
+             {
+               init = (w.veh_init_id.(v), w.veh_init_seq.(v));
+               dest;
+               pair = pair_id;
+             })
       end
       else note_starved w ~pair_id
 
+let same_init w p (iid, iseq) =
+  w.veh_init_id.(p) = iid && w.veh_init_seq.(p) = iseq
+
 let handle_query w p ~src init =
-  if alive p then begin
-    if p.transfer = Waiting && p.init <> Some init then begin
-      p.par <- src;
-      p.init <- Some init;
-      p.child <- -1;
-      if p.working = Idle then
-        send_reliable w ~src:p.id ~dst:src (Reply { init; flag = true })
+  if alive w p then begin
+    if transfer w p = tr_waiting && not (same_init w p init) then begin
+      let iid, iseq = init in
+      w.veh_par.(p) <- src;
+      w.veh_init_id.(p) <- iid;
+      w.veh_init_seq.(p) <- iseq;
+      w.veh_child.(p) <- -1;
+      if working w p = st_idle then
+        send_reliable w ~src:p ~dst:src (Reply { init; flag = true })
       else begin
-        let ns = alive_neighbors w p in
-        p.num <- List.length ns;
-        if p.num = 0 then
-          send_reliable w ~src:p.id ~dst:src (Reply { init; flag = false })
+        let num = count_alive_neighbors w p in
+        w.veh_num.(p) <- num;
+        if num = 0 then
+          send_reliable w ~src:p ~dst:src (Reply { init; flag = false })
         else begin
-          p.transfer <- Searching;
-          List.iter (fun q -> send_reliable w ~src:p.id ~dst:q (Query { init })) ns
+          set_transfer w p tr_searching;
+          iter_alive_neighbors w p (fun q ->
+              send_reliable w ~src:p ~dst:q (Query { init }))
         end
       end
     end
-    else send_reliable w ~src:p.id ~dst:src (Reply { init; flag = false })
+    else send_reliable w ~src:p ~dst:src (Reply { init; flag = false })
   end
 
 let handle_reply w p ~src init flag =
-  if alive p && p.init = Some init && p.transfer <> Waiting then begin
-    p.num <- p.num - 1;
-    if flag && p.child < 0 then begin
-      p.child <- src;
-      if p.par >= 0 then
-        send_reliable w ~src:p.id ~dst:p.par (Reply { init; flag = true })
+  if alive w p && same_init w p init && transfer w p <> tr_waiting then begin
+    w.veh_num.(p) <- w.veh_num.(p) - 1;
+    if flag && w.veh_child.(p) < 0 then begin
+      w.veh_child.(p) <- src;
+      if w.veh_par.(p) >= 0 then
+        send_reliable w ~src:p ~dst:w.veh_par.(p) (Reply { init; flag = true })
     end;
-    if p.num = 0 then begin
-      match p.transfer with
-      | Initiator -> complete_initiator w p
-      | Searching ->
-          p.transfer <- Waiting;
-          if p.child < 0 && p.par >= 0 then
-            send_reliable w ~src:p.id ~dst:p.par (Reply { init; flag = false })
-      | Waiting -> ()
+    if w.veh_num.(p) = 0 then begin
+      if transfer w p = tr_initiator then complete_initiator w p
+      else begin
+        (* Searching *)
+        set_transfer w p tr_waiting;
+        if w.veh_child.(p) < 0 && w.veh_par.(p) >= 0 then
+          send_reliable w ~src:p ~dst:w.veh_par.(p) (Reply { init; flag = false })
+      end
     end
   end
 
 let handle_move w p init ~dest ~pair_id =
-  if alive p then begin
-    if p.working = Idle then begin
+  if alive w p then begin
+    if working w p = st_idle then begin
       (* Phase II terminus: the candidate relocates and takes over. *)
-      spend w p (float_of_int (Point.l1_dist p.pos dest));
-      p.pos <- dest;
-      p.working <- Active;
-      p.pair <- pair_id;
-      w.pairs.(pair_id).active <- p.id;
+      spend w p (float_of_int (Point.l1_dist w.veh_pos.(p) dest));
+      w.veh_pos.(p) <- dest;
+      set_working w p st_active;
+      w.veh_pair.(p) <- pair_id;
+      w.pair_active.(pair_id) <- p;
       w.replacements <- w.replacements + 1;
       Metrics.incr m_replacements;
-      w.observer (Replacement { vehicle = p.id; pair = pair_id; dest });
-      let wt = w.watches.(pair_id) in
-      wt.searching <- false;
-      wt.stalls <- 0;
-      wt.starves <- 0;
-      wt.hopeless <- false;
+      w.observer (Replacement { vehicle = p; pair = pair_id; dest });
+      Bytes.set_uint8 w.w_searching pair_id 0;
+      w.w_stalls.(pair_id) <- 0;
+      w.w_starves.(pair_id) <- 0;
+      Bytes.set_uint8 w.w_hopeless pair_id 0;
+      sync_pair w pair_id;
       send_heartbeat w p;
-      if not wt.armed then arm_deadline w ~pair_id ~delay:heartbeat_timeout;
+      if not (armed w pair_id) then
+        arm_deadline w ~pair_id ~delay:heartbeat_timeout;
       maybe_break w p
     end
-    else if p.child >= 0 then
-      send_reliable w ~src:p.id ~dst:p.child (Move { init; dest; pair = pair_id })
+    else if w.veh_child.(p) >= 0 then
+      send_reliable w ~src:p ~dst:w.veh_child.(p)
+        (Move { init; dest; pair = pair_id })
     else
       (* Broken relay chain: the search failed; the pair's deadline will
          restart it. *)
@@ -615,36 +748,35 @@ let force_clear w ~pair_id =
   List.iter
     (fun init_id ->
       Hashtbl.remove w.phase2 init_id;
-      let v = w.vehicles.(init_id) in
-      if v.transfer = Initiator then v.transfer <- Waiting)
+      if transfer w init_id = tr_initiator then set_transfer w init_id tr_waiting)
     stuck
 
 let on_deadline w ~pair_id =
-  let wt = w.watches.(pair_id) in
-  wt.armed <- false;
-  if not wt.hopeless then begin
-    let pr = w.pairs.(pair_id) in
-    if pr.active >= 0 && alive w.vehicles.(pr.active) then begin
+  Bytes.set_uint8 w.w_armed pair_id 0;
+  if not (hopeless w pair_id) then begin
+    let active = w.pair_active.(pair_id) in
+    if active >= 0 && alive w active then begin
       (* Healthy pair.  Heartbeats since arming mean traffic: keep the
          base deadline.  A quiet pair backs off exponentially so an idle
          fleet re-arms only O(log T) times, yet a later death is still
          caught. *)
       let delay =
-        if wt.beats > wt.beats_at_arm then heartbeat_timeout
-        else Float.min max_deadline_interval (2.0 *. wt.interval)
+        if w.w_beats.(pair_id) > w.w_beats_at_arm.(pair_id) then
+          heartbeat_timeout
+        else Float.min max_deadline_interval (2.0 *. w.w_interval.(pair_id))
       in
       arm_deadline w ~pair_id ~delay
     end
     else begin
       Metrics.incr m_monitor_timeouts;
-      if wt.searching then begin
+      if searching w pair_id then begin
         (* A search is already in flight; give it a little longer, then
            assume its messages are gone and clear the way for a fresh
            one. *)
-        wt.stalls <- wt.stalls + 1;
-        if wt.stalls >= stall_limit then begin
-          wt.stalls <- 0;
-          wt.searching <- false;
+        w.w_stalls.(pair_id) <- w.w_stalls.(pair_id) + 1;
+        if w.w_stalls.(pair_id) >= stall_limit then begin
+          w.w_stalls.(pair_id) <- 0;
+          Bytes.set_uint8 w.w_searching pair_id 0;
           force_clear w ~pair_id
         end;
         arm_deadline w ~pair_id ~delay:heartbeat_timeout
@@ -653,10 +785,10 @@ let on_deadline w ~pair_id =
         (match monitor_of w ~pair_id with
         | None -> note_starved w ~pair_id
         | Some m ->
-            let mv = w.vehicles.(m) in
-            if alive mv && mv.transfer = Waiting then
-              start_computation w ~initiator:mv ~pair_id);
-        if not wt.hopeless then arm_deadline w ~pair_id ~delay:heartbeat_timeout
+            if alive w m && transfer w m = tr_waiting then
+              start_computation w ~initiator:m ~pair_id);
+        if not (hopeless w pair_id) then
+          arm_deadline w ~pair_id ~delay:heartbeat_timeout
       end
     end
   end
@@ -668,14 +800,14 @@ let give_up w p =
   | Query { init } ->
       (* Account the unreachable neighbor as a negative reply so [num]
          still reaches zero and the computation terminates. *)
-      handle_reply w w.vehicles.(p.p_src) ~src:p.p_dst init false
+      handle_reply w p.p_src ~src:p.p_dst init false
   | Reply _ ->
       (* The parent's own retry/stall machinery recovers. *)
       ()
   | Move { pair; _ } ->
       (* The relocation order is lost; let the pair's deadline restart
          the search from scratch. *)
-      w.watches.(pair).searching <- false
+      Bytes.set_uint8 w.w_searching pair 0
 
 let on_retry w msg_id =
   match Hashtbl.find_opt w.rel_pending msg_id with
@@ -704,72 +836,97 @@ let retire w v =
      serve 1) becomes done and triggers its replacement.  A silent
      initiator (scenario 2) does nothing — its monitor's deadline notices
      the missing heartbeats and initiates on its behalf. *)
-  v.working <- Done;
+  set_working w v st_done;
   Metrics.incr m_retirements;
-  w.observer (Vehicle_retired { vehicle = v.id; pair = v.pair });
-  let pair_id = v.pair in
-  w.pairs.(pair_id).active <- -1;
-  if not (Hashtbl.mem w.silent v.id) then
+  w.observer (Vehicle_retired { vehicle = v; pair = w.veh_pair.(v) });
+  let pair_id = w.veh_pair.(v) in
+  w.pair_active.(pair_id) <- -1;
+  sync_pair w pair_id;
+  if Bytes.get_uint8 w.silent v = 0 then
     start_computation w ~initiator:v ~pair_id
 
 let process_job w ~index x =
-  match Point.Tbl.find_opt w.pair_of_cell x with
-  | None ->
+  if not (Box.mem w.window x) then
+    w.failures <-
+      { job = index; position = x; reason = "job outside the window" }
+      :: w.failures
+  else begin
+    let pair_id = w.cell_pair.(Box.index w.window x) in
+    let active = w.pair_active.(pair_id) in
+    if active < 0 then
       w.failures <-
-        { job = index; position = x; reason = "job outside the window" } :: w.failures
-  | Some pair_id ->
-      let pr = w.pairs.(pair_id) in
-      if pr.active < 0 then
+        { job = index; position = x; reason = "no active vehicle in pair" }
+        :: w.failures
+    else begin
+      let cost = float_of_int (Point.l1_dist w.veh_pos.(active) x + 1) in
+      if w.veh_energy.(active) < cost -. 1e-9 then
         w.failures <-
-          { job = index; position = x; reason = "no active vehicle in pair" }
+          { job = index; position = x; reason = "active vehicle out of energy" }
           :: w.failures
       else begin
-        let v = w.vehicles.(pr.active) in
-        let cost = float_of_int (Point.l1_dist v.pos x + 1) in
-        if v.energy < cost -. 1e-9 then
-          w.failures <-
-            { job = index; position = x; reason = "active vehicle out of energy" }
-            :: w.failures
-        else begin
-          let walk = Point.l1_dist v.pos x in
-          spend w v cost;
-          v.pos <- x;
-          w.served <- w.served + 1;
-          Metrics.incr m_jobs_served;
-          w.observer (Job_served { job = index; position = x; vehicle = v.id; walk });
-          send_heartbeat w v;
-          maybe_break w v;
-          if v.working = Active && v.energy < 2.0 then retire w v
-        end
+        let walk = Point.l1_dist w.veh_pos.(active) x in
+        spend w active cost;
+        w.veh_pos.(active) <- x;
+        w.served <- w.served + 1;
+        Metrics.incr m_jobs_served;
+        w.observer
+          (Job_served { job = index; position = x; vehicle = active; walk });
+        send_heartbeat w active;
+        maybe_break w active;
+        if working w active = st_active && w.veh_energy.(active) < 2.0 then
+          retire w active
       end
+    end
+  end
 
 let kill w id =
-  let v = w.vehicles.(id) in
-  if alive v then begin
-    let was_active = v.working = Active in
-    v.working <- Dead;
-    w.observer (Vehicle_died { vehicle = v.id });
-    if was_active then w.pairs.(v.pair).active <- -1
+  if alive w id then begin
+    let was_active = working w id = st_active in
+    set_working w id st_dead;
+    w.observer (Vehicle_died { vehicle = id });
+    if was_active then begin
+      let pid = w.veh_pair.(id) in
+      w.pair_active.(pid) <- -1;
+      sync_pair w pid
+    end
   end
+
+(* A restart after a communication outage: the vehicle's pending
+   self-timers died with the crash, so re-arm the deadline of the pair
+   anchored at it (if one was armed) and the retry timers of its
+   un-acked reliable messages.  Protocol state survives — an outage is
+   radio silence, not a breakdown. *)
+let on_vehicle_restart w v =
+  let pid = w.anchor_pair.(v) in
+  if pid >= 0 && armed w pid && not (hopeless w pid) then begin
+    Bytes.set_uint8 w.w_armed pid 0;
+    arm_deadline w ~pair_id:pid ~delay:heartbeat_timeout
+  end;
+  if w.cfg.retries then
+    Hashtbl.iter
+      (fun msg_id p ->
+        if p.p_src = v then
+          Des.send_after ~weak:true w.des ~delay:retry_delay ~src:v ~dst:v
+            (Retry { msg_id }))
+      w.rel_pending
 
 (* --- runner --- *)
 
 let dispatch_body w ~src ~dst body =
-  let p = w.vehicles.(dst) in
   match body with
-  | Query { init } -> handle_query w p ~src init
-  | Reply { init; flag } -> handle_reply w p ~src init flag
-  | Move { init; dest; pair } -> handle_move w p init ~dest ~pair_id:pair
+  | Query { init } -> handle_query w dst ~src init
+  | Reply { init; flag } -> handle_reply w dst ~src init flag
+  | Move { init; dest; pair } -> handle_move w dst init ~dest ~pair_id:pair
 
 let dispatch w ~time:_ ~src ~dst msg =
   match msg with
   | Payload { msg_id; body } ->
       (* Transport layer: a live receiver acks (also on duplicates, in
          case the first ack was lost) and processes each msg_id once. *)
-      if alive w.vehicles.(dst) then begin
+      if alive w dst then begin
         if w.cfg.retries then Des.send w.des ~src:dst ~dst:src (Ack { msg_id });
-        if not (Hashtbl.mem w.rel_seen msg_id) then begin
-          Hashtbl.replace w.rel_seen msg_id ();
+        if not (seen_mem w msg_id) then begin
+          seen_add w msg_id;
           dispatch_body w ~src ~dst body
         end
       end
@@ -780,16 +937,9 @@ let dispatch w ~time:_ ~src ~dst msg =
 
 (* Quiescence for the drain: no un-acked reliable message, and every pair
    either covered by a live active vehicle or given up on.  Anything else
-   means the weak timers still have work to do. *)
-let protocol_idle w =
-  Hashtbl.length w.rel_pending = 0
-  && Array.for_all
-       (fun wt ->
-         wt.hopeless
-         ||
-         let pr = w.pairs.(wt.w_pair) in
-         pr.active >= 0 && alive w.vehicles.(pr.active))
-       w.watches
+   means the weak timers still have work to do.  [uncovered] is kept
+   current by [sync_pair], so the poll is O(1). *)
+let protocol_idle w = Hashtbl.length w.rel_pending = 0 && w.uncovered = 0
 
 let capacity_bound ~dim omega =
   float_of_int (Energy.add (Energy.scale 4 (Energy.pow 3 dim)) dim) *. omega
@@ -800,6 +950,7 @@ let empty_outcome =
     failures = [];
     max_energy_used = 0.0;
     mean_energy_used = 0.0;
+    energy_consumers = 0;
     messages = 0;
     replacements = 0;
     computations = 0;
@@ -813,82 +964,311 @@ let empty_outcome =
     trace_digest = 0;
   }
 
+(* Scheduled fault-plan events, merged and ordered by (job index, kind,
+   id): deaths first, then outages, at each index — explicit comparison,
+   no polymorphic ordering. *)
+type fault_event =
+  | Death of int * int (* job index, vehicle *)
+  | Outage of int * int * float (* job index, vehicle, restart delay *)
+
+let event_key = function Death (k, id) -> (k, 0, id) | Outage (k, id, _) -> (k, 1, id)
+
+let compare_events a b =
+  let ka, ta, ia = event_key a and kb, tb, ib = event_key b in
+  match Int.compare ka kb with
+  | 0 -> ( match Int.compare ta tb with 0 -> Int.compare ia ib | c -> c)
+  | c -> c
+
+let event_index e = match event_key e with k, _, _ -> k
+
+(* Core runner over an explicit job list and window box.  [job_index]
+   maps the local 1-based arrival position to the index reported in
+   events and failures — the fleet runner passes the global position. *)
+let run_core ?observer ?(job_index = fun i -> i) cfg ~dim ~jobs ~jobs_box =
+  let w = build ?observer cfg ~dim ~jobs_box in
+  Des.set_restart_hook w.des (fun ~time:_ v -> on_vehicle_restart w v);
+  let quiesce () =
+    (* After a livelock the run is degraded: draining stops, remaining
+       jobs fail fast against the frozen state, and the outcome
+       reports it.  This bounds total work even when retries are off
+       and the channels keep eating messages. *)
+    if not w.livelocked then
+      match
+        Des.run_until_quiescent w.des ~budget:cfg.quiesce_budget
+          ~idle_ok:(fun () -> protocol_idle w)
+          ~handler:(dispatch w)
+      with
+      | Des.Quiescent -> ()
+      | Des.Livelock _ ->
+          w.livelocked <- true;
+          w.livelocks <- w.livelocks + 1
+  in
+  let events =
+    List.sort compare_events
+      (List.map (fun (k, id) -> Death (k, id)) cfg.faults.deaths
+      @ List.map (fun (k, id, d) -> Outage (k, id, d)) cfg.faults.outages)
+  in
+  let remaining = ref events in
+  let apply_faults upto =
+    let rec loop () =
+      match !remaining with
+      | e :: rest when event_index e <= upto ->
+          remaining := rest;
+          (match e with
+          | Death (_, id) -> kill w id
+          | Outage (_, id, delay) ->
+              Des.crash w.des id;
+              Des.restart_after w.des ~delay id);
+          quiesce ();
+          loop ()
+      | _ -> ()
+    in
+    loop ()
+  in
+  apply_faults 0;
+  Array.iteri
+    (fun i x ->
+      process_job w ~index:(job_index (i + 1)) x;
+      quiesce ();
+      apply_faults (i + 1))
+    jobs;
+  let consumers = ref 0 and used_sum = ref 0.0 and used_max = ref 0.0 in
+  for v = 0 to w.n - 1 do
+    let used = cfg.capacity -. w.veh_energy.(v) in
+    if used > !used_max then used_max := used;
+    if used > 0.0 then begin
+      incr consumers;
+      used_sum := !used_sum +. used
+    end
+  done;
+  let serviceable = ref 0 in
+  for v = 0 to w.n - 1 do
+    if alive w v && w.veh_energy.(v) >= 2.0 then incr serviceable
+  done;
+  let outcome =
+    {
+      served = w.served;
+      failures = List.rev w.failures;
+      max_energy_used = Float.max 0.0 !used_max;
+      mean_energy_used =
+        (if !consumers = 0 then 0.0 else !used_sum /. float_of_int !consumers);
+      energy_consumers = !consumers;
+      messages = Des.messages_delivered w.des;
+      replacements = w.replacements;
+      computations = w.computations;
+      starved_searches = w.starved;
+      vehicles = w.n;
+      vehicles_still_serviceable = !serviceable;
+      drops = Des.drops w.des;
+      dups = Des.dups w.des;
+      retries_sent = w.retries_count;
+      livelocks = w.livelocks;
+      trace_digest = Des.digest w.des;
+    }
+  in
+  (outcome, w)
+
 let run ?observer cfg workload =
   let jobs = workload.Workload.jobs in
   if Array.length jobs = 0 then begin
     validate_plan cfg.faults;
     empty_outcome
   end
+  else
+    fst
+      (run_core ?observer cfg ~dim:workload.Workload.dim ~jobs
+         ~jobs_box:(jobs_box_of workload))
+
+(* --- fleet runner: cube-aligned shard bands on Pool workers --- *)
+
+(* Every protocol channel is confined to one [side]-cube, and shard
+   bands are unions of whole tile columns along axis 0, so there are no
+   cross-shard channels at all: the conservative lookahead (Shard) is
+   +infinity and the whole run is a single epoch of fully independent
+   per-shard simulations.  Each shard gets its own deterministically
+   derived seed; with [shards = 1] the run is byte-identical to {!run}.
+   See docs/SCALE.md. *)
+
+type fleet_outcome = {
+  aggregate : outcome;
+  shard_outcomes : outcome array;
+  shard_digests : int array;
+  shard_count : int;
+  bytes_per_vehicle : float;
+}
+
+let world_footprint_bytes w =
+  Obj.reachable_words (Obj.repr w) * (Sys.word_size / 8)
+
+(* Same FNV-style mix as Des.digest, for folding shard digests into one
+   combined witness. *)
+let mix_digest h x = (h lxor x) * 0x100000001b3 land max_int
+
+let derived_seed seed s = seed lxor (s * 0x9e3779b9)
+
+let empty_fleet =
+  {
+    aggregate = empty_outcome;
+    shard_outcomes = [||];
+    shard_digests = [||];
+    shard_count = 0;
+    bytes_per_vehicle = 0.0;
+  }
+
+let aggregate_outcomes (outs : outcome array) =
+  let sum f = Array.fold_left (fun acc o -> acc + f o) 0 outs in
+  let consumers = sum (fun o -> o.energy_consumers) in
+  let used_sum =
+    Array.fold_left
+      (fun acc o -> acc +. (o.mean_energy_used *. float_of_int o.energy_consumers))
+      0.0 outs
+  in
+  let digests = Array.map (fun o -> o.trace_digest) outs in
+  {
+    served = sum (fun o -> o.served);
+    failures =
+      List.stable_sort
+        (fun a b -> Int.compare a.job b.job)
+        (List.concat_map (fun (o : outcome) -> o.failures) (Array.to_list outs));
+    max_energy_used =
+      Array.fold_left (fun acc o -> Float.max acc o.max_energy_used) 0.0 outs;
+    mean_energy_used =
+      (if consumers = 0 then 0.0 else used_sum /. float_of_int consumers);
+    energy_consumers = consumers;
+    messages = sum (fun o -> o.messages);
+    replacements = sum (fun o -> o.replacements);
+    computations = sum (fun o -> o.computations);
+    starved_searches = sum (fun o -> o.starved_searches);
+    vehicles = sum (fun o -> o.vehicles);
+    vehicles_still_serviceable = sum (fun o -> o.vehicles_still_serviceable);
+    drops = sum (fun o -> o.drops);
+    dups = sum (fun o -> o.dups);
+    retries_sent = sum (fun o -> o.retries_sent);
+    livelocks = sum (fun o -> o.livelocks);
+    trace_digest =
+      (if Array.length digests = 1 then digests.(0)
+       else Array.fold_left mix_digest 0x1505 digests);
+  }
+
+let run_fleet ?workers ~shards cfg workload =
+  if shards < 1 then invalid_arg "Online.run_fleet: shards must be positive";
+  let jobs = workload.Workload.jobs in
+  if Array.length jobs = 0 then begin
+    validate_plan cfg.faults;
+    empty_fleet
+  end
   else begin
     let dim = workload.Workload.dim in
-    let jobs_box = jobs_box_of workload in
-    let w = build ?observer cfg ~dim ~jobs_box in
-    let quiesce () =
-      (* After a livelock the run is degraded: draining stops, remaining
-         jobs fail fast against the frozen state, and the outcome
-         reports it.  This bounds total work even when retries are off
-         and the channels keep eating messages. *)
-      if not w.livelocked then
-        match
-          Des.run_until_quiescent w.des ~budget:cfg.quiesce_budget
-            ~idle_ok:(fun () -> protocol_idle w)
-            ~handler:(dispatch w)
-        with
-        | Des.Quiescent -> ()
-        | Des.Livelock _ ->
-            w.livelocked <- true;
-            w.livelocks <- w.livelocks + 1
+    let window = window_of ~side:cfg.side ~dim (jobs_box_of workload) in
+    let n = Box.volume window in
+    validate_plan cfg.faults;
+    validate_ids ~n cfg.faults cfg.partitions;
+    let side = cfg.side in
+    let tiles0 = Box.side window 0 / side in
+    let eff = max 1 (min shards tiles0) in
+    let bound s = s * tiles0 / eff in
+    let tile_shard = Array.make tiles0 0 in
+    for s = 0 to eff - 1 do
+      for tile = bound s to bound (s + 1) - 1 do
+        tile_shard.(tile) <- s
+      done
+    done;
+    let lo0 = window.Box.lo.(0) in
+    let shard_of_point p = tile_shard.((p.(0) - lo0) / side) in
+    let boxes =
+      Array.init eff (fun s ->
+          let lo = Array.copy window.Box.lo and hi = Array.copy window.Box.hi in
+          lo.(0) <- lo0 + (bound s * side);
+          hi.(0) <- lo0 + (bound (s + 1) * side) - 1;
+          Box.make ~lo ~hi)
     in
-    let compare_deaths (k1, id1) (k2, id2) =
-      match Int.compare k1 k2 with 0 -> Int.compare id1 id2 | c -> c
-    in
-    let deaths = List.sort compare_deaths cfg.faults.deaths in
-    let remaining = ref deaths in
-    let apply_deaths upto =
-      let rec loop () =
-        match !remaining with
-        | (k, id) :: rest when k <= upto ->
-            remaining := rest;
-            kill w id;
-            quiesce ();
-            loop ()
-        | _ -> ()
-      in
-      loop ()
-    in
-    apply_deaths 0;
+    (* Split arrivals per band, keeping the global 1-based positions for
+       fault translation and reporting. *)
+    let rev_jobs = Array.make eff [] in
     Array.iteri
-      (fun i x ->
-        process_job w ~index:(i + 1) x;
-        quiesce ();
-        apply_deaths (i + 1))
+      (fun i p ->
+        let s = shard_of_point p in
+        rev_jobs.(s) <- (i + 1, p) :: rev_jobs.(s))
       jobs;
-    let used =
-      Array.map (fun v -> Float.max 0.0 (cfg.capacity -. v.energy)) w.vehicles
+    let shard_jobs = Array.map (fun l -> Array.of_list (List.rev l)) rev_jobs in
+    (* Global vehicle id -> local id within shard [s], if it lives there. *)
+    let local_id s id =
+      let home = Box.point_of_index window id in
+      if shard_of_point home = s then Some (Box.index boxes.(s) home) else None
     in
-    let consumers = Array.of_list (List.filter (fun u -> u > 0.0) (Array.to_list used)) in
+    (* Global job index -> how many of shard [s]'s jobs precede it. *)
+    let local_k s k =
+      Array.fold_left
+        (fun acc (gi, _) -> if gi <= k then acc + 1 else acc)
+        0 shard_jobs.(s)
+    in
+    let shard_cfg s =
+      let faults =
+        {
+          silent_initiators =
+            List.filter_map (local_id s) cfg.faults.silent_initiators;
+          deaths =
+            List.filter_map
+              (fun (k, id) ->
+                Option.map (fun lid -> (local_k s k, lid)) (local_id s id))
+              cfg.faults.deaths;
+          longevity =
+            List.filter_map
+              (fun (id, p) -> Option.map (fun lid -> (lid, p)) (local_id s id))
+              cfg.faults.longevity;
+          outages =
+            List.filter_map
+              (fun (k, id, d) ->
+                Option.map (fun lid -> (local_k s k, lid, d)) (local_id s id))
+              cfg.faults.outages;
+        }
+      in
+      (* A partition across bands is moot: there is no cross-band channel
+         to cut. *)
+      let partitions =
+        List.filter_map
+          (fun (a, b) ->
+            match (local_id s a, local_id s b) with
+            | Some la, Some lb -> Some (la, lb)
+            | _ -> None)
+          cfg.partitions
+      in
+      { cfg with seed = derived_seed cfg.seed s; faults; partitions }
+    in
+    (* Materialize every shard's task on this domain so the workers only
+       read their own immutable task tuple. *)
+    let tasks =
+      Array.init eff (fun s ->
+          (shard_cfg s, Array.map snd shard_jobs.(s), Array.map fst shard_jobs.(s),
+           boxes.(s)))
+    in
+    let saved = Pool.workers () in
+    (match workers with Some k -> Pool.set_workers k | None -> ());
+    let results =
+      Fun.protect
+        ~finally:(fun () -> Pool.set_workers saved)
+        (fun () ->
+          Pool.map
+            (fun (cfg_s, jobs_s, gidx, box) ->
+              let job_index i = if i = 0 then 0 else gidx.(i - 1) in
+              run_core ~job_index cfg_s ~dim ~jobs:jobs_s ~jobs_box:box)
+            tasks)
+    in
+    let outs = Array.map fst results in
+    let total_bytes =
+      Array.fold_left (fun acc (_, w) -> acc + world_footprint_bytes w) 0 results
+    in
+    let vehicles = Array.fold_left (fun acc o -> acc + o.vehicles) 0 outs in
+    let bytes_per_vehicle =
+      float_of_int total_bytes /. float_of_int (max 1 vehicles)
+    in
+    Metrics.set_gauge m_bytes_per_vehicle bytes_per_vehicle;
     {
-      served = w.served;
-      failures = List.rev w.failures;
-      max_energy_used =
-        Array.fold_left
-          (fun acc v -> Float.max acc (cfg.capacity -. v.energy))
-          0.0 w.vehicles;
-      mean_energy_used = (if Array.length consumers = 0 then 0.0 else Stats.mean consumers);
-      messages = Des.messages_delivered w.des;
-      replacements = w.replacements;
-      computations = w.computations;
-      starved_searches = w.starved;
-      vehicles = Array.length w.vehicles;
-      vehicles_still_serviceable =
-        Array.fold_left
-          (fun acc v -> if alive v && v.energy >= 2.0 then acc + 1 else acc)
-          0 w.vehicles;
-      drops = Des.drops w.des;
-      dups = Des.dups w.des;
-      retries_sent = w.retries_count;
-      livelocks = w.livelocks;
-      trace_digest = Des.digest w.des;
+      aggregate = aggregate_outcomes outs;
+      shard_outcomes = outs;
+      shard_digests = Array.map (fun o -> o.trace_digest) outs;
+      shard_count = eff;
+      bytes_per_vehicle;
     }
   end
 

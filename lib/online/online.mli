@@ -51,6 +51,14 @@ type fault_plan = {
           moment a fraction [p ∈ [0,1]] of its initial energy has been
           spent (scenario 4).  Unlisted vehicles have [p = 1] (never
           break this way). *)
+  outages : (int * int * float) list;
+      (** [(k, v, d)]: vehicle [v] falls radio-silent (its channel
+          endpoints crash, pending timers included) immediately after the
+          [k]-th job, and comes back [d] simulation-time units later.
+          Unlike [deaths] the vehicle's protocol state survives: on
+          restart its lost self-timers (pair deadline, retry backoff) are
+          re-armed and it resumes where it was — the crash/restart leg of
+          the chaos test matrix. *)
 }
 
 val no_faults : fault_plan
@@ -104,6 +112,9 @@ type outcome = {
   failures : failure list;
   max_energy_used : float;  (** peak consumption over all vehicles *)
   mean_energy_used : float;  (** over vehicles that consumed anything *)
+  energy_consumers : int;
+      (** vehicles that consumed any energy — the weight behind
+          [mean_energy_used], so shard outcomes aggregate exactly *)
   messages : int;  (** protocol messages delivered (E8) *)
   replacements : int;  (** completed phase-II relocations *)
   computations : int;  (** diffusing computations initiated *)
@@ -150,6 +161,43 @@ val run : ?observer:(event -> unit) -> config -> Workload.t -> outcome
 val fleet_size : config -> Workload.t -> int
 (** Number of vehicles [run] would deploy (the window volume) — the valid
     id range for fault plans and partitions; 0 for an empty workload. *)
+
+(** {1 Sharded fleet runs}
+
+    For production-scale fleets (ROADMAP: 10^6 vehicles) the window is
+    split into bands of whole [side]-tile columns along axis 0 and each
+    band is simulated on a {!Pool} worker.  Every protocol channel is
+    confined to one [side]-cube and cubes never straddle a band
+    boundary, so the bands exchange no messages: the conservative
+    lookahead of the general {!Shard} engine is [+∞] here and the whole
+    run is one barrier epoch of fully independent simulations — see
+    docs/SCALE.md for the argument and the memory model. *)
+
+type fleet_outcome = {
+  aggregate : outcome;
+      (** exact sums/maxima over the shard outcomes; [mean_energy_used]
+          is consumer-weighted via [energy_consumers], and
+          [trace_digest] folds the per-shard digests (or equals the
+          single shard's digest when [shard_count = 1]) *)
+  shard_outcomes : outcome array;
+  shard_digests : int array;
+      (** per-shard {!Des} digests, in band order — bit-identical across
+          reruns and across worker counts for a fixed shard count *)
+  shard_count : int;  (** effective count: [min shards (tile columns)] *)
+  bytes_per_vehicle : float;
+      (** simulator + protocol heap footprint divided by the fleet size
+          (also the ["des.bytes_per_vehicle"] gauge) *)
+}
+
+val run_fleet :
+  ?workers:int -> shards:int -> config -> Workload.t -> fleet_outcome
+(** Runs the strategy sharded into [shards] bands ([?workers] temporarily
+    overrides the {!Pool} width).  Vehicle ids in the fault plan and
+    partitions are global window ids, translated per band; a partition
+    across bands is dropped (no cross-band channel exists to cut).
+    Shard [s] runs under a seed derived from [config.seed]; with
+    [shards = 1] the result is identical to {!run}.  Raises
+    [Invalid_argument] on a non-positive [shards]. *)
 
 val capacity_bound : dim:int -> float -> float
 (** [(4·3^l + l)·ω] — the capacity Lemma 3.3.1 proves sufficient. *)

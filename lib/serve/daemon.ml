@@ -7,14 +7,18 @@ type transport = Unix_socket of string | Stdio
 type config = {
   transport : transport;
   cache_capacity : int;
+  max_sessions : int;
   max_batch : int;
 }
 
 let default_max_batch = 64
 
-let config ?(cache_capacity = 4096) ?(max_batch = default_max_batch) transport =
+let config ?(cache_capacity = 4096) ?(max_sessions = 64)
+    ?(max_batch = default_max_batch) transport =
   if max_batch <= 0 then invalid_arg "Daemon.config: max_batch must be positive";
-  { transport; cache_capacity; max_batch }
+  if max_sessions <= 0 then
+    invalid_arg "Daemon.config: max_sessions must be positive";
+  { transport; cache_capacity; max_sessions; max_batch }
 
 type conn = {
   fd : Unix.file_descr;
@@ -91,7 +95,7 @@ let close_quietly fd =
   try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
 
 let run_socket ~trace cfg path =
-  let engine = Engine.create ~cache_capacity:cfg.cache_capacity () in
+  let engine = Engine.create ~cache_capacity:cfg.cache_capacity ~max_sessions:cfg.max_sessions () in
   (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX path);
@@ -134,7 +138,7 @@ let run_socket ~trace cfg path =
   (try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
 
 let run_stdio ~trace cfg =
-  let engine = Engine.create ~cache_capacity:cfg.cache_capacity () in
+  let engine = Engine.create ~cache_capacity:cfg.cache_capacity ~max_sessions:cfg.max_sessions () in
   trace "serving on stdio";
   let running = ref true in
   while !running do

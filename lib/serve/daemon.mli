@@ -28,12 +28,14 @@ type transport =
 type config = {
   transport : transport;
   cache_capacity : int;
+  max_sessions : int;  (** LRU cap on live streaming sessions. *)
   max_batch : int;  (** Engine batch ceiling per drain; must be positive. *)
 }
 
 val default_max_batch : int
 
-val config : ?cache_capacity:int -> ?max_batch:int -> transport -> config
+val config :
+  ?cache_capacity:int -> ?max_sessions:int -> ?max_batch:int -> transport -> config
 
 val run : ?trace:(string -> unit) -> config -> unit
 (** Blocks until shutdown.  [trace] receives one-line lifecycle notes

@@ -10,27 +10,72 @@ let m_batch_span = Metrics.timer "serve.batch"
 let m_latency = Metrics.histogram "serve.request_latency_ns"
 let m_session_ops = Metrics.counter "serve.session_ops"
 let m_sessions = Metrics.gauge "serve.sessions"
+let m_evictions = Metrics.counter "serve.session_evictions"
 
 (* A server-side streaming session: the incremental oracle plus the
    running digest row sum of its live demand, updated in O(1) per
    mutation so a query's cache key never recomputes the digest from
    scratch (and shares entries with stateless [Omega_star] requests on
-   the same demand). *)
-type session = { ses : Oracle.Session.t; mutable s_rowsum : int }
+   the same demand).  [s_touched] is the engine's logical clock at the
+   session's last use, the LRU eviction key. *)
+type session = {
+  ses : Oracle.Session.t;
+  mutable s_rowsum : int;
+  mutable s_touched : int;
+}
 
 type t = {
   cache : Protocol.answer Qcache.t;
   sessions : (string, session) Hashtbl.t;
+  max_sessions : int;
+  mutable clock : int;
+  mutable evictions : int;
 }
 
-let create ?(cache_capacity = 4096) () =
+let create ?(cache_capacity = 4096) ?(max_sessions = 64) () =
+  if max_sessions < 1 then
+    invalid_arg "Engine.create: max_sessions must be positive";
   {
     cache = Qcache.create ~capacity:cache_capacity ();
     sessions = Hashtbl.create 16;
+    max_sessions;
+    clock = 0;
+    evictions = 0;
   }
 
 let cache_size t = Qcache.size t.cache
 let session_count t = Hashtbl.length t.sessions
+let session_evictions t = t.evictions
+
+let touch t s =
+  t.clock <- t.clock + 1;
+  s.s_touched <- t.clock
+
+(* Evict least-recently-used sessions until a new one fits.  Each
+   session holds warm flow arenas, so an unbounded table is a memory
+   leak under client churn; 64 live incremental oracles is already
+   generous.  Ties (never produced by [touch]) break on the name to
+   stay deterministic. *)
+let evict_for_insert t =
+  while Hashtbl.length t.sessions >= t.max_sessions do
+    let victim =
+      Hashtbl.fold
+        (fun name s acc ->
+          match acc with
+          | Some (_, best) when best.s_touched < s.s_touched -> acc
+          | Some (bn, best)
+            when best.s_touched = s.s_touched && String.compare bn name <= 0 ->
+              acc
+          | _ -> Some (name, s))
+        t.sessions None
+    in
+    match victim with
+    | None -> assert false (* length >= max_sessions >= 1 *)
+    | Some (name, _) ->
+        Hashtbl.remove t.sessions name;
+        t.evictions <- t.evictions + 1;
+        Metrics.incr m_evictions
+  done
 
 let wants_shutdown (r : Protocol.request) =
   match r.Protocol.op with Protocol.Shutdown -> true | _ -> false
@@ -96,17 +141,20 @@ let session_slot t (req : Protocol.request) =
             match found with
             | Some s -> s
             | None ->
+                evict_for_insert t;
                 let s =
                   {
                     ses =
                       Oracle.Session.create ~scale:req.Protocol.scale
                         (Demand_map.empty (Array.length p));
                     s_rowsum = 0;
+                    s_touched = 0;
                   }
                 in
                 Hashtbl.replace t.sessions name s;
                 s
           in
+          touch t s;
           let dm = Oracle.Session.demand s.ses in
           let before = Demand_map.value dm p in
           match Oracle.Session.add_job s.ses p with
@@ -119,6 +167,7 @@ let session_slot t (req : Protocol.request) =
       | Ok None, (Protocol.Session_remove _ | Protocol.Session_query) ->
           Malformed (Printf.sprintf "unknown session %S" name)
       | Ok (Some s), Protocol.Session_remove p -> (
+          touch t s;
           let dm = Oracle.Session.demand s.ses in
           let before = Demand_map.value dm p in
           match Oracle.Session.remove_job s.ses p with
@@ -129,6 +178,7 @@ let session_slot t (req : Protocol.request) =
                   ~rowsum:s.s_rowsum p ~before ~after:(before - 1);
               Done { d_answer = Ok Protocol.Pong; d_cached = false })
       | Ok (Some s), Protocol.Session_query -> (
+          touch t s;
           let dm = Oracle.Session.demand s.ses in
           let digest =
             Protocol.digest_of_rowsum ~dim:(Demand_map.dim dm)

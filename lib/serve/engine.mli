@@ -36,8 +36,14 @@
 
 type t
 
-val create : ?cache_capacity:int -> unit -> t
-(** [cache_capacity] defaults to 4096 entries. *)
+val create : ?cache_capacity:int -> ?max_sessions:int -> unit -> t
+(** [cache_capacity] defaults to 4096 entries.  [max_sessions]
+    (default 64, must be positive) caps the live streaming sessions:
+    each session pins warm flow arenas, so under client churn an
+    unbounded table is a memory leak.  When a [Session_add] would
+    exceed the cap, the least-recently-used session is evicted (every
+    session op counts as a use); a later [Session_add] under the
+    evicted name simply starts a fresh empty session. *)
 
 val evaluate : Protocol.request -> (Protocol.answer, string) result
 (** One fresh oracle evaluation, bypassing the cache — the reference the
@@ -58,8 +64,12 @@ val cache_size : t -> int
 
 val session_count : t -> int
 (** Live streaming sessions (also published as the [serve.sessions]
-    gauge).  Sessions persist for the engine's lifetime; [Session_add]
-    with a fresh name creates one. *)
+    gauge).  [Session_add] with a fresh name creates one; sessions live
+    until evicted by the [max_sessions] LRU cap. *)
+
+val session_evictions : t -> int
+(** Sessions evicted by the LRU cap since creation (also the
+    ["serve.session_evictions"] counter). *)
 
 val wants_shutdown : Protocol.request -> bool
 (** True on [Shutdown] — transports decide what to do with it; the

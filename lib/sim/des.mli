@@ -21,7 +21,14 @@
     drain is budget-bounded so a retry loop that cannot make progress
     surfaces as a [Livelock] report instead of an infinite spin, and
     events sent with [~weak:true] (periodic keepalives) do not prevent
-    quiescence once the client's [idle_ok] predicate holds. *)
+    quiescence once the client's [idle_ok] predicate holds.
+
+    Internally the queue is a 4-level hierarchical time wheel over a
+    struct-of-arrays event arena (docs/SCALE.md): schedule and dispatch
+    are O(1) amortized instead of O(log n), and the dispatch order is
+    bit-identical to the former comparison heap's [(time, seq)] order, so
+    trace digests replay across the change.  Process ids must fit 30
+    bits. *)
 
 type 'msg t
 
@@ -64,7 +71,10 @@ val set_faults : _ t -> faults -> unit
 (** Replaces the default fault profile for channels without an override. *)
 
 val set_channel_faults : _ t -> src:int -> dst:int -> faults -> unit
-(** Overrides the fault profile of one directed channel. *)
+(** Overrides the fault profile of one directed channel.  Setting a
+    profile equal (field for field) to the current default removes the
+    override instead, so healed channels release their metadata entry —
+    see [channel_meta_size]. *)
 
 val partition : _ t -> int -> int -> unit
 (** Cuts the (symmetric) link between two processes: messages either way
@@ -108,6 +118,14 @@ val send_after :
 (** Enqueues with an explicit extra delay — used for timer-style
     self-messages (heartbeat deadlines, retry backoff). *)
 
+val inject : 'msg t -> time:float -> src:int -> dst:int -> 'msg -> unit
+(** Enqueues a message at an absolute timestamp, bypassing the fault
+    pipeline and delay jitter (clamped to [now] so time never runs
+    backwards; the per-channel FIFO floor still applies).  This is the
+    ingress the conservative shard engine ({!Shard}) uses to hand over
+    cross-shard messages at barrier epochs — the sending shard has
+    already run the message through its own fault pipeline. *)
+
 type outcome =
   | Quiescent  (** drained: no strong events remain *)
   | Livelock of { dispatched : int; pending : int }
@@ -127,18 +145,55 @@ val run_until_quiescent :
     stops with [Livelock] after popping [budget] events (default:
     unbounded).  Raises [Invalid_argument] on a non-positive budget. *)
 
+val advance_until :
+  'msg t ->
+  until:float ->
+  handler:(time:float -> src:int -> dst:int -> 'msg -> unit) ->
+  int
+(** Delivers every event (weak or strong) with timestamp strictly before
+    [until], in timestamp order, and returns how many were dispatched.
+    Events at or past the horizon are untouched.  This is the epoch
+    primitive of the conservative shard engine ({!Shard}): with
+    lookahead [L], a shard may safely run to [t_min + L] before the next
+    barrier. *)
+
 (** {1 Introspection} *)
 
 val pending : _ t -> int
 (** Number of undelivered events (including weak ones). *)
+
+val strong_pending : _ t -> int
+(** Number of pending non-weak events — what the ["des.queue_depth"]
+    gauge reports from both the schedule and the dispatch path. *)
+
+val next_time : _ t -> float option
+(** Timestamp of the earliest pending event (weak or strong), if any.
+    Drives the shard engine's epoch jumps over idle stretches. *)
 
 val messages_delivered : _ t -> int
 (** Total messages delivered since creation — the protocol-cost metric of
     experiment E8. *)
 
 val queue_peak : _ t -> int
-(** High-water mark of the event queue since creation (also exported
-    process-wide as the ["des.queue_depth"] gauge peak). *)
+(** High-water mark of the total event queue (weak events included)
+    since creation — the queue's memory watermark.  Note the
+    ["des.queue_depth"] gauge reports the {e strong}-pending count (the
+    events that keep a drain running), consistently from both the
+    schedule and the dispatch path. *)
+
+val channel_meta_size : _ t -> int
+(** Live per-channel metadata entries (FIFO fronts + fault overrides).
+    Bounded: fronts behind the clock are pruned on an amortized-O(1)
+    schedule (counted by ["des.channel_prunes"]), and overrides set back
+    to the default profile are removed, so touching many distinct
+    channels once does not grow the simulator without bound. *)
+
+val footprint_bytes : _ t -> int
+(** Heap bytes reachable from the simulator (arena, wheel, channel
+    metadata, traces), measured with the client's restart hook detached
+    so protocol state captured by that closure is not counted.  The
+    fleet runner divides this by the fleet size into the
+    ["des.bytes_per_vehicle"] gauge. *)
 
 val drops : _ t -> int
 (** Messages lost to channel faults, partitions or crashed endpoints. *)

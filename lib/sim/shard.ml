@@ -1,0 +1,142 @@
+(* Conservative parallel DES: one Des per shard, barrier epochs with
+   lookahead.  See shard.mli and docs/SCALE.md for the synchronisation
+   argument. *)
+
+let m_epochs = Metrics.counter "shard.epochs"
+let m_cross = Metrics.counter "shard.cross_messages"
+
+(* Outgoing cross-shard message: delivery time, origin sequence number
+   (per origin shard), endpoints, payload.  The origin sequence makes
+   the barrier sort a total order even for equal timestamps. *)
+type 'msg hop = {
+  hop_time : float;
+  hop_seq : int;
+  hop_src : int;
+  hop_dst : int;
+  hop_msg : 'msg;
+}
+
+type 'msg t = {
+  shards : 'msg Des.t array;
+  route : int -> int;
+  lookahead : float;
+  (* Per-origin-shard outboxes and sequence counters.  During an epoch,
+     worker [s] writes only slot [s]; the barrier (single domain) drains
+     them all after the Pool.map join. *)
+  outbox : 'msg hop list array; (* race: allow disjoint per-index writes, read after join *)
+  out_seq : int array; (* race: allow disjoint per-index writes, read after join *)
+  mutable handler :
+    shard:int -> time:float -> src:int -> dst:int -> 'msg -> unit;
+  mutable epochs : int;
+  mutable cross : int;
+}
+
+let create ~shards ~lookahead ~route ~make =
+  if shards < 1 then invalid_arg "Shard.create: need at least one shard";
+  if not (lookahead > 0.0) then
+    invalid_arg "Shard.create: lookahead must be positive";
+  {
+    shards = Array.init shards make;
+    route;
+    lookahead;
+    outbox = Array.make shards [];
+    out_seq = Array.make shards 0;
+    handler = (fun ~shard:_ ~time:_ ~src:_ ~dst:_ _ -> ());
+    epochs = 0;
+    cross = 0;
+  }
+
+let set_handler t f = t.handler <- f
+let des t s = t.shards.(s)
+let shard_count t = Array.length t.shards
+let epochs t = t.epochs
+let cross_messages t = t.cross
+let digests t = Array.map Des.digest t.shards
+
+let send t ~shard ~src ~dst msg =
+  let owner = t.route dst in
+  if owner = shard then Des.send t.shards.(shard) ~src ~dst msg
+  else begin
+    let seq = t.out_seq.(shard) in
+    t.out_seq.(shard) <- seq + 1;
+    let hop =
+      {
+        hop_time = Des.now t.shards.(shard) +. t.lookahead;
+        hop_seq = seq;
+        hop_src = src;
+        hop_dst = dst;
+        hop_msg = msg;
+      }
+    in
+    t.outbox.(shard) <- hop :: t.outbox.(shard)
+  end
+
+(* Barrier half: drain every outbox, sort into the worker-independent
+   total order, inject into the owning shards.  Runs in the calling
+   domain only. *)
+let exchange t =
+  let moved = ref 0 in
+  let all = ref [] in
+  Array.iteri
+    (fun origin hops ->
+      if hops <> [] then begin
+        t.outbox.(origin) <- [];
+        List.iter (fun h -> all := (h.hop_time, origin, h) :: !all) hops
+      end)
+    t.outbox;
+  let sorted =
+    List.sort
+      (fun (ta, oa, ha) (tb, ob, hb) ->
+        let c = Float.compare ta tb in
+        if c <> 0 then c
+        else
+          let c = Int.compare oa ob in
+          if c <> 0 then c else Int.compare ha.hop_seq hb.hop_seq)
+      !all
+  in
+  List.iter
+    (fun (_, _, h) ->
+      incr moved;
+      Des.inject
+        t.shards.(t.route h.hop_dst)
+        ~time:h.hop_time ~src:h.hop_src ~dst:h.hop_dst h.hop_msg)
+    sorted;
+  t.cross <- t.cross + !moved;
+  if !moved > 0 then Metrics.add m_cross !moved;
+  !moved
+
+let quiescent t =
+  Array.for_all (fun d -> Des.strong_pending d = 0) t.shards
+
+let run ?until t =
+  let ran = ref 0 in
+  let continue = ref true in
+  while !continue do
+    ignore (exchange t);
+    if quiescent t then continue := false
+    else begin
+      let t_min =
+        Array.fold_left
+          (fun acc d ->
+            match Des.next_time d with
+            | Some x -> Float.min acc x
+            | None -> acc)
+          infinity t.shards
+      in
+      let stop_at = match until with Some u -> u | None -> infinity in
+      if t_min >= stop_at then continue := false
+      else begin
+        let horizon = Float.min (t_min +. t.lookahead) stop_at in
+        let handler = t.handler in
+        ignore
+          (Pool.init (Array.length t.shards) (fun s ->
+               Des.advance_until t.shards.(s) ~until:horizon
+                 ~handler:(fun ~time ~src ~dst msg ->
+                   handler ~shard:s ~time ~src ~dst msg)));
+        t.epochs <- t.epochs + 1;
+        incr ran;
+        Metrics.incr m_epochs
+      end
+    end
+  done;
+  !ran

@@ -1,0 +1,83 @@
+(** Conservative parallel discrete-event simulation over shards.
+
+    The paper's replacement traffic is local to [⌈ωc⌉]-cubes, so a
+    window-sized simulation splits into near-independent regions.  This
+    module runs one {!Des} instance per shard on a {!Pool} worker and
+    synchronises them with classic conservative (Chandy–Misra–Bryant
+    style) barrier epochs:
+
+    - [lookahead] is the minimum cross-shard channel delay.  Any message
+      a shard emits at local time [t] is delivered no earlier than
+      [t + lookahead].
+    - Each epoch the engine computes [t_min], the earliest pending event
+      across all shards, and lets every shard run independently up to
+      the horizon [t_min + lookahead] ({!Des.advance_until}).  No
+      cross-shard message generated inside the epoch can land before the
+      horizon, so no shard can observe an event out of order.
+    - At the barrier, outboxes are drained, sorted by
+      [(deliver_time, origin shard, origin sequence)] — a total order
+      independent of worker scheduling — and handed to the destination
+      shards via {!Des.inject}.
+
+    Determinism: for a fixed shard count, per-shard trace digests are
+    bit-identical across reruns and across any [Pool] worker count,
+    because each shard's event stream depends only on its own seeded
+    [Des] and on the sorted barrier injections.  See docs/SCALE.md. *)
+
+type 'msg t
+
+val create :
+  shards:int ->
+  lookahead:float ->
+  route:(int -> int) ->
+  make:(int -> 'msg Des.t) ->
+  'msg t
+(** [create ~shards ~lookahead ~route ~make] builds [shards] simulators
+    with [make] (called with the shard index — derive per-shard RNG
+    seeds there) and routes process ids to owning shards with [route].
+    [lookahead] must be positive: it is both the epoch width and the
+    exact cross-shard delivery delay.  Raises [Invalid_argument] on a
+    non-positive shard count or lookahead. *)
+
+val set_handler :
+  'msg t ->
+  (shard:int -> time:float -> src:int -> dst:int -> 'msg -> unit) ->
+  unit
+(** Installs the event handler, called for every delivered event with
+    the shard it runs on.  The handler must confine itself to
+    shard-local state and send messages only through {!send} — it runs
+    on [Pool] workers. *)
+
+val send : 'msg t -> shard:int -> src:int -> dst:int -> 'msg -> unit
+(** Sends from within shard [shard] (typically from the handler).  If
+    [route dst] is the same shard this is a plain local {!Des.send}
+    through that shard's fault pipeline; otherwise the message is staged
+    in the shard's outbox for delivery at [now + lookahead] at the next
+    barrier. *)
+
+val des : 'msg t -> int -> 'msg Des.t
+(** Direct access to one shard's simulator — for seeding initial events
+    before {!run} and for per-shard inspection afterwards. *)
+
+val run : ?until:float -> 'msg t -> int
+(** Runs barrier epochs until every shard is strongly quiescent and all
+    outboxes are empty (weak keepalives may stay queued, as in
+    {!Des.run_until_quiescent}), or until the next epoch would start at
+    or past [until].  Returns the number of epochs executed by this
+    call.  Shards run on [Pool] workers; call [Pool.set_workers] first
+    to choose the parallelism. *)
+
+val shard_count : _ t -> int
+
+val epochs : _ t -> int
+(** Barrier epochs executed since creation (also the
+    ["shard.epochs"] counter). *)
+
+val cross_messages : _ t -> int
+(** Messages exchanged across shards since creation (also the
+    ["shard.cross_messages"] counter). *)
+
+val digests : _ t -> int array
+(** Per-shard {!Des.digest} values, in shard order — the determinism
+    witness: bit-identical across reruns and worker counts for a fixed
+    shard schedule. *)

@@ -502,3 +502,151 @@ let suite =
       Alcotest.test_case "fault plan validation" `Quick test_fault_plan_validation;
       Alcotest.test_case "fleet_size matches run" `Quick test_fleet_size_matches_run;
     ]
+
+(* --- Replay determinism at fleet scale (ISSUE 10, satellite 4) ---
+
+   A 10^4-vehicle window under the full chaos matrix at once: lossy and
+   duplicating channels with delay spikes, permanent deaths, radio-outage
+   crash/restarts, and severed links.  The claims under test are the
+   bit-identical replay of [Online.run] and the worker-count invariance
+   of [Online.run_fleet] shard digests. *)
+
+let scale_workload () =
+  let rng = Rng.create 90210 in
+  let box = Box.make ~lo:(point2 0 0) ~hi:(point2 99 99) in
+  let w = Workload.uniform ~rng ~box ~jobs:1200 in
+  (* Pin the corners so the window is exactly 100x100 = 10^4 vehicles. *)
+  {
+    w with
+    Workload.jobs =
+      Array.append [| point2 0 0; point2 99 99 |] w.Workload.jobs;
+  }
+
+let scale_config ?(seed = 5) () =
+  Online.config ~seed ~capacity:12.0 ~side:4
+    ~chaos:(Des.faults ~drop_p:0.15 ~dup_p:0.05 ~spike_p:0.02 ~spike_delay:25.0 ())
+    ~faults:
+      {
+        Online.no_faults with
+        Online.deaths = [ (40, 17); (400, 7042) ];
+        outages = [ (20, 101, 75.0); (300, 5003, 120.0); (700, 9898, 60.0) ];
+      }
+    ~partitions:[ (0, 1); (5000, 5001) ]
+    ()
+
+let test_scale_replay_determinism () =
+  let w = scale_workload () in
+  let cfg = scale_config () in
+  Alcotest.(check int) "fleet is 10^4 vehicles" 10_000 (Online.fleet_size cfg w);
+  let a = Online.run cfg w in
+  let b = Online.run cfg w in
+  Alcotest.(check int) "replay digest identical" a.Online.trace_digest
+    b.Online.trace_digest;
+  Alcotest.(check int) "replay served identical" a.Online.served b.Online.served;
+  Alcotest.(check int) "replay messages identical" a.Online.messages
+    b.Online.messages;
+  Alcotest.(check bool) "chaos actually dropped messages" true (a.Online.drops > 0);
+  Alcotest.(check bool) "chaos actually duplicated messages" true (a.Online.dups > 0);
+  let c = Online.run (scale_config ~seed:6 ()) w in
+  Alcotest.(check bool) "different seed differs" true
+    (a.Online.trace_digest <> c.Online.trace_digest)
+
+let test_fleet_digests_worker_invariant () =
+  let w = scale_workload () in
+  let cfg = scale_config () in
+  let base = Online.run_fleet ~workers:1 ~shards:4 cfg w in
+  Alcotest.(check int) "four bands" 4 base.Online.shard_count;
+  List.iter
+    (fun workers ->
+      let f = Online.run_fleet ~workers ~shards:4 cfg w in
+      Alcotest.(check (array int))
+        (Printf.sprintf "workers=%d shard digests match workers=1" workers)
+        base.Online.shard_digests f.Online.shard_digests;
+      Alcotest.(check int)
+        (Printf.sprintf "workers=%d aggregate digest matches" workers)
+        base.Online.aggregate.Online.trace_digest
+        f.Online.aggregate.Online.trace_digest;
+      Alcotest.(check int)
+        (Printf.sprintf "workers=%d served matches" workers)
+        base.Online.aggregate.Online.served f.Online.aggregate.Online.served)
+    [ 2; 4 ];
+  Alcotest.(check bool) "per-vehicle footprint within budget" true
+    (base.Online.bytes_per_vehicle <= 512.0)
+
+let test_fleet_single_shard_matches_run () =
+  let w = scale_workload () in
+  let cfg = scale_config () in
+  let o = Online.run cfg w in
+  let f = Online.run_fleet ~workers:1 ~shards:1 cfg w in
+  let a = f.Online.aggregate in
+  Alcotest.(check int) "shards=1 digest equals run" o.Online.trace_digest
+    a.Online.trace_digest;
+  Alcotest.(check int) "shards=1 served equals run" o.Online.served
+    a.Online.served;
+  Alcotest.(check int) "shards=1 messages equal run" o.Online.messages
+    a.Online.messages;
+  Alcotest.(check int) "shards=1 replacements equal run" o.Online.replacements
+    a.Online.replacements;
+  Alcotest.(check int) "shards=1 retries equal run" o.Online.retries_sent
+    a.Online.retries_sent
+
+let test_outage_restart_recovers () =
+  (* Radio silence on a vehicle of a hot-point fleet: the protocol state
+     survives the crash, the restart hook re-arms the lost timers, and
+     every job is still served. *)
+  let w = Workload.point ~total:120 () in
+  let cfg = Online.recommended w in
+  let cfg =
+    {
+      cfg with
+      Online.faults =
+        { Online.no_faults with Online.outages = [ (10, 0, 50.0); (60, 3, 80.0) ] };
+    }
+  in
+  let o = Online.run cfg w in
+  check_success "outage restart" w o;
+  let o' = Online.run cfg w in
+  Alcotest.(check int) "outage replay deterministic" o.Online.trace_digest
+    o'.Online.trace_digest
+
+let test_outage_validation () =
+  (match
+     Online.config ~capacity:10.0 ~side:4
+       ~faults:{ Online.no_faults with Online.outages = [ (-1, 0, 5.0) ] }
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative outage index: expected Invalid_argument");
+  (match
+     Online.config ~capacity:10.0 ~side:4
+       ~faults:{ Online.no_faults with Online.outages = [ (3, 0, 0.0) ] }
+       ()
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero outage delay: expected Invalid_argument");
+  let w = Workload.point ~total:10 () in
+  let cfg =
+    Online.config ~capacity:10.0 ~side:4
+      ~faults:{ Online.no_faults with Online.outages = [ (1, 999, 5.0) ] }
+      ()
+  in
+  (match Online.run cfg w with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-fleet outage id: expected Invalid_argument");
+  (match Online.run_fleet ~shards:0 (Online.config ~capacity:10.0 ~side:4 ()) w with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-positive shards: expected Invalid_argument")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "scale: replay determinism under combined chaos" `Quick
+        test_scale_replay_determinism;
+      Alcotest.test_case "scale: fleet digests invariant across workers" `Quick
+        test_fleet_digests_worker_invariant;
+      Alcotest.test_case "scale: single shard fleet equals run" `Quick
+        test_fleet_single_shard_matches_run;
+      Alcotest.test_case "outage restart recovers" `Quick
+        test_outage_restart_recovers;
+      Alcotest.test_case "outage validation" `Quick test_outage_validation;
+    ]

@@ -538,6 +538,44 @@ let test_session_metrics () =
       Alcotest.(check (float 0.0)) "sessions gauge" 1.0 value
   | _ -> Alcotest.fail "serve.sessions missing"
 
+(* LRU session eviction: the engine caps live sessions at
+   [max_sessions]; inserting past the cap evicts the least-recently-used
+   session, and touching a session (any op) protects it. *)
+let test_session_lru_eviction () =
+  let engine = Engine.create ~max_sessions:3 () in
+  let dm0 = Demand_map.empty 2 in
+  let run name op =
+    Engine.process engine (Protocol.request ~session:name ~id:0 op dm0)
+  in
+  let add name = ignore (run name (Protocol.Session_add [| 0; 0 |])) in
+  add "a";
+  add "b";
+  add "c";
+  Alcotest.(check int) "cap not yet reached" 0 (Engine.session_evictions engine);
+  Alcotest.(check int) "three live sessions" 3 (Engine.session_count engine);
+  (* Touch "a" so "b" becomes the LRU victim. *)
+  ignore (run "a" Protocol.Session_query);
+  add "d";
+  Alcotest.(check int) "one eviction" 1 (Engine.session_evictions engine);
+  Alcotest.(check int) "still at the cap" 3 (Engine.session_count engine);
+  (* "b" was evicted: querying it is now an unknown-session error... *)
+  (match (run "b" Protocol.Session_query).Protocol.r_result with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "evicted session should be unknown");
+  (* ...while the recently-touched "a" survived with its demand intact. *)
+  (match (run "a" Protocol.Session_query).Protocol.r_result with
+  | Ok (Protocol.Value v) ->
+      Alcotest.(check bool) "survivor kept its job" true (v > 0.0)
+  | _ -> Alcotest.fail "survivor session lost");
+  (* Re-adding under the evicted name starts a fresh session (and evicts
+     the current LRU, "c"). *)
+  add "b";
+  Alcotest.(check int) "second eviction" 2 (Engine.session_evictions engine);
+  Alcotest.(check int) "count stays at the cap" 3 (Engine.session_count engine);
+  (match Engine.create ~max_sessions:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_sessions 0: expected Invalid_argument")
+
 let suite =
   [
     Alcotest.test_case "frame chunked roundtrip" `Quick test_frame_chunked_roundtrip;
@@ -557,6 +595,7 @@ let suite =
     Alcotest.test_case "batch dedup and counters" `Quick
       test_batch_dedup_and_counters;
     Alcotest.test_case "cache capacity FIFO" `Quick test_cache_capacity_fifo;
+    Alcotest.test_case "session LRU eviction" `Quick test_session_lru_eviction;
     Alcotest.test_case "engine error responses" `Quick test_engine_error_responses;
     Alcotest.test_case "loadgen deterministic" `Quick test_loadgen_deterministic;
     Alcotest.test_case "loadgen replay stats" `Quick test_loadgen_replay_stats;
